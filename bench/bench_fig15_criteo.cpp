@@ -1,0 +1,129 @@
+// Fig. 15: comparison with TensorFlow's parameter server on the
+// Criteo-Kaggle dataset (1/2/4 GPUs, embedding dim 16 and 64, no
+// checkpoints, values normalized to TensorFlow at dim 16 / 1 GPU).
+//
+// Paper: PMem-OE trains 6.3/19.5/30.1% faster than TensorFlow at dim 16
+// and 6.4/34.2/52% at dim 64; DRAM-PS is best but PMem-OE stays within 5%;
+// PMem-Hash needs up to 4.3x TensorFlow's time (6.3x DRAM-PS).
+//
+// TensorFlow baseline model: a DRAM parameter server plus the framework's
+// per-key operator overhead and per-value copy costs on the critical path
+// (TF's embedding path lacks the burst-batched custom operators
+// OpenEmbedding installs), calibrated constants documented below.
+
+#include <cstdio>
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+
+using oe::bench::EpochSeconds;
+using oe::sim::SimOptions;
+using oe::sim::TrainingSimulator;
+using oe::storage::StoreKind;
+
+namespace {
+
+// TF overhead model, calibrated to the paper's measured gaps: a per-lookup
+// operator-dispatch cost that queues mildly with worker count (~W^0.2), plus
+// a per-byte cross-GPU embedding exchange term that appears once multiple
+// workers synchronize (grows with log2(W) and with the embedding width).
+constexpr double kTfOpNs = 54;
+constexpr double kTfCopyNsPerByte = 0.4;
+
+SimOptions CriteoSim(StoreKind kind, int gpus, uint32_t dim) {
+  SimOptions options;
+  options.kind = kind;
+  options.num_gpus = gpus;
+  options.num_keys = oe::bench::FastMode() ? (128 << 10) : (1 << 20);
+  options.keys_per_worker_batch = 4096;
+  options.rounds = 10;
+  options.num_nodes = 1;
+  options.store.dim = dim;
+  // 128 MB cache in the paper = 6.4% (dim 16) / 1.6% (dim 64) of the
+  // table; same fractions at our scale.
+  const uint64_t table_bytes =
+      options.num_keys * (16 + dim * 4ULL);
+  options.store.cache_bytes =
+      static_cast<uint64_t>(table_bytes * (dim == 16 ? 0.064 : 0.016));
+  options.store.pmem_hash_buckets = 1 << 19;
+  options.pmem_bytes_per_node = 2ULL << 30;
+  // Criteo's DeepFM is smaller than the production model: shorter GPU
+  // phase per batch.
+  options.gpu_compute_ns = 6000000;
+  if (kind == StoreKind::kPmemHash) {
+    // libpmemobj-style coarse-grained synchronization: the burst fully
+    // serializes on the PMem structure (Observation 1's 4.3x degradation).
+    options.contention.pmem_service_capacity = 1;
+  }
+  oe::bench::ApplyFastMode(&options);
+  options.store.cache_bytes = std::max<uint64_t>(
+      options.store.cache_bytes, 64 << 10);
+  return options;
+}
+
+struct Cell {
+  double epoch_seconds;
+};
+
+Cell Run(StoreKind kind, int gpus, uint32_t dim, bool tf_overhead) {
+  SimOptions options = CriteoSim(kind, gpus, dim);
+  auto report = TrainingSimulator(options).Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "sim failed: %s\n",
+                 report.status().ToString().c_str());
+    std::exit(1);
+  }
+  double epoch = EpochSeconds(report.value(), gpus);
+  if (tf_overhead) {
+    // Per-round framework overhead, converted to epoch scale.
+    const double draws =
+        2.0 * static_cast<double>(options.keys_per_worker_batch) * gpus;
+    const double ops_ns = draws * kTfOpNs * std::pow(gpus, 0.2);
+    const double copy_ns = draws * dim * 4.0 * kTfCopyNsPerByte *
+                           std::log2(static_cast<double>(gpus) * 2.0) / 2.0 *
+                           (gpus > 1 ? 1.0 : 0.0);
+    epoch += (ops_ns + copy_ns) / 1e9 *
+             (oe::bench::kWorkerBatchesPerEpoch / gpus);
+  }
+  return {epoch};
+}
+
+}  // namespace
+
+int main() {
+  oe::bench::PrintHeader(
+      "Fig. 15 — comparison with TensorFlow on Criteo",
+      "PMem-OE faster than TF by 6.3/19.5/30.1% (dim16) and 6.4/34.2/52% "
+      "(dim64) at 1/2/4 GPUs; DRAM-PS within 5% above OE; PMem-Hash up to "
+      "4.3x TF");
+
+  const double paper_oe_gain[2][3] = {{0.063, 0.195, 0.301},
+                                      {0.064, 0.342, 0.52}};
+  const uint32_t dims[] = {16, 64};
+  for (int d = 0; d < 2; ++d) {
+    const uint32_t dim = dims[d];
+    std::printf("  --- embedding dim %u ---\n", dim);
+    std::printf("  %-5s | OE vs TF (paper)    | DRAM vs OE | PMemHash/TF\n",
+                "GPUs");
+    const int gpu_counts[] = {1, 2, 4};
+    for (int i = 0; i < 3; ++i) {
+      const int gpus = gpu_counts[i];
+      const Cell tf = Run(StoreKind::kDram, gpus, dim, /*tf_overhead=*/true);
+      const Cell dram =
+          Run(StoreKind::kDram, gpus, dim, /*tf_overhead=*/false);
+      const Cell pmem_oe =
+          Run(StoreKind::kPipelined, gpus, dim, /*tf_overhead=*/false);
+      const Cell pmem_hash =
+          Run(StoreKind::kPmemHash, gpus, dim, /*tf_overhead=*/false);
+      std::printf(
+          "  %-5d | -%4.1f%% (paper -%4.1f%%) | %+5.1f%%     | %4.2fx\n",
+          gpus,
+          100.0 * (1.0 - pmem_oe.epoch_seconds / tf.epoch_seconds),
+          100.0 * paper_oe_gain[d][i],
+          100.0 * (dram.epoch_seconds / pmem_oe.epoch_seconds - 1.0),
+          pmem_hash.epoch_seconds / tf.epoch_seconds);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig. 7: pipelined cache performance, checkpointing disabled for every
+// configuration (isolates the cache/pipeline design).
+//
+// Paper: DRAM-PS epoch time scales 1.0 -> 0.60 -> 0.35 as GPUs go
+// 4 -> 8 -> 16; Ori-Cache takes 1.24x/1.56x/2.27x DRAM-PS; PMem-OE stays
+// within 1.2% / 4.3% / 8.7% of DRAM-PS.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using oe::bench::EpochSeconds;
+using oe::sim::SimOptions;
+using oe::sim::TrainingSimulator;
+using oe::storage::StoreKind;
+
+namespace {
+
+double RunEpoch(StoreKind kind, int gpus) {
+  SimOptions options = oe::bench::ProductionSim();
+  oe::bench::ApplyFastMode(&options);
+  options.kind = kind;
+  options.num_gpus = gpus;
+  options.checkpoints_per_epoch = 0;  // no checkpoints in Fig. 7
+  auto report = TrainingSimulator(options).Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "sim failed: %s\n",
+                 report.status().ToString().c_str());
+    std::exit(1);
+  }
+  return EpochSeconds(report.value(), gpus);
+}
+
+}  // namespace
+
+int main() {
+  oe::bench::PrintHeader(
+      "Fig. 7 — pipelined cache performance (no checkpoints)",
+      "DRAM-PS 1.0/0.60/0.35; Ori = 1.24x/1.56x/2.27x DRAM; PMem-OE within "
+      "1.2/4.3/8.7% of DRAM at 4/8/16 GPUs");
+
+  const double paper_dram[] = {1.0, 0.60, 0.35};
+  const double paper_ori_ratio[] = {1.24, 1.56, 2.27};
+  const double paper_oe_gap[] = {0.012, 0.043, 0.087};
+  const int gpu_counts[] = {4, 8, 16};
+
+  const double dram4 = RunEpoch(StoreKind::kDram, 4);
+  std::printf("  %-5s | DRAM-PS (paper)  | Ori/DRAM (paper) | OE gap "
+              "(paper)\n",
+              "GPUs");
+  for (int i = 0; i < 3; ++i) {
+    const int gpus = gpu_counts[i];
+    const double dram = RunEpoch(StoreKind::kDram, gpus);
+    const double pmem_oe = RunEpoch(StoreKind::kPipelined, gpus);
+    const double ori = RunEpoch(StoreKind::kOriCache, gpus);
+    std::printf(
+        "  %-5d | %6.3f (%5.2f)   | %6.2fx (%4.2fx)  | %+5.1f%% "
+        "(+%.1f%%)\n",
+        gpus, dram / dram4, paper_dram[i], ori / dram, paper_ori_ratio[i],
+        100.0 * (pmem_oe / dram - 1.0), 100.0 * paper_oe_gap[i]);
+  }
+  return 0;
+}

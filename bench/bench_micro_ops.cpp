@@ -1,0 +1,170 @@
+// Micro-benchmarks (google-benchmark) for the hot operations of the
+// OpenEmbedding engine: pull hits/misses, gradient pushes, PMem pool
+// allocation, LRU maintenance, checksums. Real wall-clock numbers on the
+// host — these validate that the implementation itself is not the
+// bottleneck behind the simulated device costs.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "cache/lru_list.h"
+#include "cache/tagged_ptr.h"
+#include "common/crc32.h"
+#include "common/random.h"
+#include "pmem/pool.h"
+#include "storage/pipelined_store.h"
+
+namespace {
+
+using oe::cache::LruList;
+using oe::cache::LruNode;
+using oe::cache::TaggedPtr;
+using oe::pmem::CrashFidelity;
+using oe::pmem::PmemDevice;
+using oe::pmem::PmemDeviceOptions;
+using oe::pmem::PmemPool;
+using oe::storage::PipelinedStore;
+using oe::storage::StoreConfig;
+
+std::unique_ptr<PmemDevice> MakeDevice(uint64_t size) {
+  PmemDeviceOptions options;
+  options.size_bytes = size;
+  options.crash_fidelity = CrashFidelity::kNone;
+  return PmemDevice::Create(options).ValueOrDie();
+}
+
+void BM_Crc32c(benchmark::State& state) {
+  std::vector<uint8_t> data(static_cast<size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oe::Crc32c(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_PoolAllocFree(benchmark::State& state) {
+  auto device = MakeDevice(256 << 20);
+  auto pool = PmemPool::Create(device.get()).ValueOrDie();
+  const uint64_t size = static_cast<uint64_t>(state.range(0));
+  std::vector<uint8_t> payload(size, 1);
+  for (auto _ : state) {
+    uint64_t offset =
+        pool->AllocWrite(payload.data(), size, 1).ValueOrDie();
+    benchmark::DoNotOptimize(offset);
+    (void)pool->Free(offset);
+  }
+}
+BENCHMARK(BM_PoolAllocFree)->Arg(272)->Arg(4096);
+
+struct BenchEntry {
+  uint64_t key;
+  LruNode lru;
+};
+
+void BM_LruTouch(benchmark::State& state) {
+  constexpr size_t kEntries = 4096;
+  std::vector<BenchEntry> entries(kEntries);
+  LruList<BenchEntry, &BenchEntry::lru> lru;
+  for (auto& entry : entries) lru.PushFront(&entry);
+  oe::Random rng(3);
+  for (auto _ : state) {
+    lru.Touch(&entries[rng.Uniform(kEntries)]);
+  }
+}
+BENCHMARK(BM_LruTouch);
+
+void BM_TaggedPtrRoundTrip(benchmark::State& state) {
+  BenchEntry entry{42, {}};
+  for (auto _ : state) {
+    TaggedPtr dram = TaggedPtr::FromDram(&entry);
+    benchmark::DoNotOptimize(dram.dram<BenchEntry>());
+    TaggedPtr pmem = TaggedPtr::FromPmem(123456);
+    benchmark::DoNotOptimize(pmem.pmem_offset());
+  }
+}
+BENCHMARK(BM_TaggedPtrRoundTrip);
+
+struct StoreFixture {
+  std::unique_ptr<PmemDevice> device;
+  std::unique_ptr<PipelinedStore> store;
+  std::vector<uint64_t> keys;
+  std::vector<float> weights;
+  std::vector<float> grads;
+
+  explicit StoreFixture(uint64_t cache_bytes, size_t keys_per_batch) {
+    device = MakeDevice(512 << 20);
+    StoreConfig config;
+    config.dim = 64;
+    config.cache_bytes = cache_bytes;
+    store = PipelinedStore::Create(config, device.get()).ValueOrDie();
+    keys.resize(keys_per_batch);
+    std::iota(keys.begin(), keys.end(), 0);
+    weights.resize(keys.size() * 64);
+    grads.assign(keys.size() * 64, 0.01f);
+    // Materialize the entries.
+    (void)store->Pull(keys.data(), keys.size(), 1, weights.data());
+    store->FinishPullPhase(1);
+    store->WaitMaintenance(1);
+  }
+};
+
+void BM_PullHit(benchmark::State& state) {
+  StoreFixture fixture(/*cache_bytes=*/64 << 20, /*keys_per_batch=*/1024);
+  uint64_t batch = 2;
+  for (auto _ : state) {
+    (void)fixture.store->Pull(fixture.keys.data(), fixture.keys.size(),
+                              batch, fixture.weights.data());
+    state.PauseTiming();
+    fixture.store->FinishPullPhase(batch);
+    fixture.store->WaitMaintenance(batch);
+    ++batch;
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(fixture.keys.size()));
+}
+BENCHMARK(BM_PullHit);
+
+void BM_PullMissFromPmem(benchmark::State& state) {
+  // Cache far smaller than the working set: most pulls read PMem.
+  StoreFixture fixture(/*cache_bytes=*/64 << 10, /*keys_per_batch=*/4096);
+  uint64_t batch = 2;
+  for (auto _ : state) {
+    (void)fixture.store->Pull(fixture.keys.data(), fixture.keys.size(),
+                              batch, fixture.weights.data());
+    state.PauseTiming();
+    fixture.store->FinishPullPhase(batch);
+    fixture.store->WaitMaintenance(batch);
+    ++batch;
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(fixture.keys.size()));
+}
+BENCHMARK(BM_PullMissFromPmem);
+
+void BM_PushSgd(benchmark::State& state) {
+  StoreFixture fixture(/*cache_bytes=*/64 << 20, /*keys_per_batch=*/1024);
+  uint64_t batch = 2;
+  for (auto _ : state) {
+    state.PauseTiming();
+    (void)fixture.store->Pull(fixture.keys.data(), fixture.keys.size(),
+                              batch, fixture.weights.data());
+    fixture.store->FinishPullPhase(batch);
+    fixture.store->WaitMaintenance(batch);
+    state.ResumeTiming();
+    (void)fixture.store->Push(fixture.keys.data(), fixture.keys.size(),
+                              fixture.grads.data(), batch);
+    ++batch;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(fixture.keys.size()));
+}
+BENCHMARK(BM_PushSgd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

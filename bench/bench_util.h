@@ -1,0 +1,70 @@
+#ifndef OE_BENCH_BENCH_UTIL_H_
+#define OE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/training_sim.h"
+
+namespace oe::bench {
+
+/// Scaled-down stand-in for the paper's production workload (Section III):
+/// 2.1 B entries / 500 GB model / 2 GB DRAM cache scale down to 3 M entries
+/// / ~900 MB / 8 MB cache — the cache:model ratio and the Table II access
+/// skew are preserved, so hit rates and pipeline-overlap ratios match the
+/// paper's regime (miss rate ~13.6% at the default cache, as in Fig. 11).
+inline sim::SimOptions ProductionSim() {
+  sim::SimOptions options;
+  options.num_keys = 3ULL << 20;
+  options.keys_per_worker_batch = 4096;
+  options.rounds = 10;
+  options.num_nodes = 2;
+  options.store.dim = 64;
+  options.store.cache_bytes = 8ULL << 20;
+  options.store.pmem_hash_buckets = 1 << 20;
+  options.pmem_bytes_per_node = 2ULL << 30;
+  options.log_bytes_per_node = 1ULL << 30;
+  return options;
+}
+
+/// OE_BENCH_FAST=1 shrinks every simulation for smoke runs.
+inline bool FastMode() {
+  const char* fast = std::getenv("OE_BENCH_FAST");
+  return fast != nullptr && fast[0] == '1';
+}
+
+inline void ApplyFastMode(sim::SimOptions* options) {
+  if (!FastMode()) return;
+  options->num_keys = 256 << 10;
+  options->rounds = 4;
+  options->store.cache_bytes = 1 << 20;
+}
+
+/// Simulated epoch time normalized to a fixed number of worker-batches:
+/// epoch(W GPUs) = avg-round-time * (kWorkerBatchesPerEpoch / W).
+inline constexpr double kWorkerBatchesPerEpoch = 4800.0;
+
+inline double EpochSeconds(const sim::EpochReport& report, int num_gpus) {
+  const double avg_round = static_cast<double>(report.epoch_ns) /
+                           static_cast<double>(report.rounds);
+  return avg_round * (kWorkerBatchesPerEpoch / num_gpus) / 1e9;
+}
+
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void PrintRow(const std::string& label, double paper,
+                     double measured) {
+  std::printf("  %-38s paper=%8.3f  measured=%8.3f\n", label.c_str(), paper,
+              measured);
+}
+
+}  // namespace oe::bench
+
+#endif  // OE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,76 @@
+// End-to-end CTR training: DeepFM over a synthetic Criteo-style dataset
+// with sparse embeddings on a PMem-backed parameter-server cluster and a
+// synchronous multi-worker driver (the paper's Fig. 1 workflow).
+//
+// Prints logloss/AUC as training progresses — the planted ground-truth
+// signal in the synthetic data means both must improve.
+
+#include <cstdio>
+
+#include "ps/ps_cluster.h"
+#include "train/sync_trainer.h"
+
+int main() {
+  // Parameter-server tier: 2 shards, PMem-OE engine, AdaGrad.
+  oe::ps::ClusterOptions cluster_options;
+  cluster_options.num_nodes = 2;
+  cluster_options.kind = oe::storage::StoreKind::kPipelined;
+  cluster_options.store.dim = 16;
+  cluster_options.store.optimizer.kind = oe::storage::OptimizerKind::kAdaGrad;
+  cluster_options.store.optimizer.learning_rate = 0.05f;
+  cluster_options.store.cache_bytes = 512 << 10;
+  cluster_options.pmem_bytes_per_node = 256ULL << 20;
+  auto cluster_result = oe::ps::PsCluster::Create(cluster_options);
+  if (!cluster_result.ok()) {
+    std::fprintf(stderr, "cluster: %s\n",
+                 cluster_result.status().ToString().c_str());
+    return 1;
+  }
+  auto cluster = std::move(cluster_result).ValueOrDie();
+
+  // Synthetic Criteo-like data: 13 dense + 26 categorical fields.
+  oe::workload::CriteoSynthConfig data_config;
+  data_config.base_cardinality = 400;
+
+  // DeepFM + 4 synchronous workers ("GPUs").
+  oe::train::TrainerConfig trainer_config;
+  trainer_config.workers = 4;
+  trainer_config.batch_size = 128;
+  trainer_config.model.num_fields = data_config.categorical_fields;
+  trainer_config.model.dense_dim = data_config.dense_fields;
+  trainer_config.model.embed_dim = 16;
+  trainer_config.model.hidden = {64, 32};
+  trainer_config.model.dense_learning_rate = 0.02f;
+  oe::train::SyncTrainer trainer(cluster.get(), data_config, trainer_config);
+
+  std::printf("%-8s %-10s %-8s %-12s %-10s\n", "batches", "examples",
+              "logloss", "auc", "entries");
+  for (int step = 0; step < 8; ++step) {
+    if (auto status = trainer.TrainBatches(15); !status.ok()) {
+      std::fprintf(stderr, "training failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    const auto progress = trainer.progress();
+    std::printf("%-8llu %-10llu %-8.4f %-12.4f %-10llu\n",
+                static_cast<unsigned long long>(progress.batches_done),
+                static_cast<unsigned long long>(progress.examples_seen),
+                progress.mean_logloss, progress.auc,
+                static_cast<unsigned long long>(
+                    cluster->client().TotalEntries().ValueOrDie()));
+  }
+
+  const auto final_progress = trainer.progress();
+  const bool learned = final_progress.auc > 0.65;
+  std::printf("\nfinal AUC %.4f -> %s\n", final_progress.auc,
+              learned ? "learned the planted signal" : "FAILED to learn");
+
+  // PS-side statistics: skew makes the cache work.
+  std::printf("cache hit rate: %.1f%%  (hits=%llu misses=%llu)\n",
+              100.0 * cluster->TotalCacheHits() /
+                  (cluster->TotalCacheHits() + cluster->TotalCacheMisses() +
+                   1e-9),
+              static_cast<unsigned long long>(cluster->TotalCacheHits()),
+              static_cast<unsigned long long>(cluster->TotalCacheMisses()));
+  return learned ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+#ifndef OE_CACHE_ACCESS_QUEUE_H_
+#define OE_CACHE_ACCESS_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace oe::cache {
+
+/// The paper's Access Queue (Fig. 5): pull handlers append the entries
+/// accessed in a batch; cache maintainer threads pop them later, overlapped
+/// with GPU compute. Multi-producer, multi-consumer, batch-granular.
+template <typename Item>
+class AccessQueue {
+ public:
+  /// Appends one producer's accesses for `batch`.
+  void Append(uint64_t batch, std::vector<Item> items) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(Chunk{batch, std::move(items)});
+    cv_.notify_one();
+  }
+
+  /// Pops the oldest chunk; blocks until one is available or Close().
+  /// Returns false when closed and drained.
+  bool Pop(uint64_t* batch, std::vector<Item>* items) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return false;
+    *batch = queue_.front().batch;
+    *items = std::move(queue_.front().items);
+    queue_.pop_front();
+    return true;
+  }
+
+  /// Non-blocking pop.
+  bool TryPop(uint64_t* batch, std::vector<Item>* items) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    *batch = queue_.front().batch;
+    *items = std::move(queue_.front().items);
+    queue_.pop_front();
+    return true;
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  struct Chunk {
+    uint64_t batch;
+    std::vector<Item> items;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Chunk> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace oe::cache
+
+#endif  // OE_CACHE_ACCESS_QUEUE_H_

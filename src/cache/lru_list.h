@@ -1,0 +1,130 @@
+#ifndef OE_CACHE_LRU_LIST_H_
+#define OE_CACHE_LRU_LIST_H_
+
+#include <cstddef>
+
+#include "common/logging.h"
+
+namespace oe::cache {
+
+/// Intrusive doubly-linked LRU node. Embed one per cache entry.
+struct LruNode {
+  LruNode* prev = nullptr;
+  LruNode* next = nullptr;
+
+  bool linked() const { return prev != nullptr; }
+};
+
+/// Intrusive LRU list: head = most recently used, tail = eviction victim.
+/// Not thread-safe; the store serializes access (the paper's cache
+/// maintenance runs under the write lock). Intrusive nodes avoid any
+/// allocation on the maintenance path, unlike the STL-list baseline.
+///
+/// The paper's key LRU property (Algorithm 2): entries are reordered only
+/// during cache maintenance where version is also set to the current batch,
+/// so list order always equals version order — the tail has the minimum
+/// version in the cache. PipelinedStore's checkpoint publication rule relies
+/// on this.
+template <typename Entry, LruNode Entry::* NodeMember>
+class LruList {
+ public:
+  LruList() {
+    sentinel_.prev = &sentinel_;
+    sentinel_.next = &sentinel_;
+  }
+
+  LruList(const LruList&) = delete;
+  LruList& operator=(const LruList&) = delete;
+
+  bool empty() const { return sentinel_.next == &sentinel_; }
+  size_t size() const { return size_; }
+
+  bool Contains(Entry* entry) const { return NodeOf(entry)->linked(); }
+
+  /// Inserts at the head (MRU). Precondition: not linked.
+  void PushFront(Entry* entry) {
+    LruNode* node = NodeOf(entry);
+    OE_DCHECK(!node->linked());
+    Link(node, &sentinel_, sentinel_.next);
+    ++size_;
+  }
+
+  /// Moves an already-linked entry to the head; links it if new.
+  void Touch(Entry* entry) {
+    LruNode* node = NodeOf(entry);
+    if (node->linked()) {
+      Unlink(node);
+      Link(node, &sentinel_, sentinel_.next);
+    } else {
+      PushFront(entry);
+    }
+  }
+
+  /// Removes a linked entry.
+  void Remove(Entry* entry) {
+    LruNode* node = NodeOf(entry);
+    OE_DCHECK(node->linked());
+    Unlink(node);
+    node->prev = node->next = nullptr;
+    --size_;
+  }
+
+  /// The eviction victim (least recently used), or nullptr if empty.
+  Entry* Tail() {
+    if (empty()) return nullptr;
+    return EntryOf(sentinel_.prev);
+  }
+
+  /// The most recently used entry, or nullptr if empty.
+  Entry* Head() {
+    if (empty()) return nullptr;
+    return EntryOf(sentinel_.next);
+  }
+
+  /// Unlinks everything (entries themselves are owned elsewhere).
+  void Clear() {
+    LruNode* node = sentinel_.next;
+    while (node != &sentinel_) {
+      LruNode* next = node->next;
+      node->prev = node->next = nullptr;
+      node = next;
+    }
+    sentinel_.prev = &sentinel_;
+    sentinel_.next = &sentinel_;
+    size_ = 0;
+  }
+
+ private:
+  static LruNode* NodeOf(Entry* entry) { return &(entry->*NodeMember); }
+  static const LruNode* NodeOf(const Entry* entry) {
+    return &(entry->*NodeMember);
+  }
+
+  static Entry* EntryOf(LruNode* node) {
+    // offsetof on a member pointer: compute the byte delta via a null
+    // object. Entry is standard-layout in all uses (plain structs).
+    const auto* probe = reinterpret_cast<const Entry*>(0x1000);
+    const auto delta = reinterpret_cast<const char*>(&(probe->*NodeMember)) -
+                       reinterpret_cast<const char*>(probe);
+    return reinterpret_cast<Entry*>(reinterpret_cast<char*>(node) - delta);
+  }
+
+  static void Link(LruNode* node, LruNode* prev, LruNode* next) {
+    node->prev = prev;
+    node->next = next;
+    prev->next = node;
+    next->prev = node;
+  }
+
+  static void Unlink(LruNode* node) {
+    node->prev->next = node->next;
+    node->next->prev = node->prev;
+  }
+
+  LruNode sentinel_;
+  size_t size_ = 0;
+};
+
+}  // namespace oe::cache
+
+#endif  // OE_CACHE_LRU_LIST_H_

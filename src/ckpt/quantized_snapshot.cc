@@ -1,0 +1,112 @@
+#include "ckpt/quantized_snapshot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace oe::ckpt {
+
+using storage::EntryLayout;
+
+QuantizedSnapshot::QuantizedSnapshot(pmem::PmemDevice* device,
+                                     const storage::EntryLayout& layout)
+    : device_(device), layout_(layout) {}
+
+uint64_t QuantizedSnapshot::QuantizedRecordBytes() const {
+  const uint64_t values = layout_.values_per_entry();
+  const uint64_t q_bytes = (values + 7) / 8 * 8;  // pad to 8
+  return 8 /*key*/ + 8 /*version*/ + 4 /*min*/ + 4 /*scale*/ + q_bytes;
+}
+
+Status QuantizedSnapshot::Write(uint64_t batch, const uint8_t* records,
+                                uint64_t count) {
+  const uint64_t values = layout_.values_per_entry();
+  const uint64_t q_record = QuantizedRecordBytes();
+  const uint64_t need = kHeaderBytes + count * q_record;
+  if (need > device_->size()) {
+    return Status::OutOfSpace("snapshot region too small");
+  }
+
+  // Invalidate the previous snapshot before overwriting (torn-write guard):
+  // count = 0 is published first.
+  uint64_t header[4] = {kMagic, values, 0, batch};
+  device_->Write(0, header, sizeof(header));
+  device_->Persist(0, sizeof(header));
+
+  std::vector<uint8_t> quantized(q_record);
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint8_t* record = records + i * layout_.record_bytes();
+    const float* data = EntryLayout::RecordData(record);
+
+    float lo = data[0];
+    float hi = data[0];
+    for (uint64_t v = 1; v < values; ++v) {
+      lo = std::min(lo, data[v]);
+      hi = std::max(hi, data[v]);
+    }
+    const float scale = (hi - lo) > 0 ? (hi - lo) / 255.0f : 0.0f;
+
+    uint8_t* out = quantized.data();
+    const storage::EntryId key = EntryLayout::RecordKey(record);
+    const uint64_t version = EntryLayout::RecordVersion(record);
+    std::memcpy(out, &key, 8);
+    std::memcpy(out + 8, &version, 8);
+    std::memcpy(out + 16, &lo, 4);
+    std::memcpy(out + 20, &scale, 4);
+    uint8_t* q = out + 24;
+    for (uint64_t v = 0; v < values; ++v) {
+      const float normalized =
+          scale > 0 ? (data[v] - lo) / scale : 0.0f;
+      q[v] = static_cast<uint8_t>(
+          std::clamp(std::lround(normalized), 0L, 255L));
+    }
+    device_->Write(kHeaderBytes + i * q_record, quantized.data(), q_record);
+  }
+  device_->Persist(kHeaderBytes, count * q_record);
+  // Publish: failure-atomic count store.
+  device_->AtomicStore64(16, count);
+  return Status::OK();
+}
+
+Status QuantizedSnapshot::Read(
+    const std::function<void(storage::EntryId, uint64_t, const float*)>& fn)
+    const {
+  uint64_t header[4];
+  device_->Read(0, header, sizeof(header));
+  if (header[0] != kMagic) return Status::Corruption("snapshot magic");
+  if (header[1] != layout_.values_per_entry()) {
+    return Status::Corruption("snapshot layout mismatch");
+  }
+  const uint64_t count = header[2];
+  const uint64_t values = layout_.values_per_entry();
+  const uint64_t q_record = QuantizedRecordBytes();
+
+  std::vector<uint8_t> quantized(q_record);
+  std::vector<float> dequantized(values);
+  for (uint64_t i = 0; i < count; ++i) {
+    device_->Read(kHeaderBytes + i * q_record, quantized.data(), q_record);
+    storage::EntryId key;
+    uint64_t version;
+    float lo, scale;
+    std::memcpy(&key, quantized.data(), 8);
+    std::memcpy(&version, quantized.data() + 8, 8);
+    std::memcpy(&lo, quantized.data() + 16, 4);
+    std::memcpy(&scale, quantized.data() + 20, 4);
+    const uint8_t* q = quantized.data() + 24;
+    for (uint64_t v = 0; v < values; ++v) {
+      dequantized[v] = lo + scale * static_cast<float>(q[v]);
+    }
+    fn(key, version, dequantized.data());
+  }
+  return Status::OK();
+}
+
+uint64_t QuantizedSnapshot::Batch() const {
+  uint64_t batch;
+  device_->Read(24, &batch, 8);
+  return batch;
+}
+
+uint64_t QuantizedSnapshot::Count() const { return device_->AtomicLoad64(16); }
+
+}  // namespace oe::ckpt

@@ -1,0 +1,26 @@
+#ifndef OE_COMMON_CRC32_H_
+#define OE_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace oe {
+
+/// CRC-32C (Castagnoli, software table implementation). Used to checksum
+/// checkpoint records and PMem pool metadata so corruption is detected on
+/// recovery rather than silently consumed.
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+/// Masked CRC (RocksDB/LevelDB-style rotation + constant) so that CRCs of
+/// CRC-carrying records do not look like valid CRCs of their payloads.
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8u;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace oe
+
+#endif  // OE_COMMON_CRC32_H_

@@ -1,0 +1,47 @@
+#include "common/format.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace oe {
+
+std::string FormatBytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 5) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string FormatNanos(int64_t nanos) {
+  char buf[32];
+  const double n = static_cast<double>(nanos);
+  if (nanos < 1000) {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(nanos));
+  } else if (nanos < 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", n / 1e3);
+  } else if (nanos < 1000000000LL) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", n / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", n / 1e9);
+  }
+  return buf;
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace oe

@@ -1,0 +1,20 @@
+#ifndef OE_COMMON_FORMAT_H_
+#define OE_COMMON_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace oe {
+
+/// "1.5 GiB", "320 MiB", ... (binary units).
+std::string FormatBytes(uint64_t bytes);
+
+/// "2.31 s", "14.2 ms", "830 ns", ...
+std::string FormatNanos(int64_t nanos);
+
+/// Fixed-precision double, e.g. FormatDouble(1.2345, 2) == "1.23".
+std::string FormatDouble(double v, int precision);
+
+}  // namespace oe
+
+#endif  // OE_COMMON_FORMAT_H_

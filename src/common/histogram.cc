@@ -1,0 +1,84 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace oe {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) { Clear(); }
+
+void Histogram::Clear() {
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+double Histogram::BucketLimit(int bucket) {
+  // Buckets: 1, 2, 3, ..., then ×1.5 growth. Deterministic closed form:
+  // geometric with ratio 1.2 starting at 1.
+  return std::pow(1.2, bucket + 1);
+}
+
+int Histogram::BucketFor(double value) {
+  if (value < 1.0) return 0;
+  int b = static_cast<int>(std::log(value) / std::log(1.2));
+  if (b >= kNumBuckets) b = kNumBuckets - 1;
+  if (b < 0) b = 0;
+  return b;
+}
+
+void Histogram::Add(double value) {
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  ++buckets_[static_cast<size_t>(BucketFor(value))];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+double Histogram::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const double threshold = static_cast<double>(count_) * (p / 100.0);
+  double cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += static_cast<double>(buckets_[i]);
+    if (cumulative >= threshold) {
+      const double left = (i == 0) ? 0.0 : BucketLimit(i - 1);
+      const double right = BucketLimit(i);
+      const double bucket_count = static_cast<double>(buckets_[i]);
+      const double pos =
+          bucket_count == 0
+              ? 0.0
+              : (threshold - (cumulative - bucket_count)) / bucket_count;
+      double r = left + (right - left) * pos;
+      return std::clamp(r, min(), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << Mean() << " p50=" << Percentile(50)
+     << " p99=" << Percentile(99) << " max=" << max();
+  return os.str();
+}
+
+}  // namespace oe

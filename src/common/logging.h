@@ -1,0 +1,101 @@
+#ifndef OE_COMMON_LOGGING_H_
+#define OE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace oe {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the minimum level emitted to stderr (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink. Writes one line to stderr on destruction;
+/// aborts the process after writing if constructed with kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows everything streamed into a disabled log statement.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace oe
+
+#define OE_LOG(level)                                                  \
+  (static_cast<int>(::oe::LogLevel::k##level) <                        \
+   static_cast<int>(::oe::GetLogLevel()))                              \
+      ? (void)0                                                        \
+      : (void)::oe::internal_logging::LogMessage(                      \
+            ::oe::LogLevel::k##level, __FILE__, __LINE__)              \
+            .stream()
+
+#define OE_LOG_DEBUG                                          \
+  ::oe::internal_logging::LogMessage(::oe::LogLevel::kDebug,  \
+                                     __FILE__, __LINE__)      \
+      .stream()
+#define OE_LOG_INFO                                          \
+  ::oe::internal_logging::LogMessage(::oe::LogLevel::kInfo,  \
+                                     __FILE__, __LINE__)     \
+      .stream()
+#define OE_LOG_WARN                                             \
+  ::oe::internal_logging::LogMessage(::oe::LogLevel::kWarning,  \
+                                     __FILE__, __LINE__)        \
+      .stream()
+#define OE_LOG_ERROR                                          \
+  ::oe::internal_logging::LogMessage(::oe::LogLevel::kError,  \
+                                     __FILE__, __LINE__)      \
+      .stream()
+#define OE_LOG_FATAL                                          \
+  ::oe::internal_logging::LogMessage(::oe::LogLevel::kFatal,  \
+                                     __FILE__, __LINE__)      \
+      .stream()
+
+/// Always-on invariant check; logs and aborts on violation. Used for
+/// programmer errors, not for recoverable conditions (those return Status).
+#define OE_CHECK(cond)                                     \
+  while (!(cond)) OE_LOG_FATAL << "Check failed: " #cond " "
+
+#define OE_CHECK_OK(expr)                                          \
+  do {                                                             \
+    const ::oe::Status _oe_st = (expr);                            \
+    if (!_oe_st.ok())                                              \
+      OE_LOG_FATAL << "Status not OK: " << _oe_st.ToString();      \
+  } while (0)
+
+#ifndef NDEBUG
+#define OE_DCHECK(cond) OE_CHECK(cond)
+#else
+#define OE_DCHECK(cond) \
+  while (false) ::oe::internal_logging::NullStream()
+#endif
+
+#endif  // OE_COMMON_LOGGING_H_

@@ -1,0 +1,80 @@
+#ifndef OE_COMMON_RANDOM_H_
+#define OE_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace oe {
+
+/// Fast, reproducible PRNG (xorshift128+ family). Deterministic across
+/// platforms — benchmarks and tests rely on bit-identical sequences, which
+/// std::mt19937 distributions do not guarantee across standard libraries.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 to spread low-entropy seeds over the full state.
+    state0_ = SplitMix(&seed);
+    state1_ = SplitMix(&seed);
+    if (state0_ == 0 && state1_ == 0) state1_ = 1;
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t s1 = state0_;
+    const uint64_t s0 = state1_;
+    const uint64_t result = s0 + s1;
+    state0_ = s0;
+    s1 ^= s1 << 23;
+    state1_ = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+    return result;
+  }
+
+  /// Uniform in [0, n). Precondition: n > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / (1ULL << 53));
+  }
+
+  /// Uniform float in [lo, hi).
+  float UniformFloat(float lo, float hi) {
+    return lo + static_cast<float>(NextDouble()) * (hi - lo);
+  }
+
+  /// Standard normal via Box-Muller (one value per call; simple and
+  /// deterministic).
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Exponential with rate lambda.
+  double NextExponential(double lambda) {
+    double u = NextDouble();
+    if (u >= 1.0) u = 0.9999999999999999;
+    return -std::log(1.0 - u) / lambda;
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* x) {
+    uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t state0_ = 0;
+  uint64_t state1_ = 0;
+};
+
+}  // namespace oe
+
+#endif  // OE_COMMON_RANDOM_H_

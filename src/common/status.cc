@@ -1,0 +1,43 @@
+#include "common/status.h"
+
+namespace oe {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "Ok";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfSpace:
+      return "OutOfSpace";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kTimedOut:
+      return "TimedOut";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code()));
+  out.append(": ");
+  out.append(message());
+  return out;
+}
+
+}  // namespace oe

@@ -1,0 +1,49 @@
+#ifndef OE_COMMON_THREAD_POOL_H_
+#define OE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace oe {
+
+/// Fixed-size worker pool with a FIFO task queue. Used for the pull-request
+/// handler threads and the cache-maintainer threads of the PS node.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns immediately. Tasks run FIFO across workers.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all in-flight tasks finished.
+  void WaitIdle();
+
+  /// Number of tasks waiting + running.
+  size_t PendingTasks() const;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable task_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace oe
+
+#endif  // OE_COMMON_THREAD_POOL_H_

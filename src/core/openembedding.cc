@@ -1,0 +1,60 @@
+#include "core/openembedding.h"
+
+namespace oe {
+
+Result<std::unique_ptr<OpenEmbedding>> OpenEmbedding::Create(
+    const OpenEmbeddingOptions& options) {
+  auto oe = std::unique_ptr<OpenEmbedding>(new OpenEmbedding(options));
+  ps::ClusterOptions cluster_options;
+  cluster_options.num_nodes = options.num_shards;
+  cluster_options.kind = options.engine;
+  cluster_options.store.dim = options.embedding_dim;
+  cluster_options.store.optimizer = options.optimizer;
+  cluster_options.store.initializer = options.initializer;
+  cluster_options.store.cache_bytes = options.cache_bytes_per_shard;
+  cluster_options.pmem_bytes_per_node = options.pmem_bytes_per_shard;
+  cluster_options.log_bytes_per_node = options.pmem_bytes_per_shard;
+  cluster_options.crash_fidelity = options.crash_fidelity;
+  OE_ASSIGN_OR_RETURN(oe->cluster_, ps::PsCluster::Create(cluster_options));
+  return oe;
+}
+
+Status OpenEmbedding::Pull(const storage::EntryId* keys, size_t n,
+                           uint64_t batch, float* out) {
+  return cluster_->client().Pull(keys, n, batch, out);
+}
+
+Status OpenEmbedding::FinishPullPhase(uint64_t batch) {
+  return cluster_->client().FinishPullPhase(batch);
+}
+
+Status OpenEmbedding::Push(const storage::EntryId* keys, size_t n,
+                           const float* grads, uint64_t batch) {
+  return cluster_->client().Push(keys, n, grads, batch);
+}
+
+Status OpenEmbedding::Checkpoint(uint64_t batch) {
+  return cluster_->client().RequestCheckpoint(batch);
+}
+
+Status OpenEmbedding::Flush() {
+  return cluster_->client().DrainCheckpoints();
+}
+
+Result<uint64_t> OpenEmbedding::LatestCheckpoint() {
+  return cluster_->client().ClusterCheckpoint();
+}
+
+Status OpenEmbedding::Recover() { return cluster_->client().Recover(); }
+
+void OpenEmbedding::SimulateCrash() { cluster_->SimulateCrashAll(); }
+
+Result<std::vector<float>> OpenEmbedding::Peek(storage::EntryId key) {
+  return cluster_->client().Peek(key);
+}
+
+Result<uint64_t> OpenEmbedding::Size() {
+  return cluster_->client().TotalEntries();
+}
+
+}  // namespace oe

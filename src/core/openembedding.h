@@ -1,0 +1,104 @@
+#ifndef OE_CORE_OPENEMBEDDING_H_
+#define OE_CORE_OPENEMBEDDING_H_
+
+#include <memory>
+#include <vector>
+
+#include "ps/ps_cluster.h"
+#include "storage/embedding_store.h"
+
+namespace oe {
+
+/// Top-level configuration for an OpenEmbedding deployment.
+struct OpenEmbeddingOptions {
+  /// Embedding vector width (floats per entry).
+  uint32_t embedding_dim = 64;
+  /// Server-side sparse optimizer applied on Push.
+  storage::OptimizerSpec optimizer;
+  /// Deterministic first-touch initializer.
+  storage::InitializerSpec initializer;
+
+  /// Parameter-server shards (entries are placed by hashing their id).
+  uint32_t num_shards = 1;
+  /// Storage engine (Table III): PMem-OE by default; DRAM-PS, Ori-Cache
+  /// and PMem-Hash are available as baselines.
+  storage::StoreKind engine = storage::StoreKind::kPipelined;
+
+  /// Per-shard DRAM cache budget (cached engines).
+  uint64_t cache_bytes_per_shard = 256ULL << 20;
+  /// Per-shard simulated-PMem capacity.
+  uint64_t pmem_bytes_per_shard = 1ULL << 30;
+  /// Crash fidelity of the simulated devices: kStrict validates recovery,
+  /// kNone is fastest for throughput experiments.
+  pmem::CrashFidelity crash_fidelity = pmem::CrashFidelity::kStrict;
+};
+
+/// The library facade: a sharded, checkpointable embedding parameter
+/// server with the paper's pull / finish-pull / push batch protocol.
+///
+///   auto oe = OpenEmbedding::Create(options).ValueOrDie();
+///   oe->Pull(keys, n, batch, weights);       // batch start (burst)
+///   oe->FinishPullPhase(batch);              // GPU compute overlaps
+///   oe->Push(keys, n, gradients, batch);     // batch end (burst)
+///   oe->Checkpoint(batch);                   // near-zero-cost request
+///
+/// After a crash (SimulateCrash in this reproduction), Recover() restores
+/// the model to exactly the newest published checkpoint.
+class OpenEmbedding {
+ public:
+  static Result<std::unique_ptr<OpenEmbedding>> Create(
+      const OpenEmbeddingOptions& options);
+
+  /// Reads (initializing on first touch) weights for `n` ids into `out`
+  /// (`n * embedding_dim` floats).
+  Status Pull(const storage::EntryId* keys, size_t n, uint64_t batch,
+              float* out);
+
+  /// Declares the pull phase of `batch` complete; deferred cache
+  /// maintenance starts, overlapping the caller's compute.
+  Status FinishPullPhase(uint64_t batch);
+
+  /// Applies per-id gradients (`n * embedding_dim` floats) through the
+  /// configured optimizer.
+  Status Push(const storage::EntryId* keys, size_t n, const float* grads,
+              uint64_t batch);
+
+  /// Requests a batch-aware checkpoint of the state as of `batch`.
+  /// Returns immediately; publication happens inside cache maintenance.
+  Status Checkpoint(uint64_t batch);
+
+  /// Forces all requested checkpoints to publication (end of training).
+  Status Flush();
+
+  /// Newest checkpoint published by *every* shard (0 = none).
+  Result<uint64_t> LatestCheckpoint();
+
+  /// Rebuilds all shards from PMem after a crash.
+  Status Recover();
+
+  /// Power-cycles the simulated devices, dropping non-durable state.
+  void SimulateCrash();
+
+  /// Current weights of one id (debug/test; NotFound if absent).
+  Result<std::vector<float>> Peek(storage::EntryId key);
+
+  /// Total live entries across shards.
+  Result<uint64_t> Size();
+
+  uint32_t embedding_dim() const { return options_.embedding_dim; }
+  const OpenEmbeddingOptions& options() const { return options_; }
+
+  /// Underlying cluster (stats, per-shard access).
+  ps::PsCluster* cluster() { return cluster_.get(); }
+
+ private:
+  explicit OpenEmbedding(const OpenEmbeddingOptions& options)
+      : options_(options) {}
+
+  OpenEmbeddingOptions options_;
+  std::unique_ptr<ps::PsCluster> cluster_;
+};
+
+}  // namespace oe
+
+#endif  // OE_CORE_OPENEMBEDDING_H_

@@ -1,0 +1,109 @@
+#ifndef OE_NET_MESSAGE_H_
+#define OE_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace oe::net {
+
+/// Raw wire payload.
+using Buffer = std::vector<uint8_t>;
+
+/// Little-endian append-only serializer for RPC payloads.
+class Writer {
+ public:
+  explicit Writer(Buffer* out) : out_(out) {}
+
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutFloat(float v) { PutRaw(&v, sizeof(v)); }
+
+  void PutU64Span(const uint64_t* data, size_t n) {
+    PutU32(static_cast<uint32_t>(n));
+    PutRaw(data, n * sizeof(uint64_t));
+  }
+  void PutFloatSpan(const float* data, size_t n) {
+    PutU32(static_cast<uint32_t>(n));
+    PutRaw(data, n * sizeof(float));
+  }
+  void PutString(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    PutRaw(s.data(), s.size());
+  }
+
+  void PutRaw(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    out_->insert(out_->end(), p, p + n);
+  }
+
+ private:
+  Buffer* out_;
+};
+
+/// Bounds-checked deserializer; every getter returns an error Status on
+/// truncated input instead of reading out of bounds.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit Reader(const Buffer& buffer)
+      : Reader(buffer.data(), buffer.size()) {}
+
+  Status GetU32(uint32_t* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetU64(uint64_t* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetFloat(float* v) { return GetRaw(v, sizeof(*v)); }
+
+  // Span getters validate the claimed length against the remaining bytes
+  // BEFORE allocating: a hostile or corrupt length field must not be able
+  // to trigger a giant allocation.
+  Status GetU64Span(std::vector<uint64_t>* out) {
+    uint32_t n = 0;
+    OE_RETURN_IF_ERROR(GetU32(&n));
+    if (static_cast<size_t>(n) * sizeof(uint64_t) > remaining()) {
+      return Status::Corruption("span length exceeds message");
+    }
+    out->resize(n);
+    return GetRaw(out->data(), n * sizeof(uint64_t));
+  }
+  Status GetFloatSpan(std::vector<float>* out) {
+    uint32_t n = 0;
+    OE_RETURN_IF_ERROR(GetU32(&n));
+    if (static_cast<size_t>(n) * sizeof(float) > remaining()) {
+      return Status::Corruption("span length exceeds message");
+    }
+    out->resize(n);
+    return GetRaw(out->data(), n * sizeof(float));
+  }
+  Status GetString(std::string* out) {
+    uint32_t n = 0;
+    OE_RETURN_IF_ERROR(GetU32(&n));
+    if (n > remaining()) {
+      return Status::Corruption("string length exceeds message");
+    }
+    out->resize(n);
+    return GetRaw(out->data(), n);
+  }
+
+  Status GetRaw(void* out, size_t n) {
+    if (pos_ + n > size_) {
+      return Status::Corruption("message truncated");
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace oe::net
+
+#endif  // OE_NET_MESSAGE_H_

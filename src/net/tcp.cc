@@ -1,0 +1,227 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace oe::net {
+namespace {
+
+Status ReadFully(int fd, void* data, size_t n) {
+  auto* p = static_cast<uint8_t*>(data);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::read(fd, p + done, n - done);
+    if (r == 0) return Status::IoError("connection closed");
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("read: ") + std::strerror(errno));
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status WriteFully(int fd, const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::write(fd, p + done, n - done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("write: ") + std::strerror(errno));
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status SendFrame(int fd, uint32_t tag, const uint8_t* payload, size_t n) {
+  const uint32_t len = static_cast<uint32_t>(n) + 4;
+  uint8_t header[8];
+  std::memcpy(header, &len, 4);
+  std::memcpy(header + 4, &tag, 4);
+  OE_RETURN_IF_ERROR(WriteFully(fd, header, sizeof(header)));
+  if (n > 0) OE_RETURN_IF_ERROR(WriteFully(fd, payload, n));
+  return Status::OK();
+}
+
+Status ReceiveFrame(int fd, uint32_t* tag, Buffer* payload) {
+  uint8_t header[8];
+  OE_RETURN_IF_ERROR(ReadFully(fd, header, sizeof(header)));
+  uint32_t len = 0;
+  std::memcpy(&len, header, 4);
+  std::memcpy(tag, header + 4, 4);
+  if (len < 4 || len > (256u << 20)) {
+    return Status::Corruption("bad frame length");
+  }
+  payload->resize(len - 4);
+  if (len > 4) {
+    OE_RETURN_IF_ERROR(ReadFully(fd, payload->data(), payload->size()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+TcpServer::TcpServer(int listen_fd, uint16_t port, RpcHandler handler)
+    : listen_fd_(listen_fd), port_(port), handler_(std::move(handler)) {
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+Result<std::unique_ptr<TcpServer>> TcpServer::Start(uint16_t port,
+                                                    RpcHandler handler) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IoError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    return Status::IoError(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return Status::IoError("getsockname failed");
+  }
+  return std::unique_ptr<TcpServer>(
+      new TcpServer(fd, ntohs(addr.sin_port), std::move(handler)));
+}
+
+TcpServer::~TcpServer() { Stop(); }
+
+void TcpServer::Stop() {
+  if (stopping_.exchange(true)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    threads.swap(conn_threads_);
+    // Unblock connection threads parked in read() on live connections.
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (auto& t : threads) t.join();
+}
+
+void TcpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void TcpServer::ServeConnection(int fd) {
+  Buffer request;
+  Buffer response;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    uint32_t method = 0;
+    if (!ReceiveFrame(fd, &method, &request).ok()) break;
+    response.clear();
+    const Status status = handler_(method, request, &response);
+    Status io;
+    if (status.ok()) {
+      io = SendFrame(fd, 0, response.data(), response.size());
+    } else {
+      const std::string msg = status.ToString();
+      io = SendFrame(fd, static_cast<uint32_t>(status.code()),
+                     reinterpret_cast<const uint8_t*>(msg.data()),
+                     msg.size());
+    }
+    if (!io.ok()) break;
+  }
+  ::close(fd);
+}
+
+TcpTransport::~TcpTransport() {
+  for (auto& [node, endpoint] : endpoints_) {
+    if (endpoint->fd >= 0) ::close(endpoint->fd);
+  }
+}
+
+void TcpTransport::AddNode(NodeId node, const std::string& host,
+                           uint16_t port) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto endpoint = std::make_unique<Endpoint>();
+  endpoint->host = host;
+  endpoint->port = port;
+  endpoints_[node] = std::move(endpoint);
+}
+
+Status TcpTransport::EnsureConnected(Endpoint* endpoint) {
+  if (endpoint->fd >= 0) return Status::OK();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint->port);
+  if (::inet_pton(AF_INET, endpoint->host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host: " + endpoint->host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IoError(std::string("connect: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  endpoint->fd = fd;
+  return Status::OK();
+}
+
+Status TcpTransport::Call(NodeId node, uint32_t method, const Buffer& request,
+                          Buffer* response) {
+  Endpoint* endpoint = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = endpoints_.find(node);
+    if (it == endpoints_.end()) {
+      return Status::NotFound("no such node: " + std::to_string(node));
+    }
+    endpoint = it->second.get();
+  }
+  std::lock_guard<std::mutex> lock(endpoint->mutex);
+  OE_RETURN_IF_ERROR(EnsureConnected(endpoint));
+  Status status = SendFrame(endpoint->fd, method, request.data(),
+                            request.size());
+  uint32_t code = 0;
+  if (status.ok()) status = ReceiveFrame(endpoint->fd, &code, response);
+  if (!status.ok()) {
+    ::close(endpoint->fd);
+    endpoint->fd = -1;
+    return status;
+  }
+  stats_.Record(request.size(), response->size());
+  if (code != 0) {
+    const std::string msg(response->begin(), response->end());
+    response->clear();
+    return Status::Internal("remote error: " + msg);
+  }
+  return Status::OK();
+}
+
+}  // namespace oe::net

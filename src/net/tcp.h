@@ -1,0 +1,80 @@
+#ifndef OE_NET_TCP_H_
+#define OE_NET_TCP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "net/transport.h"
+
+namespace oe::net {
+
+/// Blocking TCP RPC server for one PS node. Wire format (little endian):
+///   request:  [ len : u32 ][ method : u32 ][ payload : len-4 bytes ]
+///   response: [ len : u32 ][ status : u32 ][ payload : len-4 bytes ]
+/// A non-zero status carries the error message as payload.
+class TcpServer {
+ public:
+  /// Binds to 127.0.0.1:`port` (0 = ephemeral; see port()) and serves
+  /// `handler` until Stop() or destruction. One thread per connection.
+  static Result<std::unique_ptr<TcpServer>> Start(uint16_t port,
+                                                  RpcHandler handler);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  uint16_t port() const { return port_; }
+  void Stop();
+
+ private:
+  TcpServer(int listen_fd, uint16_t port, RpcHandler handler);
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  int listen_fd_;
+  uint16_t port_;
+  RpcHandler handler_;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex conn_mutex_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;  // open connections, for shutdown on Stop
+};
+
+/// TCP transport: maps node ids to host:port endpoints and issues blocking
+/// RPCs over one cached connection per node.
+class TcpTransport final : public Transport {
+ public:
+  ~TcpTransport() override;
+
+  /// Associates `node` with a server endpoint.
+  void AddNode(NodeId node, const std::string& host, uint16_t port);
+
+  Status Call(NodeId node, uint32_t method, const Buffer& request,
+              Buffer* response) override;
+
+ private:
+  struct Endpoint {
+    std::string host;
+    uint16_t port = 0;
+    int fd = -1;
+    std::mutex mutex;  // one in-flight call per connection
+  };
+
+  Status EnsureConnected(Endpoint* endpoint);
+
+  std::mutex mutex_;
+  std::unordered_map<NodeId, std::unique_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace oe::net
+
+#endif  // OE_NET_TCP_H_

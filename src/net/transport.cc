@@ -1,0 +1,32 @@
+#include "net/transport.h"
+
+namespace oe::net {
+
+void InProcTransport::RegisterNode(NodeId node, RpcHandler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  handlers_[node] = std::move(handler);
+}
+
+void InProcTransport::UnregisterNode(NodeId node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  handlers_.erase(node);
+}
+
+Status InProcTransport::Call(NodeId node, uint32_t method,
+                             const Buffer& request, Buffer* response) {
+  RpcHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = handlers_.find(node);
+    if (it == handlers_.end()) {
+      return Status::NotFound("no such node: " + std::to_string(node));
+    }
+    handler = it->second;
+  }
+  response->clear();
+  Status status = handler(method, request, response);
+  stats_.Record(request.size(), response->size());
+  return status;
+}
+
+}  // namespace oe::net

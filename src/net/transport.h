@@ -1,0 +1,74 @@
+#ifndef OE_NET_TRANSPORT_H_
+#define OE_NET_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "net/message.h"
+
+namespace oe::net {
+
+/// Node address within a transport (dense small integers).
+using NodeId = uint32_t;
+
+/// Server-side dispatch: handles `method` with `request`, fills `response`.
+using RpcHandler =
+    std::function<Status(uint32_t method, const Buffer& request,
+                         Buffer* response)>;
+
+/// Request/response byte counters (the simulation charges these against the
+/// modeled network bandwidth).
+struct NetStats {
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> bytes_sent{0};
+  std::atomic<uint64_t> bytes_received{0};
+
+  void Record(uint64_t sent, uint64_t received) {
+    requests.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent.fetch_add(sent, std::memory_order_relaxed);
+    bytes_received.fetch_add(received, std::memory_order_relaxed);
+  }
+};
+
+/// Synchronous RPC transport. Implementations: in-process (deterministic,
+/// default for tests/benches) and TCP loopback (demonstrates the real wire
+/// path; see TcpTransport).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Calls `method` on `node`, blocking until the response arrives.
+  virtual Status Call(NodeId node, uint32_t method, const Buffer& request,
+                      Buffer* response) = 0;
+
+  const NetStats& stats() const { return stats_; }
+
+ protected:
+  NetStats stats_;
+};
+
+/// In-process transport: every node is an RpcHandler in the same address
+/// space. Requests still cross a serialization boundary, so the code path
+/// (encode -> dispatch -> decode) matches the distributed deployment.
+class InProcTransport final : public Transport {
+ public:
+  /// Registers `handler` as `node`. Replaces any previous registration.
+  void RegisterNode(NodeId node, RpcHandler handler);
+  void UnregisterNode(NodeId node);
+
+  Status Call(NodeId node, uint32_t method, const Buffer& request,
+              Buffer* response) override;
+
+ private:
+  std::mutex mutex_;
+  std::unordered_map<NodeId, RpcHandler> handlers_;
+};
+
+}  // namespace oe::net
+
+#endif  // OE_NET_TRANSPORT_H_

@@ -1,0 +1,255 @@
+#include "pmem/device.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace oe::pmem {
+
+std::string_view DeviceKindToString(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kDram:
+      return "DRAM";
+    case DeviceKind::kPmem:
+      return "PMem";
+    case DeviceKind::kSsd:
+      return "SSD";
+  }
+  return "Unknown";
+}
+
+Nanos DeviceTimingSpec::ReadCost(uint64_t bytes) const {
+  // 1 GB/s == 1 byte/ns, so bytes / GB/s yields nanoseconds directly.
+  return read_latency_ns +
+         static_cast<Nanos>(static_cast<double>(bytes) / read_bandwidth_gbps);
+}
+
+Nanos DeviceTimingSpec::WriteCost(uint64_t bytes) const {
+  return write_latency_ns +
+         static_cast<Nanos>(static_cast<double>(bytes) / write_bandwidth_gbps);
+}
+
+DeviceTimingSpec DramTiming() { return {115.0, 79.0, 81, 86}; }
+DeviceTimingSpec PmemTiming() { return {39.0, 14.0, 305, 94}; }
+DeviceTimingSpec SsdTiming() { return {2.5, 1.5, 10000, 10000}; }
+
+DeviceTimingSpec TimingFor(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kDram:
+      return DramTiming();
+    case DeviceKind::kPmem:
+      return PmemTiming();
+    case DeviceKind::kSsd:
+      return SsdTiming();
+  }
+  return DramTiming();
+}
+
+PmemDevice::PmemDevice(const PmemDeviceOptions& options)
+    : options_(options), timing_(TimingFor(options.kind)) {}
+
+Result<std::unique_ptr<PmemDevice>> PmemDevice::Create(
+    const PmemDeviceOptions& options) {
+  if (options.size_bytes == 0) {
+    return Status::InvalidArgument("device size must be > 0");
+  }
+  auto device = std::unique_ptr<PmemDevice>(new PmemDevice(options));
+  OE_RETURN_IF_ERROR(device->Init());
+  return device;
+}
+
+Status PmemDevice::Init() {
+  const size_t size = options_.size_bytes;
+  if (!options_.backing_file.empty()) {
+    backing_fd_ = ::open(options_.backing_file.c_str(), O_RDWR | O_CREAT,
+                         0644);
+    if (backing_fd_ < 0) {
+      return Status::IoError("open failed: " + options_.backing_file);
+    }
+    if (::ftruncate(backing_fd_, static_cast<off_t>(size)) != 0) {
+      ::close(backing_fd_);
+      backing_fd_ = -1;
+      return Status::IoError("ftruncate failed: " + options_.backing_file);
+    }
+    void* mem = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED,
+                       backing_fd_, 0);
+    if (mem == MAP_FAILED) {
+      ::close(backing_fd_);
+      backing_fd_ = -1;
+      return Status::IoError("mmap failed: " + options_.backing_file);
+    }
+    base_ = static_cast<uint8_t*>(mem);
+  } else {
+    void* mem = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (mem == MAP_FAILED) {
+      return Status::OutOfSpace("anonymous mmap failed");
+    }
+    base_ = static_cast<uint8_t*>(mem);
+  }
+  mapped_ = true;
+
+  if (options_.crash_fidelity != CrashFidelity::kNone) {
+    shadow_.assign(base_, base_ + size);  // current contents are persistent
+    const uint64_t lines = (size + kLineSize - 1) / kLineSize;
+    line_state_ = std::vector<std::atomic<uint8_t>>(lines);
+    for (auto& s : line_state_) s.store(0, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+PmemDevice::~PmemDevice() {
+  if (mapped_ && base_ != nullptr) {
+    if (backing_fd_ >= 0) ::msync(base_, options_.size_bytes, MS_SYNC);
+    ::munmap(base_, options_.size_bytes);
+  }
+  if (backing_fd_ >= 0) ::close(backing_fd_);
+}
+
+void PmemDevice::MarkDirty(uint64_t offset, size_t len) {
+  if (line_state_.empty() || len == 0) return;
+  const uint64_t first = offset / kLineSize;
+  const uint64_t last = (offset + len - 1) / kLineSize;
+  for (uint64_t line = first; line <= last; ++line) {
+    line_state_[line].store(1, std::memory_order_release);
+  }
+}
+
+void PmemDevice::Write(uint64_t offset, const void* src, size_t len) {
+  OE_DCHECK(offset + len <= size());
+  std::memcpy(base_ + offset, src, len);
+  stats_.AddWrite(len);
+  MarkDirty(offset, len);
+}
+
+void PmemDevice::Memset(uint64_t offset, int value, size_t len) {
+  OE_DCHECK(offset + len <= size());
+  std::memset(base_ + offset, value, len);
+  stats_.AddWrite(len);
+  MarkDirty(offset, len);
+}
+
+void PmemDevice::Read(uint64_t offset, void* dst, size_t len) const {
+  OE_DCHECK(offset + len <= size());
+  std::memcpy(dst, base_ + offset, len);
+  stats_.AddRead(len);
+}
+
+void PmemDevice::Flush(uint64_t offset, size_t len) {
+  if (line_state_.empty() || len == 0) return;
+  const uint64_t first = offset / kLineSize;
+  const uint64_t last = (offset + len - 1) / kLineSize;
+  for (uint64_t line = first; line <= last; ++line) {
+    uint8_t expected = 1;
+    line_state_[line].compare_exchange_strong(expected, 2,
+                                              std::memory_order_acq_rel);
+  }
+  std::lock_guard<std::mutex> lock(crash_mutex_);
+  for (uint64_t line = first; line <= last; ++line) {
+    if (line_state_[line].load(std::memory_order_acquire) == 2) {
+      flush_queue_.push_back(line);
+    }
+  }
+}
+
+void PmemDevice::Drain() {
+  stats_.AddPersist();
+  if (line_state_.empty()) return;
+  std::lock_guard<std::mutex> lock(crash_mutex_);
+  for (uint64_t line : flush_queue_) {
+    if (line_state_[line].load(std::memory_order_acquire) == 2) {
+      const uint64_t off = line * kLineSize;
+      const uint64_t n = std::min(kLineSize, size() - off);
+      std::memcpy(shadow_.data() + off, base_ + off, n);
+      line_state_[line].store(0, std::memory_order_release);
+    }
+  }
+  flush_queue_.clear();
+}
+
+void PmemDevice::Persist(uint64_t offset, size_t len) {
+  stats_.AddPersist();
+  if (line_state_.empty() || len == 0) return;
+  const uint64_t first = offset / kLineSize;
+  const uint64_t last = (offset + len - 1) / kLineSize;
+  std::lock_guard<std::mutex> lock(crash_mutex_);
+  for (uint64_t line = first; line <= last; ++line) {
+    // Copy unconditionally: callers may store through the raw base()
+    // pointer (PMDK style), which leaves no dirty mark.
+    const uint64_t off = line * kLineSize;
+    const uint64_t n = std::min(kLineSize, size() - off);
+    std::memcpy(shadow_.data() + off, base_ + off, n);
+    line_state_[line].store(0, std::memory_order_release);
+  }
+}
+
+void PmemDevice::AtomicStore64(uint64_t offset, uint64_t value) {
+  OE_DCHECK(offset % 8 == 0);
+  OE_DCHECK(offset + 8 <= size());
+  reinterpret_cast<std::atomic<uint64_t>*>(base_ + offset)
+      ->store(value, std::memory_order_release);
+  stats_.AddWrite(8);
+  MarkDirty(offset, 8);
+  Persist(offset, 8);
+}
+
+uint64_t PmemDevice::AtomicLoad64(uint64_t offset) const {
+  OE_DCHECK(offset % 8 == 0);
+  stats_.AddRead(8);
+  return reinterpret_cast<const std::atomic<uint64_t>*>(base_ + offset)
+      ->load(std::memory_order_acquire);
+}
+
+void PmemDevice::SimulateCrash() {
+  if (options_.crash_fidelity == CrashFidelity::kNone) return;
+  std::lock_guard<std::mutex> lock(crash_mutex_);
+  Random rng(options_.crash_seed ^ 0xc3a5c85c97cb3127ULL);
+  const uint64_t lines = line_state_.size();
+  for (uint64_t line = 0; line < lines; ++line) {
+    const uint8_t state = line_state_[line].load(std::memory_order_acquire);
+    if (state == 0) continue;
+    const uint64_t off = line * kLineSize;
+    const uint64_t n = std::min(kLineSize, size() - off);
+    const bool survives =
+        options_.crash_fidelity == CrashFidelity::kAdversarial &&
+        rng.Bernoulli(0.5);
+    if (survives) {
+      std::memcpy(shadow_.data() + off, base_ + off, n);  // line made it out
+    } else {
+      std::memcpy(base_ + off, shadow_.data() + off, n);  // line was lost
+    }
+    line_state_[line].store(0, std::memory_order_release);
+  }
+  flush_queue_.clear();
+}
+
+bool PmemDevice::IsPersisted(uint64_t offset, size_t len) const {
+  if (line_state_.empty()) return true;
+  if (len == 0) return true;
+  const uint64_t first = offset / kLineSize;
+  const uint64_t last = (offset + len - 1) / kLineSize;
+  for (uint64_t line = first; line <= last; ++line) {
+    if (line_state_[line].load(std::memory_order_acquire) != 0) return false;
+  }
+  return true;
+}
+
+Nanos PmemDevice::CostOf(const DeviceStats::Snapshot& snap) const {
+  Nanos cost = 0;
+  cost += static_cast<Nanos>(snap.read_ops) * timing_.read_latency_ns +
+          static_cast<Nanos>(static_cast<double>(snap.read_bytes) /
+                             timing_.read_bandwidth_gbps);
+  cost += static_cast<Nanos>(snap.write_ops) * timing_.write_latency_ns +
+          static_cast<Nanos>(static_cast<double>(snap.write_bytes) /
+                             timing_.write_bandwidth_gbps);
+  cost += static_cast<Nanos>(snap.persist_ops) * timing_.write_latency_ns;
+  return cost;
+}
+
+}  // namespace oe::pmem

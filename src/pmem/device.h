@@ -1,0 +1,211 @@
+#ifndef OE_PMEM_DEVICE_H_
+#define OE_PMEM_DEVICE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace oe::pmem {
+
+/// The three device tiers the paper compares (Table I).
+enum class DeviceKind : uint8_t { kDram = 0, kPmem = 1, kSsd = 2 };
+
+std::string_view DeviceKindToString(DeviceKind kind);
+
+/// Bandwidth/latency parameters for one device. Defaults reproduce the
+/// paper's Table I measurements.
+struct DeviceTimingSpec {
+  double read_bandwidth_gbps = 0;   // GB/s
+  double write_bandwidth_gbps = 0;  // GB/s
+  Nanos read_latency_ns = 0;        // per-access latency
+  Nanos write_latency_ns = 0;
+
+  /// Time to read `bytes` in one access: latency + bytes/bandwidth.
+  Nanos ReadCost(uint64_t bytes) const;
+  /// Time to write `bytes` in one access.
+  Nanos WriteCost(uint64_t bytes) const;
+};
+
+/// Table I device models.
+DeviceTimingSpec DramTiming();
+DeviceTimingSpec PmemTiming();
+DeviceTimingSpec SsdTiming();
+DeviceTimingSpec TimingFor(DeviceKind kind);
+
+/// Byte/op counters charged by storage engines; the simulation cost model
+/// converts these into time. All counters are thread-safe.
+struct DeviceStats {
+  std::atomic<uint64_t> read_bytes{0};
+  std::atomic<uint64_t> write_bytes{0};
+  std::atomic<uint64_t> read_ops{0};
+  std::atomic<uint64_t> write_ops{0};
+  std::atomic<uint64_t> persist_ops{0};
+
+  void AddRead(uint64_t bytes) {
+    read_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    read_ops.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddWrite(uint64_t bytes) {
+    write_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    write_ops.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddPersist() { persist_ops.fetch_add(1, std::memory_order_relaxed); }
+
+  void Reset() {
+    read_bytes.store(0, std::memory_order_relaxed);
+    write_bytes.store(0, std::memory_order_relaxed);
+    read_ops.store(0, std::memory_order_relaxed);
+    write_ops.store(0, std::memory_order_relaxed);
+    persist_ops.store(0, std::memory_order_relaxed);
+  }
+
+  /// Point-in-time copy (plain integers) for cost-model arithmetic.
+  struct Snapshot {
+    uint64_t read_bytes = 0;
+    uint64_t write_bytes = 0;
+    uint64_t read_ops = 0;
+    uint64_t write_ops = 0;
+    uint64_t persist_ops = 0;
+
+    Snapshot operator-(const Snapshot& rhs) const {
+      return {read_bytes - rhs.read_bytes, write_bytes - rhs.write_bytes,
+              read_ops - rhs.read_ops, write_ops - rhs.write_ops,
+              persist_ops - rhs.persist_ops};
+    }
+  };
+  Snapshot TakeSnapshot() const {
+    return {read_bytes.load(std::memory_order_relaxed),
+            write_bytes.load(std::memory_order_relaxed),
+            read_ops.load(std::memory_order_relaxed),
+            write_ops.load(std::memory_order_relaxed),
+            persist_ops.load(std::memory_order_relaxed)};
+  }
+};
+
+/// How crashes are simulated.
+enum class CrashFidelity : uint8_t {
+  /// No shadow image; Persist() only accounts. SimulateCrash() keeps all
+  /// data (pretends everything reached the media). Fast; used by benches.
+  kNone = 0,
+  /// Shadow persistent image at cache-line granularity: only data covered
+  /// by a completed Persist()/Flush()+Drain() survives a crash.
+  kStrict = 1,
+  /// Like kStrict, but at crash time each *unpersisted* dirty line
+  /// independently survives with probability 1/2 (seeded) — modeling cache
+  /// lines that happened to be evicted to media before the failure. This is
+  /// the adversarial mode recovery tests must pass.
+  kAdversarial = 2,
+};
+
+struct PmemDeviceOptions {
+  uint64_t size_bytes = 64ULL << 20;
+  DeviceKind kind = DeviceKind::kPmem;
+  CrashFidelity crash_fidelity = CrashFidelity::kStrict;
+  /// When non-empty, the working image is backed by this file (mmap), so
+  /// contents survive process restarts like a real PMem DAX mount.
+  std::string backing_file;
+  /// Seed for kAdversarial line-survival coin flips.
+  uint64_t crash_seed = 42;
+};
+
+/// A simulated byte-addressable persistent memory device.
+///
+/// The device exposes a raw base pointer for byte-addressable *reads*
+/// (charged via ChargeRead). All *writes* must go through Write()/Memset()
+/// so dirty-line tracking and accounting see them; writing through the raw
+/// pointer and then calling Persist() is also legal (Persist marks the range
+/// dirty first), matching how PMDK code stores-then-flushes.
+///
+/// Persistence model (mirrors clwb/sfence):
+///   Write()   -> data lands in the "CPU cache" (working image), line dirty
+///   Flush()   -> lines queued for write-back
+///   Drain()   -> queued lines become persistent (copied to shadow image)
+///   Persist() -> Flush() + Drain() of a range
+///   SimulateCrash() -> working image reset to what is persistent
+class PmemDevice {
+ public:
+  static constexpr uint64_t kLineSize = 64;
+
+  static Result<std::unique_ptr<PmemDevice>> Create(
+      const PmemDeviceOptions& options);
+  ~PmemDevice();
+
+  PmemDevice(const PmemDevice&) = delete;
+  PmemDevice& operator=(const PmemDevice&) = delete;
+
+  uint8_t* base() { return base_; }
+  const uint8_t* base() const { return base_; }
+  uint64_t size() const { return options_.size_bytes; }
+  DeviceKind kind() const { return options_.kind; }
+  const PmemDeviceOptions& options() const { return options_; }
+
+  /// Copies `len` bytes into the device at `offset` and charges the write.
+  /// Does NOT persist; call Persist() (or Flush+Drain) afterwards.
+  void Write(uint64_t offset, const void* src, size_t len);
+
+  /// memset() within the device, with accounting and dirty tracking.
+  void Memset(uint64_t offset, int value, size_t len);
+
+  /// Copies `len` bytes out of the device and charges the read.
+  void Read(uint64_t offset, void* dst, size_t len) const;
+
+  /// Accounting for reads done directly through base() pointers.
+  void ChargeRead(uint64_t bytes) const { stats_.AddRead(bytes); }
+
+  /// clwb-equivalent: queues the range's cache lines for write-back.
+  void Flush(uint64_t offset, size_t len);
+  /// sfence-equivalent: all queued lines become persistent.
+  void Drain();
+  /// Flush + Drain. The unit of durability in all OE algorithms.
+  void Persist(uint64_t offset, size_t len);
+
+  /// 8-byte aligned store + persist, failure-atomic (the primitive behind
+  /// Algorithm 2's `PMem.atomicUpdateCheckpointId`).
+  void AtomicStore64(uint64_t offset, uint64_t value);
+  uint64_t AtomicLoad64(uint64_t offset) const;
+
+  /// Discards all non-persistent data per the crash fidelity mode. After
+  /// this, the working image equals the (possibly adversarially augmented)
+  /// persistent image. No-op under CrashFidelity::kNone.
+  void SimulateCrash();
+
+  /// True when every byte of [offset, offset+len) is persistent (test hook;
+  /// only meaningful under kStrict/kAdversarial).
+  bool IsPersisted(uint64_t offset, size_t len) const;
+
+  DeviceStats& stats() const { return stats_; }
+  const DeviceTimingSpec& timing() const { return timing_; }
+
+  /// Simulated time to perform all I/O recorded in `snap` serially on this
+  /// device.
+  Nanos CostOf(const DeviceStats::Snapshot& snap) const;
+
+ private:
+  explicit PmemDevice(const PmemDeviceOptions& options);
+  Status Init();
+
+  void MarkDirty(uint64_t offset, size_t len);
+
+  PmemDeviceOptions options_;
+  DeviceTimingSpec timing_;
+  uint8_t* base_ = nullptr;          // working image (mmap or malloc)
+  int backing_fd_ = -1;
+  bool mapped_ = false;
+  std::vector<uint8_t> shadow_;      // persistent image (kStrict/kAdversarial)
+  // Per-line state: 0 = clean (persistent), 1 = dirty, 2 = flush-queued.
+  std::vector<std::atomic<uint8_t>> line_state_;
+  std::vector<uint64_t> flush_queue_;  // lines awaiting Drain()
+  mutable DeviceStats stats_;
+  mutable std::mutex crash_mutex_;
+};
+
+}  // namespace oe::pmem
+
+#endif  // OE_PMEM_DEVICE_H_

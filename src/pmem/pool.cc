@@ -1,0 +1,226 @@
+#include "pmem/pool.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace oe::pmem {
+
+PmemPool::PmemPool(PmemDevice* device) : device_(device) {}
+
+Result<std::unique_ptr<PmemPool>> PmemPool::Create(PmemDevice* device) {
+  if (device == nullptr) return Status::InvalidArgument("null device");
+  if (device->size() < 2 * kHeaderSize) {
+    return Status::InvalidArgument("device too small for a pool");
+  }
+  auto pool = std::unique_ptr<PmemPool>(new PmemPool(device));
+  OE_RETURN_IF_ERROR(pool->Format());
+  return pool;
+}
+
+Result<std::unique_ptr<PmemPool>> PmemPool::Open(PmemDevice* device) {
+  if (device == nullptr) return Status::InvalidArgument("null device");
+  auto pool = std::unique_ptr<PmemPool>(new PmemPool(device));
+  OE_RETURN_IF_ERROR(pool->Recover());
+  return pool;
+}
+
+Status PmemPool::Format() {
+  PoolHeader header{};
+  header.magic = kPoolMagic;
+  header.version = 1;
+  header.size = device_->size();
+  header.heap_begin = kHeaderSize;
+  device_->Write(0, &header, sizeof(header));
+  device_->Persist(0, sizeof(header));
+  heap_begin_ = kHeaderSize;
+  heap_tail_ = kHeaderSize;
+  // Invalidate any stale block header at the heap start so Open() of a
+  // previously formatted device does not resurrect old blocks.
+  BlockHeader sentinel{};
+  device_->Write(heap_begin_, &sentinel, sizeof(sentinel));
+  device_->Persist(heap_begin_, sizeof(sentinel));
+  return Status::OK();
+}
+
+Status PmemPool::Recover() {
+  PoolHeader header;
+  device_->Read(0, &header, sizeof(header));
+  if (header.magic != kPoolMagic) {
+    return Status::Corruption("pool magic mismatch");
+  }
+  if (header.size != device_->size()) {
+    return Status::Corruption("pool size mismatch with device");
+  }
+  heap_begin_ = header.heap_begin;
+
+  // Walk the heap block chain. Blocks are laid out contiguously, so the
+  // chain ends at the first position without a valid block magic.
+  uint64_t pos = heap_begin_;
+  allocated_bytes_ = 0;
+  free_lists_.clear();
+  while (pos + sizeof(BlockHeader) <= device_->size()) {
+    BlockHeader* block = HeaderAt(pos);
+    if (block->magic != kBlockMagic) break;
+    const uint64_t payload = pos + sizeof(BlockHeader);
+    if (block->size == 0 || payload + block->size > device_->size()) {
+      return Status::Corruption("block size out of range during scan");
+    }
+    switch (block->state) {
+      case kAllocated:
+        allocated_bytes_ += block->size;
+        break;
+      case kAllocating: {
+        // Uncommitted allocation: roll it back to free.
+        block->state = kFree;
+        device_->stats().AddWrite(sizeof(uint32_t));
+        device_->Persist(pos, sizeof(BlockHeader));
+        free_lists_[block->size].push_back(pos);
+        break;
+      }
+      case kFree:
+        free_lists_[block->size].push_back(pos);
+        break;
+      default:
+        return Status::Corruption("unknown block state");
+    }
+    device_->stats().AddRead(sizeof(BlockHeader));
+    uint64_t next = payload + block->size;
+    next = (next + kAlign - 1) / kAlign * kAlign;
+    pos = next;
+  }
+  heap_tail_ = pos;
+  return Status::OK();
+}
+
+PmemPool::BlockHeader* PmemPool::HeaderAt(uint64_t header_offset) {
+  return reinterpret_cast<BlockHeader*>(device_->base() + header_offset);
+}
+
+const PmemPool::BlockHeader* PmemPool::HeaderAt(uint64_t header_offset) const {
+  return reinterpret_cast<const BlockHeader*>(device_->base() +
+                                              header_offset);
+}
+
+Result<uint64_t> PmemPool::Alloc(uint64_t size, uint64_t type_tag) {
+  if (size == 0) return Status::InvalidArgument("zero-size alloc");
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  uint64_t header_offset = 0;
+  auto it = free_lists_.find(size);
+  if (it != free_lists_.end() && !it->second.empty()) {
+    header_offset = it->second.back();
+    it->second.pop_back();
+  } else {
+    const uint64_t need = sizeof(BlockHeader) + size;
+    const uint64_t aligned_end =
+        (heap_tail_ + need + kAlign - 1) / kAlign * kAlign;
+    if (aligned_end + sizeof(BlockHeader) > device_->size()) {
+      return Status::OutOfSpace("pool heap exhausted");
+    }
+    header_offset = heap_tail_;
+    heap_tail_ = aligned_end;
+  }
+
+  BlockHeader header{};
+  header.magic = kBlockMagic;
+  header.state = kAllocating;
+  header.size = size;
+  header.type_tag = type_tag;
+  device_->Write(header_offset, &header, sizeof(header));
+  device_->Persist(header_offset, sizeof(header));
+  return header_offset + sizeof(BlockHeader);
+}
+
+Status PmemPool::CommitAlloc(uint64_t payload_offset) {
+  const uint64_t header_offset = payload_offset - sizeof(BlockHeader);
+  BlockHeader* block = HeaderAt(header_offset);
+  if (block->magic != kBlockMagic || block->state != kAllocating) {
+    return Status::FailedPrecondition("CommitAlloc on non-pending block");
+  }
+  // Make the payload durable before publishing the allocation.
+  device_->Persist(payload_offset, block->size);
+  block->state = kAllocated;
+  device_->stats().AddWrite(sizeof(uint32_t));
+  device_->Persist(header_offset, sizeof(BlockHeader));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    allocated_bytes_ += block->size;
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> PmemPool::AllocWrite(const void* data, uint64_t size,
+                                      uint64_t type_tag) {
+  OE_ASSIGN_OR_RETURN(uint64_t offset, Alloc(size, type_tag));
+  device_->Write(offset, data, size);
+  OE_RETURN_IF_ERROR(CommitAlloc(offset));
+  return offset;
+}
+
+Status PmemPool::Free(uint64_t payload_offset) {
+  const uint64_t header_offset = payload_offset - sizeof(BlockHeader);
+  BlockHeader* block = HeaderAt(header_offset);
+  if (block->magic != kBlockMagic || block->state != kAllocated) {
+    return Status::FailedPrecondition("Free on non-allocated block");
+  }
+  block->state = kFree;
+  device_->stats().AddWrite(sizeof(uint32_t));
+  device_->Persist(header_offset, sizeof(BlockHeader));
+  std::lock_guard<std::mutex> lock(mutex_);
+  allocated_bytes_ -= block->size;
+  free_lists_[block->size].push_back(header_offset);
+  return Status::OK();
+}
+
+uint64_t PmemPool::RootGet(int slot) const {
+  OE_CHECK(slot >= 0 && slot < kNumRoots);
+  const uint64_t offset =
+      offsetof(PoolHeader, roots) + static_cast<uint64_t>(slot) * 8;
+  return device_->AtomicLoad64(offset);
+}
+
+void PmemPool::RootSet(int slot, uint64_t value) {
+  OE_CHECK(slot >= 0 && slot < kNumRoots);
+  const uint64_t offset =
+      offsetof(PoolHeader, roots) + static_cast<uint64_t>(slot) * 8;
+  device_->AtomicStore64(offset, value);
+}
+
+void PmemPool::ForEachAllocated(
+    uint64_t type_tag,
+    const std::function<void(uint64_t offset, uint64_t size)>& fn) const {
+  uint64_t pos = heap_begin_;
+  uint64_t tail;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tail = heap_tail_;
+  }
+  while (pos + sizeof(BlockHeader) <= tail) {
+    const BlockHeader* block = HeaderAt(pos);
+    if (block->magic != kBlockMagic) break;
+    device_->stats().AddRead(sizeof(BlockHeader));
+    if (block->state == kAllocated && block->type_tag == type_tag) {
+      fn(pos + sizeof(BlockHeader), block->size);
+    }
+    uint64_t next = pos + sizeof(BlockHeader) + block->size;
+    next = (next + kAlign - 1) / kAlign * kAlign;
+    pos = next;
+  }
+}
+
+uint64_t PmemPool::AllocatedBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return allocated_bytes_;
+}
+
+uint64_t PmemPool::FreeBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t free_listed = 0;
+  for (const auto& [size, offsets] : free_lists_) {
+    free_listed += size * offsets.size();
+  }
+  return device_->size() - heap_tail_ + free_listed;
+}
+
+}  // namespace oe::pmem

@@ -1,0 +1,135 @@
+#ifndef OE_PMEM_POOL_H_
+#define OE_PMEM_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "pmem/device.h"
+
+namespace oe::pmem {
+
+/// Crash-consistent space manager over a PmemDevice, in the spirit of
+/// PMDK's libpmemobj: named persistent roots, typed allocations, and a
+/// scan-based recovery that rebuilds volatile allocator state.
+///
+/// Allocation protocol (failure-atomic):
+///   1. Alloc() writes a block header in state kAllocating and persists it.
+///   2. The caller fills the payload (device Write / raw store + Persist).
+///   3. CommitAlloc() flips the header to state kAllocated and persists.
+/// A crash before step 3 leaves a kAllocating block, which Open() treats as
+/// free space — the allocation never happened.
+///
+/// Free() flips the header to kFree and persists; the space is reused for
+/// same-size allocations (embedding entries are fixed-size, so exact-fit
+/// free lists capture virtually all reuse).
+class PmemPool {
+ public:
+  static constexpr int kNumRoots = 16;
+
+  /// Formats `device` with a fresh pool. Any previous content is lost.
+  static Result<std::unique_ptr<PmemPool>> Create(PmemDevice* device);
+
+  /// Opens an existing pool (e.g. after SimulateCrash() or a process
+  /// restart with a file-backed device), scanning the heap to rebuild the
+  /// volatile free lists and discarding uncommitted allocations.
+  static Result<std::unique_ptr<PmemPool>> Open(PmemDevice* device);
+
+  PmemPool(const PmemPool&) = delete;
+  PmemPool& operator=(const PmemPool&) = delete;
+
+  /// Reserves a block with `size` payload bytes tagged `type_tag`.
+  /// Returns the payload offset. The block is not durable as an allocation
+  /// until CommitAlloc().
+  Result<uint64_t> Alloc(uint64_t size, uint64_t type_tag);
+
+  /// Persists the payload range and marks the block allocated.
+  Status CommitAlloc(uint64_t payload_offset);
+
+  /// Single-call convenience: Alloc + payload Write + CommitAlloc.
+  Result<uint64_t> AllocWrite(const void* data, uint64_t size,
+                              uint64_t type_tag);
+
+  /// Releases a committed block.
+  Status Free(uint64_t payload_offset);
+
+  /// Direct pointer to a payload (byte-addressability).
+  uint8_t* Translate(uint64_t payload_offset) {
+    return device_->base() + payload_offset;
+  }
+  const uint8_t* Translate(uint64_t payload_offset) const {
+    return device_->base() + payload_offset;
+  }
+
+  /// Persistent named 8-byte slots (failure-atomic update). Slot values are
+  /// application-defined: offsets or plain integers (e.g. the Checkpointed
+  /// Batch ID of Algorithm 2).
+  uint64_t RootGet(int slot) const;
+  void RootSet(int slot, uint64_t value);
+
+  /// Invokes `fn(payload_offset, payload_size)` for every committed block
+  /// with the given tag, in heap order. This is the primitive behind the
+  /// paper's recovery scan ("scan all the embedding entries in PMem").
+  void ForEachAllocated(
+      uint64_t type_tag,
+      const std::function<void(uint64_t offset, uint64_t size)>& fn) const;
+
+  /// Payload bytes in committed blocks / bytes available for new blocks.
+  uint64_t AllocatedBytes() const;
+  uint64_t FreeBytes() const;
+
+  PmemDevice* device() { return device_; }
+
+ private:
+  enum BlockState : uint32_t {
+    kFree = 0,
+    kAllocating = 1,
+    kAllocated = 2,
+  };
+
+  struct BlockHeader {
+    uint32_t magic;
+    uint32_t state;
+    uint64_t size;  // payload bytes (excluding header)
+    uint64_t type_tag;
+    uint64_t reserved;  // pads header to 32 bytes
+  };
+  static_assert(sizeof(BlockHeader) == 32);
+
+  struct PoolHeader {
+    uint64_t magic;
+    uint64_t version;
+    uint64_t size;
+    uint64_t heap_begin;
+    uint64_t roots[kNumRoots];
+  };
+
+  static constexpr uint64_t kPoolMagic = 0x4f70456d62506f6fULL;  // "OpEmbPoo"
+  static constexpr uint32_t kBlockMagic = 0x0e0eb10cU;
+  static constexpr uint64_t kHeaderSize = 4096;
+  static constexpr uint64_t kAlign = 64;
+
+  explicit PmemPool(PmemDevice* device);
+
+  Status Format();
+  Status Recover();
+
+  BlockHeader* HeaderAt(uint64_t header_offset);
+  const BlockHeader* HeaderAt(uint64_t header_offset) const;
+
+  PmemDevice* device_;
+  uint64_t heap_begin_ = 0;
+  uint64_t heap_tail_ = 0;  // volatile; rebuilt by scan on Open
+  mutable std::mutex mutex_;
+  // Exact-fit free lists: payload size -> header offsets.
+  std::unordered_map<uint64_t, std::vector<uint64_t>> free_lists_;
+  uint64_t allocated_bytes_ = 0;
+};
+
+}  // namespace oe::pmem
+
+#endif  // OE_PMEM_POOL_H_

@@ -1,0 +1,154 @@
+#include "ps/ps_client.h"
+
+#include <algorithm>
+
+#include <cstring>
+
+#include "net/message.h"
+#include "ps/ps_service.h"
+
+namespace oe::ps {
+
+using net::Buffer;
+using net::Reader;
+using net::Writer;
+
+PsClient::PsClient(net::Transport* transport, uint32_t num_nodes,
+                   uint32_t dim)
+    : transport_(transport), router_(num_nodes), dim_(dim) {}
+
+Status PsClient::Pull(const storage::EntryId* keys, size_t n, uint64_t batch,
+                      float* out) {
+  // Partition key positions by owning node.
+  std::vector<std::vector<size_t>> positions(router_.num_nodes());
+  for (size_t i = 0; i < n; ++i) {
+    positions[router_.NodeFor(keys[i])].push_back(i);
+  }
+  Buffer request;
+  Buffer response;
+  for (uint32_t node = 0; node < router_.num_nodes(); ++node) {
+    const auto& pos = positions[node];
+    if (pos.empty()) continue;
+    request.clear();
+    Writer writer(&request);
+    writer.PutU64(batch);
+    writer.PutU32(static_cast<uint32_t>(pos.size()));
+    for (size_t i : pos) writer.PutRaw(&keys[i], sizeof(keys[i]));
+    OE_RETURN_IF_ERROR(transport_->Call(
+        node, static_cast<uint32_t>(PsMethod::kPull), request, &response));
+    Reader reader(response);
+    std::vector<float> weights;
+    OE_RETURN_IF_ERROR(reader.GetFloatSpan(&weights));
+    if (weights.size() != pos.size() * dim_) {
+      return Status::Corruption("pull response size mismatch");
+    }
+    for (size_t j = 0; j < pos.size(); ++j) {
+      std::memcpy(out + pos[j] * dim_, weights.data() + j * dim_,
+                  dim_ * sizeof(float));
+    }
+  }
+  return Status::OK();
+}
+
+Status PsClient::Push(const storage::EntryId* keys, size_t n,
+                      const float* grads, uint64_t batch) {
+  std::vector<std::vector<size_t>> positions(router_.num_nodes());
+  for (size_t i = 0; i < n; ++i) {
+    positions[router_.NodeFor(keys[i])].push_back(i);
+  }
+  Buffer request;
+  Buffer response;
+  for (uint32_t node = 0; node < router_.num_nodes(); ++node) {
+    const auto& pos = positions[node];
+    if (pos.empty()) continue;
+    request.clear();
+    Writer writer(&request);
+    writer.PutU64(batch);
+    writer.PutU32(static_cast<uint32_t>(pos.size()));
+    for (size_t i : pos) writer.PutRaw(&keys[i], sizeof(keys[i]));
+    writer.PutU32(static_cast<uint32_t>(pos.size() * dim_));
+    for (size_t i : pos) {
+      writer.PutRaw(grads + i * dim_, dim_ * sizeof(float));
+    }
+    OE_RETURN_IF_ERROR(transport_->Call(
+        node, static_cast<uint32_t>(PsMethod::kPush), request, &response));
+  }
+  return Status::OK();
+}
+
+Status PsClient::Broadcast(uint32_t method, const Buffer& request) {
+  Buffer response;
+  for (uint32_t node = 0; node < router_.num_nodes(); ++node) {
+    OE_RETURN_IF_ERROR(transport_->Call(node, method, request, &response));
+  }
+  return Status::OK();
+}
+
+Status PsClient::FinishPullPhase(uint64_t batch) {
+  Buffer request;
+  Writer(&request).PutU64(batch);
+  return Broadcast(static_cast<uint32_t>(PsMethod::kFinishPull), request);
+}
+
+Status PsClient::WaitMaintenance(uint64_t batch) {
+  Buffer request;
+  Writer(&request).PutU64(batch);
+  return Broadcast(static_cast<uint32_t>(PsMethod::kWaitMaintenance),
+                   request);
+}
+
+Status PsClient::RequestCheckpoint(uint64_t batch) {
+  Buffer request;
+  Writer(&request).PutU64(batch);
+  return Broadcast(static_cast<uint32_t>(PsMethod::kRequestCheckpoint),
+                   request);
+}
+
+Status PsClient::DrainCheckpoints() {
+  return Broadcast(static_cast<uint32_t>(PsMethod::kDrainCheckpoints), {});
+}
+
+Status PsClient::Recover() {
+  return Broadcast(static_cast<uint32_t>(PsMethod::kRecover), {});
+}
+
+Result<uint64_t> PsClient::TotalEntries() {
+  uint64_t total = 0;
+  Buffer response;
+  for (uint32_t node = 0; node < router_.num_nodes(); ++node) {
+    OE_RETURN_IF_ERROR(transport_->Call(
+        node, static_cast<uint32_t>(PsMethod::kEntryCount), {}, &response));
+    uint64_t count = 0;
+    OE_RETURN_IF_ERROR(Reader(response).GetU64(&count));
+    total += count;
+  }
+  return total;
+}
+
+Result<uint64_t> PsClient::ClusterCheckpoint() {
+  uint64_t min_cp = ~0ULL;
+  Buffer response;
+  for (uint32_t node = 0; node < router_.num_nodes(); ++node) {
+    OE_RETURN_IF_ERROR(transport_->Call(
+        node, static_cast<uint32_t>(PsMethod::kPublishedCheckpoint), {},
+        &response));
+    uint64_t cp = 0;
+    OE_RETURN_IF_ERROR(Reader(response).GetU64(&cp));
+    min_cp = std::min(min_cp, cp);
+  }
+  return min_cp == ~0ULL ? 0 : min_cp;
+}
+
+Result<std::vector<float>> PsClient::Peek(storage::EntryId key) {
+  Buffer request;
+  Writer(&request).PutU64(key);
+  Buffer response;
+  OE_RETURN_IF_ERROR(transport_->Call(router_.NodeFor(key),
+                                      static_cast<uint32_t>(PsMethod::kPeek),
+                                      request, &response));
+  std::vector<float> weights;
+  OE_RETURN_IF_ERROR(Reader(response).GetFloatSpan(&weights));
+  return weights;
+}
+
+}  // namespace oe::ps

@@ -1,0 +1,78 @@
+#ifndef OE_PS_PS_CLIENT_H_
+#define OE_PS_PS_CLIENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/transport.h"
+#include "storage/entry_layout.h"
+
+namespace oe::ps {
+
+/// Key -> PS node placement: "Openembedding identifies the correct PS node
+/// by hashing the entry's id" (Section IV).
+class Router {
+ public:
+  explicit Router(uint32_t num_nodes) : num_nodes_(num_nodes) {}
+
+  net::NodeId NodeFor(storage::EntryId key) const {
+    uint64_t x = key;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<net::NodeId>(x % num_nodes_);
+  }
+
+  uint32_t num_nodes() const { return num_nodes_; }
+
+ private:
+  uint32_t num_nodes_;
+};
+
+/// Worker-side client: batches Pull/Push per PS node over a Transport and
+/// reassembles responses in key order.
+class PsClient {
+ public:
+  /// `transport` must outlive the client; nodes [0, num_nodes) must be
+  /// reachable through it.
+  PsClient(net::Transport* transport, uint32_t num_nodes, uint32_t dim);
+
+  /// Reads weights for `n` keys into `out` (n * dim floats, key order).
+  Status Pull(const storage::EntryId* keys, size_t n, uint64_t batch,
+              float* out);
+
+  /// Pushes per-key gradients (n * dim floats).
+  Status Push(const storage::EntryId* keys, size_t n, const float* grads,
+              uint64_t batch);
+
+  /// Broadcasts to all nodes.
+  Status FinishPullPhase(uint64_t batch);
+  Status WaitMaintenance(uint64_t batch);
+  Status RequestCheckpoint(uint64_t batch);
+  Status DrainCheckpoints();
+  Status Recover();
+
+  /// Sum of entry counts across nodes.
+  Result<uint64_t> TotalEntries();
+
+  /// The cluster-consistent checkpoint: the minimum published batch across
+  /// nodes (a checkpoint exists only once every shard has published it).
+  Result<uint64_t> ClusterCheckpoint();
+
+  /// Reads one key's weights from its owning node.
+  Result<std::vector<float>> Peek(storage::EntryId key);
+
+  const Router& router() const { return router_; }
+  uint32_t dim() const { return dim_; }
+
+ private:
+  Status Broadcast(uint32_t method, const net::Buffer& request);
+
+  net::Transport* transport_;
+  Router router_;
+  uint32_t dim_;
+};
+
+}  // namespace oe::ps
+
+#endif  // OE_PS_PS_CLIENT_H_

@@ -1,0 +1,172 @@
+#include "ps/ps_cluster.h"
+
+#include "storage/dram_store.h"
+#include "storage/ori_cache_store.h"
+#include "storage/pipelined_store.h"
+#include "storage/pmem_hash_store.h"
+
+namespace oe::ps {
+
+using storage::StoreKind;
+
+Result<std::unique_ptr<PsCluster>> PsCluster::Create(
+    const ClusterOptions& options) {
+  if (options.num_nodes == 0) {
+    return Status::InvalidArgument("need at least one PS node");
+  }
+  auto cluster = std::unique_ptr<PsCluster>(new PsCluster(options));
+  OE_RETURN_IF_ERROR(cluster->Init());
+  return cluster;
+}
+
+Status PsCluster::Init() {
+  transport_ = std::make_unique<net::InProcTransport>();
+  const bool needs_pmem = options_.kind == StoreKind::kPipelined ||
+                          options_.kind == StoreKind::kOriCache ||
+                          options_.kind == StoreKind::kPmemHash;
+  const bool needs_log =
+      options_.with_checkpoint_log && (options_.kind == StoreKind::kDram ||
+                                       options_.kind == StoreKind::kOriCache);
+
+  for (uint32_t node = 0; node < options_.num_nodes; ++node) {
+    pmem::PmemDevice* pmem_device = nullptr;
+    if (needs_pmem) {
+      pmem::PmemDeviceOptions device_options;
+      device_options.size_bytes = options_.pmem_bytes_per_node;
+      device_options.kind = pmem::DeviceKind::kPmem;
+      device_options.crash_fidelity = options_.crash_fidelity;
+      device_options.crash_seed = 1000 + node;
+      OE_ASSIGN_OR_RETURN(auto device,
+                          pmem::PmemDevice::Create(device_options));
+      pmem_device = device.get();
+      pmem_devices_.push_back(std::move(device));
+    }
+    ckpt::CheckpointLog* log = nullptr;
+    if (needs_log) {
+      pmem::PmemDeviceOptions log_options;
+      log_options.size_bytes = options_.log_bytes_per_node;
+      log_options.kind = options_.checkpoint_device;
+      log_options.crash_fidelity = options_.crash_fidelity;
+      log_options.crash_seed = 2000 + node;
+      OE_ASSIGN_OR_RETURN(auto device, pmem::PmemDevice::Create(log_options));
+      const storage::EntryLayout layout(options_.store.dim,
+                                        options_.store.optimizer.Slots());
+      OE_ASSIGN_OR_RETURN(auto checkpoint_log,
+                          ckpt::CheckpointLog::Create(device.get(), layout));
+      log = checkpoint_log.get();
+      log_devices_.push_back(std::move(device));
+      logs_.push_back(std::move(checkpoint_log));
+    }
+
+    std::unique_ptr<storage::EmbeddingStore> store;
+    switch (options_.kind) {
+      case StoreKind::kDram: {
+        OE_ASSIGN_OR_RETURN(store,
+                            storage::DramStore::Create(options_.store, log));
+        break;
+      }
+      case StoreKind::kPipelined: {
+        OE_ASSIGN_OR_RETURN(
+            store, storage::PipelinedStore::Create(options_.store,
+                                                   pmem_device));
+        break;
+      }
+      case StoreKind::kOriCache: {
+        OE_ASSIGN_OR_RETURN(
+            store, storage::OriCacheStore::Create(options_.store, pmem_device,
+                                                  log));
+        break;
+      }
+      case StoreKind::kPmemHash: {
+        OE_ASSIGN_OR_RETURN(
+            store,
+            storage::PmemHashStore::Create(options_.store, pmem_device));
+        break;
+      }
+    }
+    auto service = std::make_unique<PsService>(store.get());
+    transport_->RegisterNode(node, service->AsHandler());
+    stores_.push_back(std::move(store));
+    services_.push_back(std::move(service));
+  }
+  client_ = std::make_unique<PsClient>(transport_.get(), options_.num_nodes,
+                                       options_.store.dim);
+  return Status::OK();
+}
+
+std::unique_ptr<PsClient> PsCluster::NewClient() {
+  return std::make_unique<PsClient>(transport_.get(), options_.num_nodes,
+                                    options_.store.dim);
+}
+
+namespace {
+
+pmem::DeviceStats::Snapshot Accumulate(
+    const std::vector<std::unique_ptr<pmem::PmemDevice>>& devices) {
+  pmem::DeviceStats::Snapshot total;
+  for (const auto& device : devices) {
+    const auto snap = device->stats().TakeSnapshot();
+    total.read_bytes += snap.read_bytes;
+    total.write_bytes += snap.write_bytes;
+    total.read_ops += snap.read_ops;
+    total.write_ops += snap.write_ops;
+    total.persist_ops += snap.persist_ops;
+  }
+  return total;
+}
+
+}  // namespace
+
+pmem::DeviceStats::Snapshot PsCluster::TotalPmemTraffic() const {
+  return Accumulate(pmem_devices_);
+}
+
+pmem::DeviceStats::Snapshot PsCluster::TotalLogTraffic() const {
+  return Accumulate(log_devices_);
+}
+
+pmem::DeviceStats::Snapshot PsCluster::TotalDramTraffic() const {
+  pmem::DeviceStats::Snapshot total;
+  for (const auto& store : stores_) {
+    const auto snap = store->dram_stats().TakeSnapshot();
+    total.read_bytes += snap.read_bytes;
+    total.write_bytes += snap.write_bytes;
+    total.read_ops += snap.read_ops;
+    total.write_ops += snap.write_ops;
+    total.persist_ops += snap.persist_ops;
+  }
+  return total;
+}
+
+uint64_t PsCluster::TotalCacheHits() const {
+  uint64_t total = 0;
+  for (const auto& store : stores_) {
+    total += store->stats().cache_hits.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t PsCluster::TotalCacheMisses() const {
+  uint64_t total = 0;
+  for (const auto& store : stores_) {
+    total += store->stats().cache_misses.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t PsCluster::TotalSyncOps() const {
+  uint64_t total = 0;
+  for (const auto& store : stores_) {
+    if (auto* ori = dynamic_cast<const storage::OriCacheStore*>(store.get())) {
+      total += ori->sync_ops();
+    }
+  }
+  return total;
+}
+
+void PsCluster::SimulateCrashAll() {
+  for (auto& device : pmem_devices_) device->SimulateCrash();
+  for (auto& device : log_devices_) device->SimulateCrash();
+}
+
+}  // namespace oe::ps

@@ -1,0 +1,93 @@
+#ifndef OE_PS_PS_CLUSTER_H_
+#define OE_PS_PS_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "ckpt/checkpoint_log.h"
+#include "net/transport.h"
+#include "pmem/device.h"
+#include "ps/ps_client.h"
+#include "ps/ps_service.h"
+#include "storage/embedding_store.h"
+
+namespace oe::ps {
+
+/// Everything needed to stand up an N-node parameter server in-process:
+/// one storage engine + simulated device(s) per node, a PsService each,
+/// registered on an InProcTransport, plus a ready-made PsClient.
+struct ClusterOptions {
+  uint32_t num_nodes = 1;
+  storage::StoreKind kind = storage::StoreKind::kPipelined;
+  storage::StoreConfig store;
+
+  /// Size of each node's PMem device (Pipelined / Ori-Cache / PMem-Hash).
+  uint64_t pmem_bytes_per_node = 64ULL << 20;
+  /// Size of each node's checkpoint-log device (DRAM-PS / Ori-Cache).
+  uint64_t log_bytes_per_node = 64ULL << 20;
+  /// Device tier holding the checkpoint log (Fig. 14 compares SSD vs PMem).
+  pmem::DeviceKind checkpoint_device = pmem::DeviceKind::kPmem;
+  /// Crash fidelity for the simulated devices (benches use kNone for
+  /// speed, crash tests use kStrict / kAdversarial).
+  pmem::CrashFidelity crash_fidelity = pmem::CrashFidelity::kNone;
+  /// When false, DRAM-PS / Ori-Cache run without a checkpoint log
+  /// (the "No Checkpoint" configurations of Table IV).
+  bool with_checkpoint_log = true;
+};
+
+class PsCluster {
+ public:
+  static Result<std::unique_ptr<PsCluster>> Create(
+      const ClusterOptions& options);
+
+  PsCluster(const PsCluster&) = delete;
+  PsCluster& operator=(const PsCluster&) = delete;
+
+  PsClient& client() { return *client_; }
+  /// Extra clients share the transport (one per training worker).
+  std::unique_ptr<PsClient> NewClient();
+
+  uint32_t num_nodes() const { return options_.num_nodes; }
+  const ClusterOptions& options() const { return options_; }
+
+  storage::EmbeddingStore* store(uint32_t node) {
+    return stores_[node].get();
+  }
+  pmem::PmemDevice* pmem_device(uint32_t node) {
+    return pmem_devices_.empty() ? nullptr : pmem_devices_[node].get();
+  }
+  pmem::PmemDevice* log_device(uint32_t node) {
+    return log_devices_.empty() ? nullptr : log_devices_[node].get();
+  }
+  const net::NetStats& net_stats() const { return transport_->stats(); }
+
+  /// Aggregated per-device traffic across every node (for the cost model).
+  pmem::DeviceStats::Snapshot TotalPmemTraffic() const;
+  pmem::DeviceStats::Snapshot TotalDramTraffic() const;
+  pmem::DeviceStats::Snapshot TotalLogTraffic() const;
+
+  /// Aggregated engine counters across nodes.
+  uint64_t TotalCacheHits() const;
+  uint64_t TotalCacheMisses() const;
+  uint64_t TotalSyncOps() const;  // Ori-Cache fine-grained sync points
+
+  /// Power-cycles every simulated device (data loss per crash fidelity).
+  void SimulateCrashAll();
+
+ private:
+  explicit PsCluster(const ClusterOptions& options) : options_(options) {}
+  Status Init();
+
+  ClusterOptions options_;
+  std::vector<std::unique_ptr<pmem::PmemDevice>> pmem_devices_;
+  std::vector<std::unique_ptr<pmem::PmemDevice>> log_devices_;
+  std::vector<std::unique_ptr<ckpt::CheckpointLog>> logs_;
+  std::vector<std::unique_ptr<storage::EmbeddingStore>> stores_;
+  std::vector<std::unique_ptr<PsService>> services_;
+  std::unique_ptr<net::InProcTransport> transport_;
+  std::unique_ptr<PsClient> client_;
+};
+
+}  // namespace oe::ps
+
+#endif  // OE_PS_PS_CLUSTER_H_

@@ -1,0 +1,93 @@
+#include "ps/ps_service.h"
+
+#include <vector>
+
+#include "storage/pipelined_store.h"
+
+namespace oe::ps {
+
+using net::Reader;
+using net::Writer;
+
+Status PsService::Handle(uint32_t method, const net::Buffer& request,
+                         net::Buffer* response) {
+  Reader reader(request);
+  Writer writer(response);
+  switch (static_cast<PsMethod>(method)) {
+    case PsMethod::kPull:
+      return HandlePull(&reader, response);
+    case PsMethod::kPush:
+      return HandlePush(&reader);
+    case PsMethod::kFinishPull: {
+      uint64_t batch = 0;
+      OE_RETURN_IF_ERROR(reader.GetU64(&batch));
+      store_->FinishPullPhase(batch);
+      return Status::OK();
+    }
+    case PsMethod::kRequestCheckpoint: {
+      uint64_t batch = 0;
+      OE_RETURN_IF_ERROR(reader.GetU64(&batch));
+      return store_->RequestCheckpoint(batch);
+    }
+    case PsMethod::kDrainCheckpoints:
+      return store_->DrainCheckpoints();
+    case PsMethod::kRecover:
+      return store_->RecoverFromCrash();
+    case PsMethod::kEntryCount:
+      writer.PutU64(store_->EntryCount());
+      return Status::OK();
+    case PsMethod::kPublishedCheckpoint:
+      writer.PutU64(store_->PublishedCheckpoint());
+      return Status::OK();
+    case PsMethod::kPeek:
+      return HandlePeek(&reader, response);
+    case PsMethod::kWaitMaintenance: {
+      uint64_t batch = 0;
+      OE_RETURN_IF_ERROR(reader.GetU64(&batch));
+      if (auto* pipelined =
+              dynamic_cast<storage::PipelinedStore*>(store_)) {
+        pipelined->WaitMaintenance(batch);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::NotSupported("unknown method " + std::to_string(method));
+}
+
+Status PsService::HandlePull(Reader* reader, net::Buffer* response) {
+  uint64_t batch = 0;
+  OE_RETURN_IF_ERROR(reader->GetU64(&batch));
+  std::vector<uint64_t> keys;
+  OE_RETURN_IF_ERROR(reader->GetU64Span(&keys));
+  const uint32_t dim = store_->config().dim;
+  std::vector<float> weights(keys.size() * dim);
+  OE_RETURN_IF_ERROR(
+      store_->Pull(keys.data(), keys.size(), batch, weights.data()));
+  Writer writer(response);
+  writer.PutFloatSpan(weights.data(), weights.size());
+  return Status::OK();
+}
+
+Status PsService::HandlePush(Reader* reader) {
+  uint64_t batch = 0;
+  OE_RETURN_IF_ERROR(reader->GetU64(&batch));
+  std::vector<uint64_t> keys;
+  OE_RETURN_IF_ERROR(reader->GetU64Span(&keys));
+  std::vector<float> grads;
+  OE_RETURN_IF_ERROR(reader->GetFloatSpan(&grads));
+  if (grads.size() != keys.size() * store_->config().dim) {
+    return Status::InvalidArgument("gradient span size mismatch");
+  }
+  return store_->Push(keys.data(), keys.size(), grads.data(), batch);
+}
+
+Status PsService::HandlePeek(Reader* reader, net::Buffer* response) {
+  uint64_t key = 0;
+  OE_RETURN_IF_ERROR(reader->GetU64(&key));
+  OE_ASSIGN_OR_RETURN(std::vector<float> weights, store_->Peek(key));
+  Writer writer(response);
+  writer.PutFloatSpan(weights.data(), weights.size());
+  return Status::OK();
+}
+
+}  // namespace oe::ps

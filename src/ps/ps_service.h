@@ -1,0 +1,61 @@
+#ifndef OE_PS_PS_SERVICE_H_
+#define OE_PS_PS_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "net/message.h"
+#include "net/transport.h"
+#include "storage/embedding_store.h"
+
+namespace oe::ps {
+
+/// RPC method ids understood by a PS node (the paper's PullWeights /
+/// PushGradients / UpdateWeights operator family).
+enum class PsMethod : uint32_t {
+  kPull = 1,
+  kPush = 2,
+  kFinishPull = 3,
+  kRequestCheckpoint = 4,
+  kDrainCheckpoints = 5,
+  kRecover = 6,
+  kEntryCount = 7,
+  kPublishedCheckpoint = 8,
+  kPeek = 9,
+  /// Blocks until deferred cache maintenance for a batch completed
+  /// (pipelined engine only; no-op elsewhere). The simulation driver uses
+  /// it to time the maintenance phase.
+  kWaitMaintenance = 10,
+};
+
+/// Server-side adapter: decodes PsMethod requests and forwards them to the
+/// node's EmbeddingStore. One PsService per PS node; thread-safe to the
+/// extent the underlying store is.
+class PsService {
+ public:
+  /// `store` must outlive the service.
+  explicit PsService(storage::EmbeddingStore* store) : store_(store) {}
+
+  /// net::RpcHandler-compatible entry point.
+  Status Handle(uint32_t method, const net::Buffer& request,
+                net::Buffer* response);
+
+  /// Convenience: a handler bound to this service.
+  net::RpcHandler AsHandler() {
+    return [this](uint32_t method, const net::Buffer& request,
+                  net::Buffer* response) {
+      return Handle(method, request, response);
+    };
+  }
+
+ private:
+  Status HandlePull(net::Reader* reader, net::Buffer* response);
+  Status HandlePush(net::Reader* reader);
+  Status HandlePeek(net::Reader* reader, net::Buffer* response);
+
+  storage::EmbeddingStore* store_;
+};
+
+}  // namespace oe::ps
+
+#endif  // OE_PS_PS_SERVICE_H_

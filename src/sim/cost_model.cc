@@ -1,0 +1,34 @@
+#include "sim/cost_model.h"
+
+namespace oe::sim {
+
+Nanos CostModel::DeviceTime(const pmem::DeviceStats::Snapshot& delta,
+                            const pmem::DeviceTimingSpec& spec,
+                            int parallelism) const {
+  if (parallelism <= 0) parallelism = contention_.ps_parallelism;
+  const double read_bw_time =
+      static_cast<double>(delta.read_bytes) / spec.read_bandwidth_gbps;
+  const double write_bw_time =
+      static_cast<double>(delta.write_bytes) / spec.write_bandwidth_gbps;
+  const double latency_time =
+      static_cast<double>(delta.read_ops) * spec.read_latency_ns +
+      static_cast<double>(delta.write_ops + delta.persist_ops) *
+          spec.write_latency_ns;
+  return static_cast<Nanos>(read_bw_time + write_bw_time +
+                            latency_time / parallelism);
+}
+
+Nanos CostModel::NetworkTime(uint64_t bytes, uint64_t requests) const {
+  if (requests == 0 && bytes == 0) return 0;
+  const double transfer = static_cast<double>(bytes) / network_.bandwidth_gbps;
+  return static_cast<Nanos>(transfer) + (requests > 0 ? network_.rtt_ns : 0);
+}
+
+Nanos CostModel::ContentionTime(uint64_t sync_ops, int workers) const {
+  const double multiplier =
+      1.0 + contention_.burst_alpha * static_cast<double>(workers - 1);
+  return static_cast<Nanos>(static_cast<double>(sync_ops) *
+                            contention_.sync_op_ns * multiplier);
+}
+
+}  // namespace oe::sim

@@ -1,0 +1,49 @@
+#ifndef OE_STORAGE_INITIALIZER_H_
+#define OE_STORAGE_INITIALIZER_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "storage/entry_layout.h"
+
+namespace oe::storage {
+
+enum class InitializerKind : uint8_t {
+  kZeros = 0,
+  /// Uniform in [-scale, scale], deterministically derived from (seed, key).
+  kUniform = 1,
+  /// Gaussian with stddev = scale, deterministically derived from (seed, key).
+  kNormal = 2,
+};
+
+/// Deterministic per-key weight initializer. Determinism matters twice:
+/// recovery tests re-derive initial weights without extra bookkeeping, and
+/// multi-worker pulls of a brand-new key must agree on its value.
+struct InitializerSpec {
+  InitializerKind kind = InitializerKind::kUniform;
+  float scale = 0.01f;
+  uint64_t seed = 2023;
+
+  /// Fills `dim` weight floats for `key`. Optimizer-state slots (beyond the
+  /// weights) are always zero-initialized by the caller.
+  void Fill(EntryId key, float* out, uint32_t dim) const {
+    if (kind == InitializerKind::kZeros) {
+      for (uint32_t i = 0; i < dim; ++i) out[i] = 0.0f;
+      return;
+    }
+    Random rng(seed ^ (key * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL));
+    if (kind == InitializerKind::kUniform) {
+      for (uint32_t i = 0; i < dim; ++i) {
+        out[i] = rng.UniformFloat(-scale, scale);
+      }
+    } else {
+      for (uint32_t i = 0; i < dim; ++i) {
+        out[i] = static_cast<float>(rng.NextGaussian()) * scale;
+      }
+    }
+  }
+};
+
+}  // namespace oe::storage
+
+#endif  // OE_STORAGE_INITIALIZER_H_

@@ -1,0 +1,57 @@
+#include "storage/optimizer.h"
+
+#include <cmath>
+
+namespace oe::storage {
+
+std::string_view OptimizerKindToString(OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::kSgd:
+      return "SGD";
+    case OptimizerKind::kAdaGrad:
+      return "AdaGrad";
+    case OptimizerKind::kAdam:
+      return "Adam";
+  }
+  return "Unknown";
+}
+
+void OptimizerSpec::Apply(float* weights, float* state, const float* grad,
+                          uint32_t dim, uint64_t step) const {
+  switch (kind) {
+    case OptimizerKind::kSgd: {
+      for (uint32_t i = 0; i < dim; ++i) {
+        weights[i] -= learning_rate * grad[i];
+      }
+      break;
+    }
+    case OptimizerKind::kAdaGrad: {
+      float* acc = state;
+      for (uint32_t i = 0; i < dim; ++i) {
+        acc[i] += grad[i] * grad[i];
+        weights[i] -= learning_rate * grad[i] /
+                      (std::sqrt(acc[i]) + epsilon);
+      }
+      break;
+    }
+    case OptimizerKind::kAdam: {
+      float* m = state;
+      float* v = state + dim;
+      const double t = static_cast<double>(step == 0 ? 1 : step);
+      const float correction1 =
+          1.0f - static_cast<float>(std::pow(beta1, t));
+      const float correction2 =
+          1.0f - static_cast<float>(std::pow(beta2, t));
+      for (uint32_t i = 0; i < dim; ++i) {
+        m[i] = beta1 * m[i] + (1.0f - beta1) * grad[i];
+        v[i] = beta2 * v[i] + (1.0f - beta2) * grad[i] * grad[i];
+        const float m_hat = m[i] / correction1;
+        const float v_hat = v[i] / correction2;
+        weights[i] -= learning_rate * m_hat / (std::sqrt(v_hat) + epsilon);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace oe::storage

@@ -1,0 +1,50 @@
+#ifndef OE_STORAGE_OPTIMIZER_H_
+#define OE_STORAGE_OPTIMIZER_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace oe::storage {
+
+enum class OptimizerKind : uint8_t {
+  kSgd = 0,      // no per-entry state
+  kAdaGrad = 1,  // one accumulator per weight
+  kAdam = 2,     // first + second moment per weight
+};
+
+std::string_view OptimizerKindToString(OptimizerKind kind);
+
+/// Sparse optimizer applied server-side when gradients are pushed
+/// (the paper's `UpdateWeights` operator). Per-entry state lives inline in
+/// the entry record (see EntryLayout), so it is cached, flushed and
+/// checkpointed together with the weights.
+struct OptimizerSpec {
+  OptimizerKind kind = OptimizerKind::kSgd;
+  float learning_rate = 0.05f;
+  float epsilon = 1e-8f;
+  float beta1 = 0.9f;   // Adam
+  float beta2 = 0.999f; // Adam
+
+  /// Optimizer-state floats per weight.
+  uint32_t Slots() const {
+    switch (kind) {
+      case OptimizerKind::kSgd:
+        return 0;
+      case OptimizerKind::kAdaGrad:
+        return 1;
+      case OptimizerKind::kAdam:
+        return 2;
+    }
+    return 0;
+  }
+
+  /// In-place update of `weights[0..dim)` given `grad`. `state` points at
+  /// the entry's optimizer-state slots (dim * Slots() floats, zero on entry
+  /// creation). `step` is a 1-based global step for Adam bias correction.
+  void Apply(float* weights, float* state, const float* grad, uint32_t dim,
+             uint64_t step) const;
+};
+
+}  // namespace oe::storage
+
+#endif  // OE_STORAGE_OPTIMIZER_H_

@@ -1,0 +1,281 @@
+#include "storage/ori_cache_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace oe::storage {
+
+OriCacheStore::OriCacheStore(const StoreConfig& config,
+                             pmem::PmemDevice* device,
+                             ckpt::CheckpointLog* log)
+    : config_(config),
+      layout_(config.dim, config.optimizer.Slots()),
+      device_(device),
+      log_(log) {}
+
+Result<std::unique_ptr<OriCacheStore>> OriCacheStore::Create(
+    const StoreConfig& config, pmem::PmemDevice* device,
+    ckpt::CheckpointLog* log) {
+  if (config.dim == 0) return Status::InvalidArgument("dim must be > 0");
+  if (device == nullptr) return Status::InvalidArgument("null device");
+  auto store = std::unique_ptr<OriCacheStore>(
+      new OriCacheStore(config, device, log));
+  OE_RETURN_IF_ERROR(store->Init());
+  return store;
+}
+
+Status OriCacheStore::Init() {
+  OE_ASSIGN_OR_RETURN(pool_, pmem::PmemPool::Create(device_));
+  cache_capacity_ =
+      std::max<size_t>(1, config_.cache_bytes / layout_.record_bytes());
+  return Status::OK();
+}
+
+void OriCacheStore::TouchLruLocked(OriEntry* entry) {
+  // Black-box cache: every access is an independent LRU operation.
+  lru_.splice(lru_.begin(), lru_, entry->lru_it);
+  sync_ops_.fetch_add(1, std::memory_order_relaxed);
+}
+
+OriCacheStore::OriEntry* OriCacheStore::InsertCachedLocked(EntryId key,
+                                                           Slot* slot,
+                                                           uint64_t batch) {
+  auto entry = std::make_unique<OriEntry>();
+  entry->key = key;
+  entry->version = batch;
+  entry->pmem_offset = slot->pmem_offset;
+  entry->data = std::make_unique<float[]>(layout_.values_per_entry());
+  if (slot->pmem_offset != kNullOffset) {
+    // Cache fill from PMem — synchronously, on the request path.
+    std::vector<uint8_t> record(layout_.record_bytes());
+    device_->Read(slot->pmem_offset, record.data(), record.size());
+    std::memcpy(entry->data.get(), EntryLayout::RecordData(record.data()),
+                layout_.data_bytes());
+    entry->dirty = false;
+    stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    std::fill_n(entry->data.get(), layout_.values_per_entry(), 0.0f);
+    config_.initializer.Fill(key, entry->data.get(), config_.dim);
+    entry->dirty = true;
+    stats_.new_entries.fetch_add(1, std::memory_order_relaxed);
+    if (log_ != nullptr) dirty_keys_.insert(key);
+  }
+  dram_stats_.AddWrite(layout_.data_bytes());
+  lru_.push_front(entry.get());
+  entry->lru_it = lru_.begin();
+  sync_ops_.fetch_add(1, std::memory_order_relaxed);
+  OriEntry* raw = entry.get();
+  slot->entry = std::move(entry);
+  EvictIfNeededLocked();
+  return raw;
+}
+
+Status OriCacheStore::WriteBackLocked(OriEntry* entry, Slot* slot) {
+  std::vector<uint8_t> record(layout_.record_bytes());
+  EntryLayout::SetRecordHeader(record.data(), entry->key, entry->version);
+  std::memcpy(EntryLayout::RecordData(record.data()), entry->data.get(),
+              layout_.data_bytes());
+  dram_stats_.AddRead(layout_.data_bytes());
+  if (entry->pmem_offset == kNullOffset) {
+    OE_ASSIGN_OR_RETURN(
+        uint64_t offset,
+        pool_->AllocWrite(record.data(), record.size(), kEntryTag));
+    entry->pmem_offset = offset;
+  } else {
+    // In-place overwrite: the independent checkpointer owns durability.
+    device_->Write(entry->pmem_offset, record.data(), record.size());
+    device_->Persist(entry->pmem_offset, record.size());
+  }
+  slot->pmem_offset = entry->pmem_offset;
+  entry->dirty = false;
+  stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void OriCacheStore::EvictIfNeededLocked() {
+  while (lru_.size() > cache_capacity_) {
+    OriEntry* victim = lru_.back();
+    auto it = slots_.find(victim->key);
+    OE_CHECK(it != slots_.end());
+    if (victim->dirty) {
+      Status s = WriteBackLocked(victim, &it->second);
+      if (!s.ok()) {
+        OE_LOG_ERROR << "Ori-Cache eviction write-back failed: "
+                     << s.ToString();
+        return;
+      }
+    }
+    it->second.pmem_offset = victim->pmem_offset;
+    lru_.pop_back();
+    sync_ops_.fetch_add(1, std::memory_order_relaxed);
+    it->second.entry.reset();
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Status OriCacheStore::Pull(const EntryId* keys, size_t n, uint64_t batch,
+                           float* out) {
+  stats_.pull_keys.fetch_add(n, std::memory_order_relaxed);
+  const size_t weight_bytes = config_.dim * sizeof(float);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < n; ++i) {
+    const EntryId key = keys[i];
+    sync_ops_.fetch_add(1, std::memory_order_relaxed);  // hash-shard op
+    Slot& slot = slots_[key];
+    OriEntry* entry = slot.entry.get();
+    if (entry != nullptr) {
+      stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      TouchLruLocked(entry);
+    } else {
+      entry = InsertCachedLocked(key, &slot, batch);
+    }
+    entry->version = batch;
+    std::memcpy(out + i * config_.dim, entry->data.get(), weight_bytes);
+    dram_stats_.AddRead(weight_bytes);
+  }
+  return Status::OK();
+}
+
+Status OriCacheStore::Push(const EntryId* keys, size_t n, const float* grads,
+                           uint64_t batch) {
+  stats_.push_keys.fetch_add(n, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < n; ++i) {
+    const EntryId key = keys[i];
+    sync_ops_.fetch_add(1, std::memory_order_relaxed);  // hash-shard op
+    auto it = slots_.find(key);
+    if (it == slots_.end()) {
+      return Status::NotFound("push to unknown key (pull must precede push)");
+    }
+    Slot& slot = it->second;
+    OriEntry* entry = slot.entry.get();
+    if (entry == nullptr) {
+      // Evicted between pull and push: update straight in PMem.
+      std::vector<uint8_t> record(layout_.record_bytes());
+      device_->Read(slot.pmem_offset, record.data(), record.size());
+      float* data = EntryLayout::RecordData(record.data());
+      config_.optimizer.Apply(data, data + config_.dim,
+                              grads + i * config_.dim, config_.dim, batch);
+      EntryLayout::SetRecordVersion(record.data(), batch);
+      device_->Write(slot.pmem_offset, record.data(), record.size());
+      device_->Persist(slot.pmem_offset, record.size());
+    } else {
+      config_.optimizer.Apply(entry->data.get(),
+                              entry->data.get() + config_.dim,
+                              grads + i * config_.dim, config_.dim, batch);
+      entry->version = batch;
+      entry->dirty = true;
+      dram_stats_.AddWrite(layout_.data_bytes());
+      // Black-box cache: the update is an independent access -> LRU op.
+      TouchLruLocked(entry);
+    }
+    if (log_ != nullptr) dirty_keys_.insert(key);
+  }
+  return Status::OK();
+}
+
+Status OriCacheStore::RequestCheckpoint(uint64_t batch) {
+  if (log_ == nullptr) {
+    return Status::FailedPrecondition("OriCacheStore created without a log");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t record_bytes = layout_.record_bytes();
+  std::vector<uint8_t> buffer(dirty_keys_.size() * record_bytes);
+  std::vector<uint8_t> record(record_bytes);
+  uint64_t count = 0;
+  for (EntryId key : dirty_keys_) {
+    auto it = slots_.find(key);
+    if (it == slots_.end()) continue;
+    uint8_t* dst = buffer.data() + count * record_bytes;
+    const Slot& slot = it->second;
+    if (slot.entry != nullptr) {
+      EntryLayout::SetRecordHeader(dst, key, slot.entry->version);
+      std::memcpy(EntryLayout::RecordData(dst), slot.entry->data.get(),
+                  layout_.data_bytes());
+      dram_stats_.AddRead(layout_.data_bytes());
+    } else {
+      device_->Read(slot.pmem_offset, record.data(), record_bytes);
+      std::memcpy(dst, record.data(), record_bytes);
+    }
+    ++count;
+  }
+  OE_RETURN_IF_ERROR(log_->AppendChunk(batch, buffer.data(), count));
+  dirty_keys_.clear();
+  stats_.checkpoints_published.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+uint64_t OriCacheStore::PublishedCheckpoint() const {
+  return log_ == nullptr ? 0 : log_->LatestBatch();
+}
+
+Status OriCacheStore::RecoverFromCrash() {
+  if (log_ == nullptr) {
+    return Status::FailedPrecondition("no checkpoint log to recover from");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  slots_.clear();
+  lru_.clear();
+  dirty_keys_.clear();
+  OE_ASSIGN_OR_RETURN(pool_, pmem::PmemPool::Open(device_));
+  // The PMem records are not batch-consistent (in-place updates); rebuild
+  // everything from the checkpoint log into fresh PMem records.
+  const uint64_t target = log_->LatestBatch();
+  std::vector<uint64_t> stale;
+  pool_->ForEachAllocated(kEntryTag,
+                          [&](uint64_t offset, uint64_t) {
+                            stale.push_back(offset);
+                          });
+  for (uint64_t offset : stale) OE_CHECK_OK(pool_->Free(offset));
+
+  std::vector<uint8_t> record(layout_.record_bytes());
+  Status status = Status::OK();
+  OE_RETURN_IF_ERROR(log_->Replay(
+      target, [&](EntryId key, uint64_t version, const float* data) {
+        if (!status.ok()) return;
+        EntryLayout::SetRecordHeader(record.data(), key, version);
+        std::memcpy(EntryLayout::RecordData(record.data()), data,
+                    layout_.data_bytes());
+        Slot& slot = slots_[key];
+        if (slot.pmem_offset != kNullOffset) {
+          device_->Write(slot.pmem_offset, record.data(), record.size());
+          device_->Persist(slot.pmem_offset, record.size());
+        } else {
+          auto r = pool_->AllocWrite(record.data(), record.size(), kEntryTag);
+          if (!r.ok()) {
+            status = r.status();
+            return;
+          }
+          slot.pmem_offset = std::move(r).ValueOrDie();
+        }
+      }));
+  return status;
+}
+
+size_t OriCacheStore::EntryCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.size();
+}
+
+size_t OriCacheStore::CachedEntries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+Result<std::vector<float>> OriCacheStore::Peek(EntryId key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(key);
+  if (it == slots_.end()) return Status::NotFound("no such key");
+  std::vector<float> out(config_.dim);
+  if (it->second.entry != nullptr) {
+    std::copy_n(it->second.entry->data.get(), config_.dim, out.begin());
+  } else {
+    const uint8_t* record = pool_->Translate(it->second.pmem_offset);
+    std::copy_n(EntryLayout::RecordData(record), config_.dim, out.begin());
+  }
+  return out;
+}
+
+}  // namespace oe::storage

@@ -1,0 +1,105 @@
+#ifndef OE_STORAGE_ORI_CACHE_STORE_H_
+#define OE_STORAGE_ORI_CACHE_STORE_H_
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ckpt/checkpoint_log.h"
+#include "pmem/pool.h"
+#include "storage/embedding_store.h"
+
+namespace oe::storage {
+
+/// "Ori-Cache": the fine-grained DRAM-PMem hybrid cache baseline of the
+/// paper (Facebook concurrent hash map + STL list, Table III). The cache is
+/// a black box: every pull *and* every push immediately updates the LRU
+/// list, and cache misses trigger PMem reads, eviction and write-back
+/// synchronously on the request's critical path — nothing is deferred or
+/// overlapped with training. Checkpointing is the independent incremental
+/// checkpointer [11], copying dirty entries into a CheckpointLog while
+/// training is paused.
+///
+/// The per-key synchronization (hash-shard op + LRU-list op per access) is
+/// counted in sync_ops(); the simulation's contention model charges it per
+/// concurrent worker, which is what makes this baseline degrade as GPUs are
+/// added (Fig. 7).
+class OriCacheStore final : public EmbeddingStore {
+ public:
+  /// `log` may be null (no checkpointing).
+  static Result<std::unique_ptr<OriCacheStore>> Create(
+      const StoreConfig& config, pmem::PmemDevice* device,
+      ckpt::CheckpointLog* log);
+
+  Status Pull(const EntryId* keys, size_t n, uint64_t batch,
+              float* out) override;
+  Status Push(const EntryId* keys, size_t n, const float* grads,
+              uint64_t batch) override;
+  Status RequestCheckpoint(uint64_t batch) override;
+  uint64_t PublishedCheckpoint() const override;
+  Status RecoverFromCrash() override;
+  size_t EntryCount() const override;
+  Result<std::vector<float>> Peek(EntryId key) const override;
+
+  const StoreStats& stats() const override { return stats_; }
+  const StoreConfig& config() const override { return config_; }
+  const pmem::DeviceStats& dram_stats() const override { return dram_stats_; }
+
+  /// Fine-grained synchronization points executed on request critical
+  /// paths (hash-shard locks + LRU-list locks).
+  uint64_t sync_ops() const { return sync_ops_.load(std::memory_order_relaxed); }
+
+  size_t CachedEntries() const;
+  size_t CacheCapacityEntries() const { return cache_capacity_; }
+
+ private:
+  struct OriEntry {
+    EntryId key = 0;
+    uint64_t version = 0;
+    uint64_t pmem_offset = kNullOffset;
+    bool dirty = false;
+    std::list<OriEntry*>::iterator lru_it;
+    std::unique_ptr<float[]> data;
+  };
+
+  struct Slot {
+    std::unique_ptr<OriEntry> entry;  // non-null while cached
+    uint64_t pmem_offset = kNullOffset;
+  };
+
+  static constexpr uint64_t kEntryTag = 0x0C;
+
+  OriCacheStore(const StoreConfig& config, pmem::PmemDevice* device,
+                ckpt::CheckpointLog* log);
+  Status Init();
+
+  // All require mutex_ held.
+  OriEntry* InsertCachedLocked(EntryId key, Slot* slot, uint64_t batch);
+  void EvictIfNeededLocked();
+  Status WriteBackLocked(OriEntry* entry, Slot* slot);
+  void TouchLruLocked(OriEntry* entry);
+
+  StoreConfig config_;
+  EntryLayout layout_;
+  pmem::PmemDevice* device_;
+  std::unique_ptr<pmem::PmemPool> pool_;
+  ckpt::CheckpointLog* log_;  // not owned; may be null
+  size_t cache_capacity_ = 0;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<EntryId, Slot> slots_;
+  std::list<OriEntry*> lru_;  // front = MRU
+  std::unordered_set<EntryId> dirty_keys_;
+
+  StoreStats stats_;
+  mutable pmem::DeviceStats dram_stats_;
+  std::atomic<uint64_t> sync_ops_{0};
+};
+
+}  // namespace oe::storage
+
+#endif  // OE_STORAGE_ORI_CACHE_STORE_H_

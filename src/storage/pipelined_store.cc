@@ -1,0 +1,728 @@
+#include "storage/pipelined_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace oe::storage {
+
+using cache::TaggedPtr;
+
+PipelinedStore::PipelinedStore(const StoreConfig& config,
+                               pmem::PmemDevice* device)
+    : config_(config),
+      layout_(config.dim, config.optimizer.Slots()),
+      device_(device) {}
+
+Result<std::unique_ptr<PipelinedStore>> PipelinedStore::Create(
+    const StoreConfig& config, pmem::PmemDevice* device) {
+  if (config.dim == 0) return Status::InvalidArgument("dim must be > 0");
+  if (device == nullptr) return Status::InvalidArgument("null device");
+  if (config.maintainer_threads <= 0) {
+    return Status::InvalidArgument("need at least one maintainer thread");
+  }
+  auto store =
+      std::unique_ptr<PipelinedStore>(new PipelinedStore(config, device));
+  OE_RETURN_IF_ERROR(store->Init());
+  return store;
+}
+
+Result<std::unique_ptr<PipelinedStore>> PipelinedStore::Open(
+    const StoreConfig& config, pmem::PmemDevice* device) {
+  if (config.dim == 0) return Status::InvalidArgument("dim must be > 0");
+  if (device == nullptr) return Status::InvalidArgument("null device");
+  if (config.maintainer_threads <= 0) {
+    return Status::InvalidArgument("need at least one maintainer thread");
+  }
+  auto store =
+      std::unique_ptr<PipelinedStore>(new PipelinedStore(config, device));
+  // Validate the pool before starting threads, then let the standard
+  // recovery path (scan + discard-newer-than-checkpoint + index rebuild)
+  // adopt the existing contents.
+  OE_ASSIGN_OR_RETURN(store->pool_, pmem::PmemPool::Open(device));
+  OE_RETURN_IF_ERROR(store->Init());
+  OE_RETURN_IF_ERROR(store->RecoverFromCrash());
+  return store;
+}
+
+Status PipelinedStore::Init() {
+  if (pool_ == nullptr) {
+    OE_ASSIGN_OR_RETURN(pool_, pmem::PmemPool::Create(device_));
+  }
+  if (config_.cache_enabled) {
+    cache_capacity_ = std::max<size_t>(
+        1, config_.cache_bytes / layout_.record_bytes());
+  } else {
+    cache_capacity_ = 0;
+  }
+  published_ckpt_.store(pool_->RootGet(kRootCheckpointId),
+                        std::memory_order_release);
+  if (config_.cache_enabled && config_.pipeline_enabled) {
+    maintainers_.reserve(static_cast<size_t>(config_.maintainer_threads));
+    for (int i = 0; i < config_.maintainer_threads; ++i) {
+      maintainers_.emplace_back([this] { MaintainerLoop(); });
+    }
+  }
+  return Status::OK();
+}
+
+PipelinedStore::~PipelinedStore() {
+  access_queue_.Close();
+  for (auto& t : maintainers_) t.join();
+}
+
+void PipelinedStore::MaintainerLoop() {
+  uint64_t batch = 0;
+  std::vector<EntryId> keys;
+  while (access_queue_.Pop(&batch, &keys)) {
+    {
+      WriteGuard guard(lock_);
+      ProcessChunkLocked(batch, keys);
+    }
+    {
+      std::lock_guard<std::mutex> lock(maint_mutex_);
+      ++processed_chunks_;
+    }
+    maint_cv_.notify_all();
+  }
+}
+
+PipelinedStore::CacheEntry* PipelinedStore::CreateCachedEntryLocked(
+    EntryId key, uint64_t batch) {
+  auto entry = std::make_unique<CacheEntry>();
+  entry->key = key;
+  entry->version = batch;
+  entry->dirty = true;  // never flushed
+  entry->data = std::make_unique<float[]>(layout_.values_per_entry());
+  std::fill_n(entry->data.get(), layout_.values_per_entry(), 0.0f);
+  config_.initializer.Fill(key, entry->data.get(), config_.dim);
+  dram_stats_.AddWrite(layout_.data_bytes());
+  CacheEntry* raw = entry.get();
+  cache_entries_.emplace(key, std::move(entry));
+  index_[key] = TaggedPtr::FromDram(raw);
+  stats_.new_entries.fetch_add(1, std::memory_order_relaxed);
+  return raw;
+}
+
+Status PipelinedStore::Pull(const EntryId* keys, size_t n, uint64_t batch,
+                            float* out) {
+  stats_.pull_keys.fetch_add(n, std::memory_order_relaxed);
+  const size_t weight_bytes = config_.dim * sizeof(float);
+  std::vector<size_t> missing;
+
+  {
+    ReadGuard guard(lock_);
+    for (size_t i = 0; i < n; ++i) {
+      auto it = index_.find(keys[i]);
+      if (it == index_.end()) {
+        missing.push_back(i);
+        continue;
+      }
+      const TaggedPtr ptr = it->second;
+      if (ptr.is_dram()) {
+        const CacheEntry* entry = ptr.dram<CacheEntry>();
+        std::memcpy(out + i * config_.dim, entry->data.get(), weight_bytes);
+        dram_stats_.AddRead(weight_bytes);
+        stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // Copy the weights straight from the PMem record (Algorithm 1:
+        // "copied from either DRAM or PMem to the network buffer").
+        device_->Read(ptr.pmem_offset() + EntryLayout::kHeaderBytes,
+                      out + i * config_.dim, weight_bytes);
+        stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  if (!missing.empty()) {
+    WriteGuard guard(lock_);
+    for (size_t i : missing) {
+      const EntryId key = keys[i];
+      auto it = index_.find(key);
+      if (it == index_.end()) {
+        if (config_.cache_enabled) {
+          CacheEntry* entry = CreateCachedEntryLocked(key, batch);
+          std::memcpy(out + i * config_.dim, entry->data.get(), weight_bytes);
+          dram_stats_.AddRead(weight_bytes);
+        } else {
+          OE_RETURN_IF_ERROR(PullPmemDirect(key, batch, out + i * config_.dim));
+        }
+        continue;
+      }
+      // Raced with another puller that created it.
+      const TaggedPtr ptr = it->second;
+      if (ptr.is_dram()) {
+        std::memcpy(out + i * config_.dim, ptr.dram<CacheEntry>()->data.get(),
+                    weight_bytes);
+        dram_stats_.AddRead(weight_bytes);
+      } else {
+        device_->Read(ptr.pmem_offset() + EntryLayout::kHeaderBytes,
+                      out + i * config_.dim, weight_bytes);
+      }
+    }
+  }
+
+  if (config_.cache_enabled) {
+    std::lock_guard<std::mutex> lock(stage_mutex_);
+    staged_keys_.insert(staged_keys_.end(), keys, keys + n);
+  }
+  return Status::OK();
+}
+
+Status PipelinedStore::PullPmemDirect(EntryId key, uint64_t batch,
+                                      float* out) {
+  // Cache-disabled mode: create the record directly in PMem.
+  std::vector<uint8_t> record(layout_.record_bytes(), 0);
+  EntryLayout::SetRecordHeader(record.data(), key, batch);
+  config_.initializer.Fill(key, EntryLayout::RecordData(record.data()),
+                           config_.dim);
+  OE_ASSIGN_OR_RETURN(
+      uint64_t offset,
+      pool_->AllocWrite(record.data(), record.size(), kEntryTag));
+  index_[key] = TaggedPtr::FromPmem(offset);
+  stats_.new_entries.fetch_add(1, std::memory_order_relaxed);
+  std::memcpy(out, EntryLayout::RecordData(record.data()),
+              config_.dim * sizeof(float));
+  return Status::OK();
+}
+
+void PipelinedStore::FinishPullPhase(uint64_t batch) {
+  if (!config_.cache_enabled) {
+    std::lock_guard<std::mutex> lock(maint_mutex_);
+    sealed_batch_ = std::max(sealed_batch_, batch);
+    maint_cv_.notify_all();
+    return;
+  }
+  std::vector<EntryId> keys;
+  {
+    std::lock_guard<std::mutex> lock(stage_mutex_);
+    keys.swap(staged_keys_);
+  }
+  if (config_.pipeline_enabled) {
+    {
+      std::lock_guard<std::mutex> lock(maint_mutex_);
+      ++appended_chunks_;
+      sealed_batch_ = std::max(sealed_batch_, batch);
+    }
+    access_queue_.Append(batch, std::move(keys));
+  } else {
+    // Ablation mode (Fig. 9): maintenance on the critical path.
+    {
+      WriteGuard guard(lock_);
+      ProcessChunkLocked(batch, keys);
+    }
+    std::lock_guard<std::mutex> lock(maint_mutex_);
+    sealed_batch_ = std::max(sealed_batch_, batch);
+    maint_cv_.notify_all();
+  }
+}
+
+void PipelinedStore::WaitMaintenance(uint64_t batch) {
+  // Drain semantics: wait until every chunk sealed so far is processed.
+  // Callers that need batch-complete guarantees (Push, the simulator) seal
+  // the batch before waiting, so its chunk is in the appended count. The
+  // batch id deliberately does not gate the wait — a wait on a never-
+  // sealed batch (stray RPC) must not block a server thread forever.
+  (void)batch;
+  std::unique_lock<std::mutex> lock(maint_mutex_);
+  maint_cv_.wait(lock,
+                 [&] { return processed_chunks_ == appended_chunks_; });
+}
+
+bool PipelinedStore::PendingHead(uint64_t* cp) const {
+  std::lock_guard<std::mutex> lock(ckpt_mutex_);
+  if (pending_ckpts_.empty()) return false;
+  *cp = pending_ckpts_.front();
+  return true;
+}
+
+void PipelinedStore::ProcessChunkLocked(uint64_t batch,
+                                        const std::vector<EntryId>& keys) {
+  // Flush gate: an entry must be written back if any published-or-pending
+  // checkpoint may still need its current (pre-reaccess) state.
+  uint64_t flush_gate = 0;
+  bool has_gate = false;
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mutex_);
+    if (!pending_ckpts_.empty()) {
+      flush_gate = pending_ckpts_.back();
+      has_gate = true;
+    }
+  }
+
+  for (const EntryId key : keys) {
+    auto it = index_.find(key);
+    if (it == index_.end()) continue;  // evaporated (should not happen)
+    const TaggedPtr ptr = it->second;
+    if (ptr.is_dram()) {
+      CacheEntry* entry = ptr.dram<CacheEntry>();
+      if (has_gate && entry->version <= flush_gate && entry->dirty) {
+        Status s = FlushEntryLocked(entry);
+        if (!s.ok()) OE_LOG_ERROR << "flush failed: " << s.ToString();
+      }
+      entry->version = batch;
+      lru_.Touch(entry);
+    } else {
+      LoadToDramLocked(key, ptr.pmem_offset(), batch);
+    }
+    EvictIfNeededLocked();
+  }
+}
+
+PipelinedStore::CacheEntry* PipelinedStore::LoadToDramLocked(
+    EntryId key, uint64_t record_offset, uint64_t batch) {
+  auto entry = std::make_unique<CacheEntry>();
+  entry->key = key;
+  entry->version = batch;
+  entry->pmem_offset = record_offset;
+  entry->data = std::make_unique<float[]>(layout_.values_per_entry());
+
+  std::vector<uint8_t> record(layout_.record_bytes());
+  device_->Read(record_offset, record.data(), record.size());
+  entry->pmem_version = EntryLayout::RecordVersion(record.data());
+  std::memcpy(entry->data.get(), EntryLayout::RecordData(record.data()),
+              layout_.data_bytes());
+  dram_stats_.AddWrite(layout_.data_bytes());
+  entry->dirty = false;
+
+  CacheEntry* raw = entry.get();
+  cache_entries_[key] = std::move(entry);
+  index_[key] = TaggedPtr::FromDram(raw);
+  lru_.PushFront(raw);
+  return raw;
+}
+
+Status PipelinedStore::FlushEntryLocked(CacheEntry* entry) {
+  // Copy-on-write: never overwrite a record a checkpoint may still need.
+  std::vector<uint8_t> record(layout_.record_bytes());
+  EntryLayout::SetRecordHeader(record.data(), entry->key, entry->version);
+  std::memcpy(EntryLayout::RecordData(record.data()), entry->data.get(),
+              layout_.data_bytes());
+  dram_stats_.AddRead(layout_.data_bytes());
+  OE_ASSIGN_OR_RETURN(
+      uint64_t offset,
+      pool_->AllocWrite(record.data(), record.size(), kEntryTag));
+
+  const uint64_t old_offset = entry->pmem_offset;
+  if (old_offset != kNullOffset) {
+    if (published_ckpt_.load(std::memory_order_acquire) >= entry->version) {
+      // The new record already supersedes the old one for every current and
+      // future checkpoint: recycle immediately.
+      OE_CHECK_OK(pool_->Free(old_offset));
+    } else {
+      std::lock_guard<std::mutex> lock(ckpt_mutex_);
+      deferred_free_[entry->version].push_back(old_offset);
+    }
+  }
+  entry->pmem_offset = offset;
+  entry->pmem_version = entry->version;
+  entry->dirty = false;
+  stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void PipelinedStore::EvictIfNeededLocked() {
+  while (lru_.size() > cache_capacity_) {
+    CacheEntry* victim = lru_.Tail();
+    OE_CHECK(victim != nullptr);
+    // Algorithm 2 lines 23-28: the LRU tail carries the minimum version in
+    // the cache; once it exceeds the pending checkpoint's batch id, every
+    // state that checkpoint needs is durable in PMem — publish.
+    uint64_t cp = 0;
+    while (PendingHead(&cp) && victim->version > cp) {
+      PublishLocked(cp);
+    }
+    if (victim->dirty) {
+      Status s = FlushEntryLocked(victim);
+      if (!s.ok()) {
+        OE_LOG_ERROR << "eviction flush failed: " << s.ToString();
+        return;  // keep the victim cached rather than losing data
+      }
+    }
+    index_[victim->key] = TaggedPtr::FromPmem(victim->pmem_offset);
+    lru_.Remove(victim);
+    cache_entries_.erase(victim->key);
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void PipelinedStore::PublishLocked(uint64_t cp) {
+  // One failure-atomic 8-byte PMem store publishes the checkpoint
+  // (Algorithm 2: PMem.atomicUpdateCheckpointId).
+  pool_->RootSet(kRootCheckpointId, cp);
+  published_ckpt_.store(cp, std::memory_order_release);
+  std::vector<uint64_t> to_free;
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mutex_);
+    if (!pending_ckpts_.empty() && pending_ckpts_.front() == cp) {
+      pending_ckpts_.pop_front();
+    }
+    // Records superseded by versions <= cp are now unreachable by any
+    // current or future checkpoint: recycle their space.
+    auto end = deferred_free_.upper_bound(cp);
+    for (auto it = deferred_free_.begin(); it != end; ++it) {
+      to_free.insert(to_free.end(), it->second.begin(), it->second.end());
+    }
+    deferred_free_.erase(deferred_free_.begin(), end);
+  }
+  for (uint64_t offset : to_free) OE_CHECK_OK(pool_->Free(offset));
+  stats_.checkpoints_published.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status PipelinedStore::Push(const EntryId* keys, size_t n, const float* grads,
+                            uint64_t batch) {
+  stats_.push_keys.fetch_add(n, std::memory_order_relaxed);
+  // A push implies the pull phase of `batch` is over; seal it if the caller
+  // skipped FinishPullPhase (single-threaded store usage).
+  bool needs_seal = false;
+  {
+    std::lock_guard<std::mutex> lock(maint_mutex_);
+    needs_seal = sealed_batch_ < batch;
+  }
+  if (needs_seal) FinishPullPhase(batch);
+  WaitMaintenance(batch);
+
+  ReadGuard guard(lock_);
+  for (size_t i = 0; i < n; ++i) {
+    const EntryId key = keys[i];
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      return Status::NotFound("push to unknown key (pull must precede push)");
+    }
+    const TaggedPtr ptr = it->second;
+    SpinLock& shard = push_locks_[key % kPushShards];
+    shard.lock();
+    if (ptr.is_dram()) {
+      CacheEntry* entry = ptr.dram<CacheEntry>();
+      config_.optimizer.Apply(entry->data.get(),
+                              entry->data.get() + config_.dim,
+                              grads + i * config_.dim, config_.dim, batch);
+      entry->version = batch;
+      entry->dirty = true;
+      dram_stats_.AddWrite(layout_.data_bytes());
+      shard.unlock();
+    } else {
+      Status s =
+          PushPmemRecordLocked(key, ptr.pmem_offset(), grads + i * config_.dim,
+                               batch);
+      shard.unlock();
+      OE_RETURN_IF_ERROR(s);
+    }
+  }
+  return Status::OK();
+}
+
+Status PipelinedStore::PushPmemRecordLocked(EntryId key,
+                                            uint64_t record_offset,
+                                            const float* grad,
+                                            uint64_t batch) {
+  std::vector<uint8_t> record(layout_.record_bytes());
+  device_->Read(record_offset, record.data(), record.size());
+  const uint64_t record_version = EntryLayout::RecordVersion(record.data());
+  float* data = EntryLayout::RecordData(record.data());
+  config_.optimizer.Apply(data, data + config_.dim, grad, config_.dim, batch);
+  EntryLayout::SetRecordVersion(record.data(), batch);
+
+  // COW when any published-or-pending checkpoint may need the old record.
+  uint64_t newest_cp = published_ckpt_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mutex_);
+    if (!pending_ckpts_.empty()) {
+      newest_cp = std::max(newest_cp, pending_ckpts_.back());
+    }
+  }
+  if (record_version <= newest_cp) {
+    OE_ASSIGN_OR_RETURN(
+        uint64_t offset,
+        pool_->AllocWrite(record.data(), record.size(), kEntryTag));
+    {
+      std::lock_guard<std::mutex> lock(ckpt_mutex_);
+      deferred_free_[batch].push_back(record_offset);
+    }
+    index_[key] = TaggedPtr::FromPmem(offset);
+  } else {
+    device_->Write(record_offset, record.data(), record.size());
+    device_->Persist(record_offset, record.size());
+  }
+  stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status PipelinedStore::RequestCheckpoint(uint64_t batch) {
+  {
+    // A checkpoint captures "state as of the end of `batch`". Once a later
+    // batch has started training (its pull phase sealed), that state may
+    // already be overwritten in place — accepting the request would publish
+    // an inconsistent snapshot, so it is rejected.
+    std::lock_guard<std::mutex> maint_lock(maint_mutex_);
+    if (batch < sealed_batch_) {
+      return Status::FailedPrecondition(
+          "checkpoint batch already surpassed by training");
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mutex_);
+    if (batch <= published_ckpt_.load(std::memory_order_acquire)) {
+      return Status::InvalidArgument("checkpoint batch not increasing");
+    }
+    if (!pending_ckpts_.empty() && batch <= pending_ckpts_.back()) {
+      return Status::InvalidArgument("checkpoint batch not increasing");
+    }
+    pending_ckpts_.push_back(batch);
+  }
+  if (!config_.cache_enabled) {
+    // Without a cache every update is already durable in PMem; the request
+    // can publish immediately.
+    WriteGuard guard(lock_);
+    uint64_t cp = 0;
+    while (PendingHead(&cp)) PublishLocked(cp);
+  }
+  return Status::OK();
+}
+
+Status PipelinedStore::DrainCheckpoints() {
+  {
+    std::unique_lock<std::mutex> lock(maint_mutex_);
+    maint_cv_.wait(lock, [&] { return processed_chunks_ == appended_chunks_; });
+  }
+  WriteGuard guard(lock_);
+  uint64_t cp = 0;
+  while (PendingHead(&cp)) {
+    for (auto& [key, entry] : cache_entries_) {
+      if (entry->version <= cp && entry->dirty) {
+        OE_RETURN_IF_ERROR(FlushEntryLocked(entry.get()));
+      }
+    }
+    PublishLocked(cp);
+  }
+  return Status::OK();
+}
+
+uint64_t PipelinedStore::PublishedCheckpoint() const {
+  return published_ckpt_.load(std::memory_order_acquire);
+}
+
+Status PipelinedStore::RecoverFromCrash() {
+  // Quiesce maintenance state.
+  {
+    std::unique_lock<std::mutex> lock(maint_mutex_);
+    maint_cv_.wait(lock, [&] { return processed_chunks_ == appended_chunks_; });
+  }
+  WriteGuard guard(lock_);
+  OE_ASSIGN_OR_RETURN(pool_, pmem::PmemPool::Open(device_));
+  const uint64_t cp = pool_->RootGet(kRootCheckpointId);
+  published_ckpt_.store(cp, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mutex_);
+    pending_ckpts_.clear();
+    deferred_free_.clear();
+  }
+  index_.clear();
+  cache_entries_.clear();
+  lru_.Clear();
+  {
+    std::lock_guard<std::mutex> lock(stage_mutex_);
+    staged_keys_.clear();
+  }
+
+  // Recovery per Section V-C: scan every entry record in PMem, discard
+  // those newer than the Checkpointed Batch ID, keep the newest survivor
+  // per key, and rebuild the DRAM hash index. The classification step is
+  // partitioned across config.recovery_threads (the parallel recovery the
+  // paper proposes in Section VI-E).
+  struct Best {
+    uint64_t offset;
+    uint64_t version;
+  };
+  std::vector<std::pair<uint64_t, uint64_t>> blocks;  // offset, size
+  pool_->ForEachAllocated(kEntryTag, [&](uint64_t offset, uint64_t size) {
+    blocks.emplace_back(offset, size);
+  });
+
+  const int threads =
+      std::max(1, std::min<int>(config_.recovery_threads,
+                                static_cast<int>(blocks.size()) / 256 + 1));
+  std::vector<std::unordered_map<EntryId, Best>> partial(
+      static_cast<size_t>(threads));
+  std::vector<std::vector<uint64_t>> partial_discard(
+      static_cast<size_t>(threads));
+
+  auto classify = [&](int t) {
+    auto& best = partial[static_cast<size_t>(t)];
+    auto& discard = partial_discard[static_cast<size_t>(t)];
+    const size_t begin = blocks.size() * static_cast<size_t>(t) /
+                         static_cast<size_t>(threads);
+    const size_t end = blocks.size() * static_cast<size_t>(t + 1) /
+                       static_cast<size_t>(threads);
+    for (size_t i = begin; i < end; ++i) {
+      const auto [offset, size] = blocks[i];
+      if (size != layout_.record_bytes()) {
+        discard.push_back(offset);
+        continue;
+      }
+      const uint8_t* record = pool_->Translate(offset);
+      device_->ChargeRead(EntryLayout::kHeaderBytes);
+      const EntryId key = EntryLayout::RecordKey(record);
+      const uint64_t version = EntryLayout::RecordVersion(record);
+      if (version > cp) {
+        discard.push_back(offset);
+        continue;
+      }
+      auto it = best.find(key);
+      if (it == best.end()) {
+        best.emplace(key, Best{offset, version});
+      } else if (version > it->second.version) {
+        discard.push_back(it->second.offset);
+        it->second = Best{offset, version};
+      } else {
+        discard.push_back(offset);
+      }
+    }
+  };
+  if (threads == 1) {
+    classify(0);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) workers.emplace_back(classify, t);
+    for (auto& w : workers) w.join();
+  }
+
+  // Merge: duplicate keys across partitions resolve by version.
+  std::unordered_map<EntryId, Best>& best = partial[0];
+  std::vector<uint64_t> discard;
+  for (auto& d : partial_discard) {
+    discard.insert(discard.end(), d.begin(), d.end());
+  }
+  for (size_t t = 1; t < partial.size(); ++t) {
+    for (const auto& [key, candidate] : partial[t]) {
+      auto it = best.find(key);
+      if (it == best.end()) {
+        best.emplace(key, candidate);
+      } else if (candidate.version > it->second.version) {
+        discard.push_back(it->second.offset);
+        it->second = candidate;
+      } else {
+        discard.push_back(candidate.offset);
+      }
+    }
+  }
+
+  for (uint64_t offset : discard) OE_CHECK_OK(pool_->Free(offset));
+  index_.reserve(best.size());
+  for (const auto& [key, b] : best) {
+    index_[key] = TaggedPtr::FromPmem(b.offset);
+    dram_stats_.AddWrite(sizeof(EntryId) + sizeof(TaggedPtr));
+  }
+  return Status::OK();
+}
+
+Status PipelinedStore::ExportCheckpoint(ckpt::CheckpointLog* log) {
+  if (log == nullptr) return Status::InvalidArgument("null backup log");
+  WriteGuard guard(lock_);
+  const uint64_t cp = published_ckpt_.load(std::memory_order_acquire);
+  if (cp == 0) {
+    return Status::FailedPrecondition("no published checkpoint to export");
+  }
+  // The backup is the same record set recovery would choose: per key, the
+  // newest record with version <= cp.
+  struct Best {
+    uint64_t offset;
+    uint64_t version;
+  };
+  std::unordered_map<EntryId, Best> best;
+  pool_->ForEachAllocated(kEntryTag, [&](uint64_t offset, uint64_t size) {
+    if (size != layout_.record_bytes()) return;
+    const uint8_t* record = pool_->Translate(offset);
+    device_->ChargeRead(EntryLayout::kHeaderBytes);
+    const EntryId key = EntryLayout::RecordKey(record);
+    const uint64_t version = EntryLayout::RecordVersion(record);
+    if (version > cp) return;
+    auto it = best.find(key);
+    if (it == best.end() || version > it->second.version) {
+      best[key] = Best{offset, version};
+    }
+  });
+
+  constexpr size_t kChunkRecords = 4096;
+  std::vector<uint8_t> buffer(kChunkRecords * layout_.record_bytes());
+  size_t in_chunk = 0;
+  for (const auto& [key, b] : best) {
+    device_->Read(b.offset, buffer.data() + in_chunk * layout_.record_bytes(),
+                  layout_.record_bytes());
+    if (++in_chunk == kChunkRecords) {
+      OE_RETURN_IF_ERROR(log->AppendChunk(cp, buffer.data(), in_chunk));
+      in_chunk = 0;
+    }
+  }
+  if (in_chunk > 0) {
+    OE_RETURN_IF_ERROR(log->AppendChunk(cp, buffer.data(), in_chunk));
+  }
+  return Status::OK();
+}
+
+Status PipelinedStore::ImportCheckpoint(const ckpt::CheckpointLog& log) {
+  WriteGuard guard(lock_);
+  if (!index_.empty()) {
+    return Status::FailedPrecondition(
+        "import requires a freshly created (empty) store");
+  }
+  const uint64_t cp = log.LatestBatch();
+  if (cp == 0) return Status::FailedPrecondition("backup holds no checkpoint");
+
+  std::vector<uint8_t> record(layout_.record_bytes());
+  Status status = Status::OK();
+  OE_RETURN_IF_ERROR(log.Replay(
+      cp, [&](EntryId key, uint64_t version, const float* data) {
+        if (!status.ok()) return;
+        EntryLayout::SetRecordHeader(record.data(), key, version);
+        std::memcpy(EntryLayout::RecordData(record.data()), data,
+                    layout_.data_bytes());
+        auto r = pool_->AllocWrite(record.data(), record.size(), kEntryTag);
+        if (!r.ok()) {
+          status = r.status();
+          return;
+        }
+        const uint64_t offset = std::move(r).ValueOrDie();
+        auto it = index_.find(key);
+        if (it != index_.end()) {
+          // Later chunks override earlier ones.
+          OE_CHECK_OK(pool_->Free(it->second.pmem_offset()));
+          it->second = TaggedPtr::FromPmem(offset);
+        } else {
+          index_[key] = TaggedPtr::FromPmem(offset);
+        }
+      }));
+  OE_RETURN_IF_ERROR(status);
+  pool_->RootSet(kRootCheckpointId, cp);
+  published_ckpt_.store(cp, std::memory_order_release);
+  return Status::OK();
+}
+
+size_t PipelinedStore::EntryCount() const {
+  ReadGuard guard(lock_);
+  return index_.size();
+}
+
+size_t PipelinedStore::CachedEntries() const {
+  ReadGuard guard(lock_);
+  return cache_entries_.size();
+}
+
+Result<std::vector<float>> PipelinedStore::Peek(EntryId key) const {
+  ReadGuard guard(lock_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return Status::NotFound("no such key");
+  std::vector<float> out(config_.dim);
+  if (it->second.is_dram()) {
+    const CacheEntry* entry = it->second.dram<CacheEntry>();
+    std::copy_n(entry->data.get(), config_.dim, out.begin());
+  } else {
+    const uint8_t* record = pool_->Translate(it->second.pmem_offset());
+    std::copy_n(EntryLayout::RecordData(record), config_.dim, out.begin());
+  }
+  return out;
+}
+
+}  // namespace oe::storage

@@ -1,0 +1,179 @@
+#ifndef OE_STORAGE_PIPELINED_STORE_H_
+#define OE_STORAGE_PIPELINED_STORE_H_
+
+#include <array>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/access_queue.h"
+#include "cache/lru_list.h"
+#include "cache/tagged_ptr.h"
+#include "ckpt/checkpoint_log.h"
+#include "common/sync.h"
+#include "pmem/pool.h"
+#include "storage/embedding_store.h"
+
+namespace oe::storage {
+
+/// "PMem-OE": the paper's OpenEmbedding engine — DRAM cache over PMem with
+/// pipelined cache maintenance (Algorithm 1 + Algorithm 2) and co-designed
+/// batch-aware checkpointing.
+///
+/// Pull path (Algorithm 1): under a read lock, weights are copied from the
+/// DRAM cache (hit) or directly from the PMem record (miss). First-touch
+/// keys are initialized in DRAM under a brief write lock. Accessed keys are
+/// staged and become a cache-maintenance task when FinishPullPhase() seals
+/// the batch — maintenance then runs on dedicated threads, overlapping the
+/// GPU compute phase.
+///
+/// Maintenance (Algorithm 2): under the write lock, per accessed entry:
+///   - cached & version <= pending-checkpoint batch: write back to PMem so
+///     the checkpoint state is durable, then stamp the current batch and
+///     move to the LRU head;
+///   - not cached: load into DRAM; if the cache is over capacity, evict the
+///     LRU tail — and if the victim's version already exceeds the pending
+///     checkpoint's batch, every entry the checkpoint needs is durable, so
+///     the Checkpointed Batch ID is published with one failure-atomic PMem
+///     store.
+///
+/// Write-backs copy-on-write: a record still needed by a published or
+/// pending checkpoint is never overwritten; superseded records are freed
+/// when a newer checkpoint publishes ("the space manager will recycle the
+/// space of these entries once the new checkpoint is done").
+class PipelinedStore final : public EmbeddingStore {
+ public:
+  /// Formats `device` with a fresh pool and starts the maintainer threads.
+  static Result<std::unique_ptr<PipelinedStore>> Create(
+      const StoreConfig& config, pmem::PmemDevice* device);
+
+  /// Attaches to a device that already holds a pool (e.g. a file-backed
+  /// PMem image after a process restart) and recovers the model to its
+  /// latest published checkpoint instead of formatting.
+  static Result<std::unique_ptr<PipelinedStore>> Open(
+      const StoreConfig& config, pmem::PmemDevice* device);
+
+  ~PipelinedStore() override;
+
+  Status Pull(const EntryId* keys, size_t n, uint64_t batch,
+              float* out) override;
+  void FinishPullPhase(uint64_t batch) override;
+  Status Push(const EntryId* keys, size_t n, const float* grads,
+              uint64_t batch) override;
+  Status RequestCheckpoint(uint64_t batch) override;
+  Status DrainCheckpoints() override;
+  uint64_t PublishedCheckpoint() const override;
+  Status RecoverFromCrash() override;
+
+  /// Remote-backup tier (Section I: "perform checkpointing on the local
+  /// storage in short periods, and then perform checkpointing on the
+  /// remote storage in large periods"): copies the newest *published*
+  /// checkpoint's records into `log` (typically on a slower remote/SSD
+  /// device) as one chunk tagged with the checkpoint's batch id.
+  Status ExportCheckpoint(ckpt::CheckpointLog* log);
+
+  /// Restores the model from a remote backup after total local-PMem loss.
+  /// The store must be freshly created (empty pool); the backup's batch id
+  /// becomes the published checkpoint.
+  Status ImportCheckpoint(const ckpt::CheckpointLog& log);
+  size_t EntryCount() const override;
+  Result<std::vector<float>> Peek(EntryId key) const override;
+
+  const StoreStats& stats() const override { return stats_; }
+  const StoreConfig& config() const override { return config_; }
+  const pmem::DeviceStats& dram_stats() const override { return dram_stats_; }
+
+  /// Blocks until all maintenance chunks sealed up to and including `batch`
+  /// have been processed. Push() calls this internally; the simulation
+  /// driver also calls it to measure the maintenance phase.
+  void WaitMaintenance(uint64_t batch);
+
+  /// Entries currently resident in the DRAM cache.
+  size_t CachedEntries() const;
+
+  /// DRAM cache capacity in entries (config.cache_bytes / entry footprint).
+  size_t CacheCapacityEntries() const { return cache_capacity_; }
+
+  pmem::PmemPool* pool() { return pool_.get(); }
+
+ private:
+  struct CacheEntry {
+    EntryId key = 0;
+    uint64_t version = 0;       // batch of last access/update (Algorithm 2)
+    uint64_t pmem_offset = kNullOffset;  // latest PMem record, if any
+    uint64_t pmem_version = ~0ULL;       // version held by that record
+    bool dirty = false;          // weights differ from the PMem record
+    cache::LruNode lru;
+    std::unique_ptr<float[]> data;  // weights + optimizer state
+  };
+
+  static constexpr int kRootCheckpointId = 0;
+  static constexpr uint64_t kEntryTag = 0xE5;
+
+  PipelinedStore(const StoreConfig& config, pmem::PmemDevice* device);
+
+  Status Init();
+  void MaintainerLoop();
+
+  // --- All *Locked methods require the write lock. ---
+  CacheEntry* CreateCachedEntryLocked(EntryId key, uint64_t batch);
+  void ProcessChunkLocked(uint64_t batch, const std::vector<EntryId>& keys);
+  Status FlushEntryLocked(CacheEntry* entry);
+  void EvictIfNeededLocked();
+  void PublishLocked(uint64_t cp);
+  CacheEntry* LoadToDramLocked(EntryId key, uint64_t record_offset,
+                               uint64_t batch);
+  Status PushPmemRecordLocked(EntryId key, uint64_t record_offset,
+                              const float* grad, uint64_t batch);
+  Status PullPmemDirect(EntryId key, uint64_t batch, float* out);
+
+  /// Head of the checkpoint request queue; false if empty.
+  bool PendingHead(uint64_t* cp) const;
+
+  StoreConfig config_;
+  EntryLayout layout_;
+  pmem::PmemDevice* device_;
+  std::unique_ptr<pmem::PmemPool> pool_;
+  size_t cache_capacity_ = 0;
+
+  mutable InstrumentedRwLock lock_;
+  std::unordered_map<EntryId, cache::TaggedPtr> index_;
+  std::unordered_map<EntryId, std::unique_ptr<CacheEntry>> cache_entries_;
+  cache::LruList<CacheEntry, &CacheEntry::lru> lru_;
+
+  // Pull-phase staging: keys accessed in the in-flight batch, moved to the
+  // access queue when FinishPullPhase seals the batch.
+  std::mutex stage_mutex_;
+  std::vector<EntryId> staged_keys_;
+
+  cache::AccessQueue<EntryId> access_queue_;
+  std::vector<std::thread> maintainers_;
+
+  // Maintenance progress (Push ordering + phase measurement).
+  mutable std::mutex maint_mutex_;
+  std::condition_variable maint_cv_;
+  uint64_t sealed_batch_ = 0;
+  uint64_t appended_chunks_ = 0;
+  uint64_t processed_chunks_ = 0;
+
+  // Checkpoint queue + deferred frees (guarded by ckpt_mutex_).
+  mutable std::mutex ckpt_mutex_;
+  std::deque<uint64_t> pending_ckpts_;
+  std::map<uint64_t, std::vector<uint64_t>> deferred_free_;
+  std::atomic<uint64_t> published_ckpt_{0};
+
+  static constexpr size_t kPushShards = 256;
+  std::array<SpinLock, kPushShards> push_locks_;
+
+  StoreStats stats_;
+  mutable pmem::DeviceStats dram_stats_;
+};
+
+}  // namespace oe::storage
+
+#endif  // OE_STORAGE_PIPELINED_STORE_H_

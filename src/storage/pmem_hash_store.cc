@@ -1,0 +1,163 @@
+#include "storage/pmem_hash_store.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace oe::storage {
+namespace {
+
+uint64_t MixHash(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+PmemHashStore::PmemHashStore(const StoreConfig& config,
+                             pmem::PmemDevice* device)
+    : config_(config),
+      layout_(config.dim, config.optimizer.Slots()),
+      device_(device) {}
+
+Result<std::unique_ptr<PmemHashStore>> PmemHashStore::Create(
+    const StoreConfig& config, pmem::PmemDevice* device) {
+  if (config.dim == 0) return Status::InvalidArgument("dim must be > 0");
+  if (device == nullptr) return Status::InvalidArgument("null device");
+  if (config.pmem_hash_buckets == 0) {
+    return Status::InvalidArgument("bucket count must be > 0");
+  }
+  auto store =
+      std::unique_ptr<PmemHashStore>(new PmemHashStore(config, device));
+  OE_RETURN_IF_ERROR(store->Init());
+  return store;
+}
+
+Status PmemHashStore::Init() {
+  OE_ASSIGN_OR_RETURN(pool_, pmem::PmemPool::Create(device_));
+  // The bucket array itself lives in PMem (all-PMem design).
+  const uint64_t bucket_bytes = config_.pmem_hash_buckets * 8;
+  OE_ASSIGN_OR_RETURN(buckets_offset_, pool_->Alloc(bucket_bytes, kBucketTag));
+  std::vector<uint8_t> zeros(bucket_bytes, 0xff);  // kNullOffset everywhere
+  device_->Write(buckets_offset_, zeros.data(), zeros.size());
+  OE_RETURN_IF_ERROR(pool_->CommitAlloc(buckets_offset_));
+  pool_->RootSet(kRootBuckets, buckets_offset_);
+  return Status::OK();
+}
+
+uint64_t PmemHashStore::BucketOffset(EntryId key) const {
+  const uint64_t bucket = MixHash(key) % config_.pmem_hash_buckets;
+  return buckets_offset_ + bucket * 8;
+}
+
+uint64_t PmemHashStore::FindRecord(EntryId key) const {
+  // Chain walk entirely in PMem: every hop is a PMem read.
+  uint64_t record = device_->AtomicLoad64(BucketOffset(key));
+  while (record != kNullOffset) {
+    uint64_t header[3];  // next, key, version
+    device_->Read(record, header, sizeof(header));
+    if (header[1] == key) return record;
+    record = header[0];
+  }
+  return kNullOffset;
+}
+
+Result<uint64_t> PmemHashStore::InsertRecord(EntryId key, uint64_t batch) {
+  std::vector<uint8_t> record(record_bytes(), 0);
+  const uint64_t bucket_offset = BucketOffset(key);
+  const uint64_t head = device_->AtomicLoad64(bucket_offset);
+  std::memcpy(record.data(), &head, 8);
+  std::memcpy(record.data() + 8, &key, 8);
+  std::memcpy(record.data() + 16, &batch, 8);
+  config_.initializer.Fill(
+      key, reinterpret_cast<float*>(record.data() + kRecordHeaderBytes),
+      config_.dim);
+  OE_ASSIGN_OR_RETURN(
+      uint64_t offset,
+      pool_->AllocWrite(record.data(), record.size(), kRecordTag));
+  // Publish by linking into the bucket chain (failure-atomic 8B store).
+  device_->AtomicStore64(bucket_offset, offset);
+  stats_.new_entries.fetch_add(1, std::memory_order_relaxed);
+  ++entry_count_;
+  return offset;
+}
+
+Status PmemHashStore::Pull(const EntryId* keys, size_t n, uint64_t batch,
+                           float* out) {
+  stats_.pull_keys.fetch_add(n, std::memory_order_relaxed);
+  const size_t weight_bytes = config_.dim * sizeof(float);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t record = FindRecord(keys[i]);
+    if (record == kNullOffset) {
+      OE_ASSIGN_OR_RETURN(record, InsertRecord(keys[i], batch));
+    }
+    device_->Read(record + kRecordHeaderBytes, out + i * config_.dim,
+                  weight_bytes);
+    stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status PmemHashStore::Push(const EntryId* keys, size_t n, const float* grads,
+                           uint64_t batch) {
+  stats_.push_keys.fetch_add(n, std::memory_order_relaxed);
+  std::vector<uint8_t> buffer(layout_.data_bytes());
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t record = FindRecord(keys[i]);
+    if (record == kNullOffset) {
+      return Status::NotFound("push to unknown key (pull must precede push)");
+    }
+    // In-place persisted read-modify-write, all on PMem.
+    device_->Read(record + kRecordHeaderBytes, buffer.data(), buffer.size());
+    float* data = reinterpret_cast<float*>(buffer.data());
+    config_.optimizer.Apply(data, data + config_.dim, grads + i * config_.dim,
+                            config_.dim, batch);
+    device_->Write(record + kRecordHeaderBytes, buffer.data(), buffer.size());
+    device_->Write(record + 16, &batch, 8);
+    device_->Persist(record, record_bytes());
+  }
+  return Status::OK();
+}
+
+Status PmemHashStore::RequestCheckpoint(uint64_t batch) {
+  (void)batch;
+  return Status::NotSupported(
+      "PMem-Hash has no batch-aware checkpointing (Observation 2)");
+}
+
+Status PmemHashStore::RecoverFromCrash() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  OE_ASSIGN_OR_RETURN(pool_, pmem::PmemPool::Open(device_));
+  buckets_offset_ = pool_->RootGet(kRootBuckets);
+  if (buckets_offset_ == 0) {
+    return Status::Corruption("bucket array root missing");
+  }
+  size_t count = 0;
+  pool_->ForEachAllocated(kRecordTag,
+                          [&](uint64_t, uint64_t) { ++count; });
+  entry_count_ = count;
+  return Status::OK();
+}
+
+size_t PmemHashStore::EntryCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entry_count_;
+}
+
+Result<std::vector<float>> PmemHashStore::Peek(EntryId key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t record = FindRecord(key);
+  if (record == kNullOffset) return Status::NotFound("no such key");
+  std::vector<float> out(config_.dim);
+  std::memcpy(out.data(), pool_->Translate(record + kRecordHeaderBytes),
+              config_.dim * sizeof(float));
+  return out;
+}
+
+}  // namespace oe::storage

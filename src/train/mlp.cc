@@ -1,0 +1,164 @@
+#include "train/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace oe::train {
+
+Mlp::Mlp(std::vector<uint32_t> layer_sizes, float learning_rate,
+         uint64_t seed)
+    : layer_sizes_(std::move(layer_sizes)), learning_rate_(learning_rate) {
+  OE_CHECK(layer_sizes_.size() >= 2);
+  Random rng(seed);
+  const size_t layers = layer_sizes_.size() - 1;
+  weights_.resize(layers);
+  biases_.resize(layers);
+  weight_grads_.resize(layers);
+  bias_grads_.resize(layers);
+  for (size_t l = 0; l < layers; ++l) {
+    const uint32_t fan_in = layer_sizes_[l];
+    const uint32_t fan_out = layer_sizes_[l + 1];
+    // He initialization for the ReLU layers.
+    const float scale = std::sqrt(2.0f / static_cast<float>(fan_in));
+    weights_[l].resize(static_cast<size_t>(fan_in) * fan_out);
+    for (auto& w : weights_[l]) {
+      w = static_cast<float>(rng.NextGaussian()) * scale;
+    }
+    biases_[l].assign(fan_out, 0.0f);
+    weight_grads_[l].assign(weights_[l].size(), 0.0f);
+    bias_grads_[l].assign(fan_out, 0.0f);
+  }
+}
+
+void Mlp::Forward(const float* x, float* out, Scratch* scratch) const {
+  const size_t layers = weights_.size();
+  scratch->activations.resize(layers);
+  const float* input = x;
+  uint32_t input_dim = layer_sizes_[0];
+  for (size_t l = 0; l < layers; ++l) {
+    const uint32_t out_dim = layer_sizes_[l + 1];
+    auto& activation = scratch->activations[l];
+    activation.assign(out_dim, 0.0f);
+    const bool is_output = (l + 1 == layers);
+    for (uint32_t j = 0; j < out_dim; ++j) {
+      float sum = biases_[l][j];
+      const float* row = weights_[l].data() + static_cast<size_t>(j) * input_dim;
+      for (uint32_t i = 0; i < input_dim; ++i) sum += row[i] * input[i];
+      activation[j] = is_output ? sum : (sum > 0 ? sum : 0.0f);  // ReLU
+    }
+    input = activation.data();
+    input_dim = out_dim;
+  }
+  const auto& last = scratch->activations.back();
+  for (uint32_t j = 0; j < output_dim(); ++j) out[j] = last[j];
+}
+
+void Mlp::BackwardAccumulate(const float* x, const float* out_grad,
+                             Scratch* scratch, float* x_grad) {
+  const size_t layers = weights_.size();
+  scratch->deltas.resize(layers);
+  // Output layer delta (linear output).
+  scratch->deltas.back().assign(out_grad, out_grad + output_dim());
+  // Hidden deltas, back to front.
+  for (size_t l = layers - 1; l-- > 0;) {
+    const uint32_t dim = layer_sizes_[l + 1];
+    const uint32_t next_dim = layer_sizes_[l + 2];
+    auto& delta = scratch->deltas[l];
+    delta.assign(dim, 0.0f);
+    const auto& next_delta = scratch->deltas[l + 1];
+    const auto& activation = scratch->activations[l];
+    for (uint32_t i = 0; i < dim; ++i) {
+      if (activation[i] <= 0.0f) continue;  // ReLU gate
+      float sum = 0;
+      for (uint32_t j = 0; j < next_dim; ++j) {
+        sum += weights_[l + 1][static_cast<size_t>(j) * dim + i] *
+               next_delta[j];
+      }
+      delta[i] = sum;
+    }
+  }
+  // Weight/bias gradient accumulation.
+  const float* input = x;
+  uint32_t input_dim = layer_sizes_[0];
+  for (size_t l = 0; l < layers; ++l) {
+    const uint32_t out_dim = layer_sizes_[l + 1];
+    const auto& delta = scratch->deltas[l];
+    for (uint32_t j = 0; j < out_dim; ++j) {
+      const float d = delta[j];
+      if (d != 0.0f) {
+        float* grad_row =
+            weight_grads_[l].data() + static_cast<size_t>(j) * input_dim;
+        for (uint32_t i = 0; i < input_dim; ++i) grad_row[i] += d * input[i];
+      }
+      bias_grads_[l][j] += d;
+    }
+    input = scratch->activations[l].data();
+    input_dim = out_dim;
+  }
+  // Input gradient for the embedding backward pass.
+  if (x_grad != nullptr) {
+    const uint32_t in_dim = layer_sizes_[0];
+    const uint32_t first_out = layer_sizes_[1];
+    const auto& delta = scratch->deltas[0];
+    for (uint32_t i = 0; i < in_dim; ++i) {
+      float sum = 0;
+      for (uint32_t j = 0; j < first_out; ++j) {
+        sum += weights_[0][static_cast<size_t>(j) * in_dim + i] * delta[j];
+      }
+      x_grad[i] = sum;
+    }
+  }
+}
+
+void Mlp::ApplyGradients(size_t batch_size) {
+  const float scale = learning_rate_ / static_cast<float>(batch_size);
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    for (size_t i = 0; i < weights_[l].size(); ++i) {
+      weights_[l][i] -= scale * weight_grads_[l][i];
+      weight_grads_[l][i] = 0.0f;
+    }
+    for (size_t i = 0; i < biases_[l].size(); ++i) {
+      biases_[l][i] -= scale * bias_grads_[l][i];
+      bias_grads_[l][i] = 0.0f;
+    }
+  }
+}
+
+size_t Mlp::ParameterCount() const {
+  size_t count = 0;
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    count += weights_[l].size() + biases_[l].size();
+  }
+  return count;
+}
+
+std::vector<float> Mlp::SaveParameters() const {
+  std::vector<float> parameters;
+  parameters.reserve(ParameterCount());
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    parameters.insert(parameters.end(), weights_[l].begin(),
+                      weights_[l].end());
+    parameters.insert(parameters.end(), biases_[l].begin(), biases_[l].end());
+  }
+  return parameters;
+}
+
+Status Mlp::LoadParameters(const std::vector<float>& parameters) {
+  if (parameters.size() != ParameterCount()) {
+    return Status::InvalidArgument("parameter count mismatch");
+  }
+  size_t pos = 0;
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    std::copy_n(parameters.begin() + pos, weights_[l].size(),
+                weights_[l].begin());
+    pos += weights_[l].size();
+    std::copy_n(parameters.begin() + pos, biases_[l].size(),
+                biases_[l].begin());
+    pos += biases_[l].size();
+  }
+  return Status::OK();
+}
+
+}  // namespace oe::train

@@ -1,0 +1,68 @@
+#ifndef OE_TRAIN_MLP_H_
+#define OE_TRAIN_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace oe::train {
+
+/// Dense multi-layer perceptron with ReLU hidden layers and a linear
+/// output, trained with mini-batch SGD. This is the "dense part" of the
+/// DLRM — small (per the paper, <1% of model size) but compute-heavy, and
+/// synchronized across workers every batch.
+///
+/// Usage per batch: Forward() each example (thread-confined scratch passed
+/// by the caller), BackwardAccumulate() its loss gradient, then one
+/// ApplyGradients() with the batch size. Gradient accumulation is not
+/// thread-safe; the trainer serializes it (modeling allreduce).
+class Mlp {
+ public:
+  /// `layer_sizes` = {input, hidden..., output}.
+  Mlp(std::vector<uint32_t> layer_sizes, float learning_rate, uint64_t seed);
+
+  uint32_t input_dim() const { return layer_sizes_.front(); }
+  uint32_t output_dim() const { return layer_sizes_.back(); }
+
+  /// Per-example activation scratch; reusable across calls.
+  struct Scratch {
+    std::vector<std::vector<float>> activations;  // per layer, post-ReLU
+    std::vector<std::vector<float>> deltas;
+  };
+
+  /// Computes the output for `x` (input_dim floats) into `out`
+  /// (output_dim floats), recording activations in `scratch`.
+  void Forward(const float* x, float* out, Scratch* scratch) const;
+
+  /// Accumulates weight gradients for one example given dL/d(out) and the
+  /// scratch from its Forward(). Optionally returns dL/d(x) into
+  /// `x_grad` (input_dim floats) for the embedding backward pass.
+  void BackwardAccumulate(const float* x, const float* out_grad,
+                          Scratch* scratch, float* x_grad);
+
+  /// SGD step with gradients averaged over `batch_size` examples; clears
+  /// the accumulators.
+  void ApplyGradients(size_t batch_size);
+
+  /// Parameter count (weights + biases).
+  size_t ParameterCount() const;
+
+  /// Flat parameter snapshot / restore (dense checkpointing).
+  std::vector<float> SaveParameters() const;
+  Status LoadParameters(const std::vector<float>& parameters);
+
+ private:
+  std::vector<uint32_t> layer_sizes_;
+  float learning_rate_;
+  // weights_[l]: layer_sizes_[l+1] x layer_sizes_[l], row-major.
+  std::vector<std::vector<float>> weights_;
+  std::vector<std::vector<float>> biases_;
+  std::vector<std::vector<float>> weight_grads_;
+  std::vector<std::vector<float>> bias_grads_;
+};
+
+}  // namespace oe::train
+
+#endif  // OE_TRAIN_MLP_H_

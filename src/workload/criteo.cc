@@ -1,0 +1,87 @@
+#include "workload/criteo.h"
+
+#include <cmath>
+
+namespace oe::workload {
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+uint64_t HashKey(uint64_t key, uint64_t salt) {
+  uint64_t x = key ^ salt;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+CriteoSynth::CriteoSynth(const CriteoSynthConfig& config)
+    : config_(config), rng_(config.seed) {
+  Random shape_rng(config.seed ^ 0xabcdef);
+  cardinalities_.reserve(config.categorical_fields);
+  field_offset_.reserve(config.categorical_fields);
+  for (uint32_t f = 0; f < config.categorical_fields; ++f) {
+    // Wide spread: a few tiny fields (gender-like), many mid-size, a few
+    // huge (item-id-like) — mirrors the real Criteo cardinality profile.
+    const double spread = std::pow(2.0, shape_rng.UniformFloat(-6.0f, 3.0f));
+    uint64_t cardinality = std::max<uint64_t>(
+        4, static_cast<uint64_t>(spread *
+                                 static_cast<double>(config.base_cardinality)));
+    field_offset_.push_back(total_keys_);
+    cardinalities_.push_back(cardinality);
+    total_keys_ += cardinality;
+  }
+}
+
+float CriteoSynth::GroundTruthWeight(storage::EntryId key) const {
+  // Deterministic pseudo-random weight in [-scale, scale].
+  const uint64_t h = HashKey(key, config_.seed);
+  const double unit =
+      static_cast<double>(h >> 11) * (1.0 / static_cast<double>(1ULL << 53));
+  return static_cast<float>((unit * 2.0 - 1.0) * config_.ground_truth_scale);
+}
+
+CtrExample CriteoSynth::Next() {
+  CtrExample example;
+  example.dense.resize(config_.dense_fields);
+  for (auto& v : example.dense) {
+    // Log-normal-ish positive values like Criteo's count features,
+    // standardized into a small range.
+    v = static_cast<float>(std::log1p(rng_.NextExponential(1.0) * 3.0));
+  }
+  example.cat_keys.resize(config_.categorical_fields);
+  for (uint32_t f = 0; f < config_.categorical_fields; ++f) {
+    // Skewed popularity within each field (exponential rank decay).
+    const double z = -std::log(1.0 - rng_.NextDouble() * (1.0 - 1e-9)) / 4.0;
+    uint64_t value = static_cast<uint64_t>(
+        z * static_cast<double>(cardinalities_[f]));
+    if (value >= cardinalities_[f]) value = cardinalities_[f] - 1;
+    example.cat_keys[f] = field_offset_[f] + value;
+  }
+  example.label = rng_.Bernoulli(GroundTruthCtr(example)) ? 1.0f : 0.0f;
+  return example;
+}
+
+std::vector<CtrExample> CriteoSynth::NextBatch(size_t n) {
+  std::vector<CtrExample> batch;
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) batch.push_back(Next());
+  return batch;
+}
+
+double CriteoSynth::GroundTruthCtr(const CtrExample& example) const {
+  double logit = -1.0;  // base CTR ~ 27%
+  for (storage::EntryId key : example.cat_keys) {
+    logit += GroundTruthWeight(key);
+  }
+  for (uint32_t i = 0; i < config_.dense_fields; ++i) {
+    logit += 0.05 * (i % 2 == 0 ? 1.0 : -1.0) * example.dense[i];
+  }
+  return Sigmoid(logit);
+}
+
+}  // namespace oe::workload

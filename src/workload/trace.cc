@@ -1,0 +1,110 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace oe::workload {
+
+std::vector<storage::EntryId> BatchTraceGenerator::NextBatch() {
+  std::vector<storage::EntryId> keys;
+  keys.reserve(keys_per_batch_);
+  for (size_t i = 0; i < keys_per_batch_; ++i) {
+    keys.push_back(sampler_->Sample(&rng_));
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+uint64_t TraceAnalyzer::total_accesses() const {
+  uint64_t total = 0;
+  for (const auto& [key, count] : frequency_) total += count;
+  return total;
+}
+
+double TraceAnalyzer::TopFractionShare(double fraction) const {
+  const auto ranks = RankFrequencies();
+  if (ranks.empty()) return 0.0;
+  const uint64_t total =
+      std::accumulate(ranks.begin(), ranks.end(), uint64_t{0});
+  auto top = static_cast<size_t>(fraction * static_cast<double>(ranks.size()));
+  if (top == 0) top = 1;
+  top = std::min(top, ranks.size());
+  const uint64_t head =
+      std::accumulate(ranks.begin(), ranks.begin() + top, uint64_t{0});
+  return static_cast<double>(head) / static_cast<double>(total);
+}
+
+std::vector<uint64_t> TraceAnalyzer::RankFrequencies() const {
+  std::vector<uint64_t> counts;
+  counts.reserve(frequency_.size());
+  for (const auto& [key, count] : frequency_) counts.push_back(count);
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  return counts;
+}
+
+double TraceAnalyzer::FitExponentialLambda(double head_fraction) const {
+  const auto ranks = RankFrequencies();
+  if (ranks.size() < 2) return 0.0;
+  // Least squares on y = log(freq) vs x = rank / num_ranks over the head.
+  size_t head = static_cast<size_t>(head_fraction *
+                                    static_cast<double>(ranks.size()));
+  head = std::max<size_t>(2, std::min(head, ranks.size()));
+  const double total = static_cast<double>(ranks.size());
+  const double n = static_cast<double>(head);
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (size_t i = 0; i < head; ++i) {
+    const double x = static_cast<double>(i) / total;
+    const double y = std::log(static_cast<double>(ranks[i]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  return -slope;  // freq ~ exp(-lambda * rank/num_ranks)
+}
+
+uint64_t BurstTimeline::TotalPulls() const {
+  return std::accumulate(pull_per_ms.begin(), pull_per_ms.end(), uint64_t{0});
+}
+
+uint64_t BurstTimeline::TotalUpdates() const {
+  return std::accumulate(update_per_ms.begin(), update_per_ms.end(),
+                         uint64_t{0});
+}
+
+BurstTimeline MakeBurstTimeline(const BurstTimelineConfig& config,
+                                uint64_t seed) {
+  Random rng(seed);
+  const int total_ms = config.num_batches * config.batch_period_ms + 2;
+  BurstTimeline timeline;
+  timeline.pull_per_ms.assign(total_ms, 0);
+  timeline.update_per_ms.assign(total_ms, 0);
+
+  const uint64_t per_phase =
+      config.requests_per_worker * static_cast<uint64_t>(config.workers);
+  for (int batch = 0; batch < config.num_batches; ++batch) {
+    const int pull_start = batch * config.batch_period_ms + 1;
+    const int update_start =
+        pull_start + config.batch_period_ms - config.burst_width_ms - 1;
+    // Spread each phase's requests over the burst window, front-loaded
+    // (workers fire simultaneously, stragglers trail off).
+    for (int w = 0; w < config.burst_width_ms; ++w) {
+      const double weight =
+          (config.burst_width_ms - w) /
+          (0.5 * config.burst_width_ms * (config.burst_width_ms + 1));
+      const auto jitter = static_cast<int64_t>(rng.Uniform(32)) - 16;
+      const auto base = static_cast<int64_t>(
+          weight * static_cast<double>(per_phase));
+      const uint64_t count =
+          static_cast<uint64_t>(std::max<int64_t>(0, base + jitter));
+      timeline.pull_per_ms[pull_start + w] = count;
+      timeline.update_per_ms[update_start + w] = count;
+    }
+  }
+  return timeline;
+}
+
+}  // namespace oe::workload

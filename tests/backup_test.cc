@@ -1,0 +1,194 @@
+// Remote-backup tier and parallel recovery (the paper's Section I two-tier
+// checkpoint scheme and Section VI-E parallel-recovery note).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "ckpt/checkpoint_log.h"
+#include "common/random.h"
+#include "storage/pipelined_store.h"
+
+namespace oe::storage {
+namespace {
+
+using ckpt::CheckpointLog;
+using pmem::CrashFidelity;
+using pmem::DeviceKind;
+using pmem::PmemDevice;
+using pmem::PmemDeviceOptions;
+
+constexpr uint32_t kDim = 8;
+
+StoreConfig SmallConfig() {
+  StoreConfig config;
+  config.dim = kDim;
+  config.optimizer.learning_rate = 0.5f;
+  config.cache_bytes = 8 * 1024;
+  return config;
+}
+
+std::unique_ptr<PmemDevice> MakeDevice(
+    DeviceKind kind = DeviceKind::kPmem,
+    CrashFidelity fidelity = CrashFidelity::kStrict) {
+  PmemDeviceOptions options;
+  options.size_bytes = 32 << 20;
+  options.kind = kind;
+  options.crash_fidelity = fidelity;
+  return PmemDevice::Create(options).ValueOrDie();
+}
+
+void TrainBatch(PipelinedStore* store, uint64_t batch,
+                const std::vector<EntryId>& keys, float g) {
+  std::vector<float> w(keys.size() * kDim);
+  ASSERT_TRUE(store->Pull(keys.data(), keys.size(), batch, w.data()).ok());
+  store->FinishPullPhase(batch);
+  std::vector<float> grads(keys.size() * kDim, g);
+  ASSERT_TRUE(
+      store->Push(keys.data(), keys.size(), grads.data(), batch).ok());
+}
+
+TEST(RemoteBackupTest, ExportRequiresPublishedCheckpoint) {
+  auto device = MakeDevice();
+  auto store = PipelinedStore::Create(SmallConfig(), device.get())
+                   .ValueOrDie();
+  auto remote_device = MakeDevice(DeviceKind::kSsd);
+  EntryLayout layout(kDim, 0);
+  auto remote =
+      CheckpointLog::Create(remote_device.get(), layout).ValueOrDie();
+  EXPECT_FALSE(store->ExportCheckpoint(remote.get()).ok());
+  EXPECT_FALSE(store->ExportCheckpoint(nullptr).ok());
+}
+
+TEST(RemoteBackupTest, TotalLossRestoreFromRemote) {
+  EntryLayout layout(kDim, 0);
+  auto remote_device = MakeDevice(DeviceKind::kSsd);
+  auto remote =
+      CheckpointLog::Create(remote_device.get(), layout).ValueOrDie();
+
+  std::vector<EntryId> keys(64);
+  std::iota(keys.begin(), keys.end(), 0);
+  std::map<EntryId, std::vector<float>> expected;
+  {
+    auto device = MakeDevice();
+    auto store = PipelinedStore::Create(SmallConfig(), device.get())
+                     .ValueOrDie();
+    TrainBatch(store.get(), 1, keys, 0.1f);
+    TrainBatch(store.get(), 2, keys, 0.2f);
+    ASSERT_TRUE(store->RequestCheckpoint(2).ok());
+    ASSERT_TRUE(store->DrainCheckpoints().ok());
+    // Periodic remote backup of the published checkpoint.
+    ASSERT_TRUE(store->ExportCheckpoint(remote.get()).ok());
+    for (EntryId key : keys) expected[key] = store->Peek(key).ValueOrDie();
+    // Post-backup updates that the remote tier does not know about.
+    TrainBatch(store.get(), 3, keys, 0.9f);
+    // The entire PS node (device included) is now lost.
+  }
+
+  // Replacement node: fresh device, fresh store, import from remote.
+  auto new_device = MakeDevice();
+  auto store = PipelinedStore::Create(SmallConfig(), new_device.get())
+                   .ValueOrDie();
+  ASSERT_TRUE(store->ImportCheckpoint(*remote).ok());
+  EXPECT_EQ(store->PublishedCheckpoint(), 2u);
+  EXPECT_EQ(store->EntryCount(), keys.size());
+  for (EntryId key : keys) {
+    auto got = store->Peek(key).ValueOrDie();
+    for (uint32_t d = 0; d < kDim; ++d) {
+      EXPECT_NEAR(got[d], expected[key][d], 1e-6) << key;
+    }
+  }
+
+  // The restored node trains and checkpoints normally.
+  TrainBatch(store.get(), 3, keys, 0.1f);
+  ASSERT_TRUE(store->RequestCheckpoint(3).ok());
+  ASSERT_TRUE(store->DrainCheckpoints().ok());
+  EXPECT_EQ(store->PublishedCheckpoint(), 3u);
+
+  // And survives a local crash after the import.
+  new_device->SimulateCrash();
+  ASSERT_TRUE(store->RecoverFromCrash().ok());
+  EXPECT_EQ(store->EntryCount(), keys.size());
+}
+
+TEST(RemoteBackupTest, ImportRejectsNonEmptyStore) {
+  EntryLayout layout(kDim, 0);
+  auto remote_device = MakeDevice(DeviceKind::kSsd);
+  auto remote =
+      CheckpointLog::Create(remote_device.get(), layout).ValueOrDie();
+  std::vector<uint8_t> record(layout.record_bytes(), 0);
+  EntryLayout::SetRecordHeader(record.data(), 7, 1);
+  ASSERT_TRUE(remote->AppendChunk(1, record.data(), 1).ok());
+
+  auto device = MakeDevice();
+  auto store = PipelinedStore::Create(SmallConfig(), device.get())
+                   .ValueOrDie();
+  std::vector<EntryId> keys = {1};
+  TrainBatch(store.get(), 1, keys, 0.1f);
+  EXPECT_FALSE(store->ImportCheckpoint(*remote).ok());
+}
+
+TEST(RemoteBackupTest, ExportReflectsCheckpointNotLiveState) {
+  EntryLayout layout(kDim, 0);
+  auto remote_device = MakeDevice(DeviceKind::kPmem);
+  auto remote =
+      CheckpointLog::Create(remote_device.get(), layout).ValueOrDie();
+  auto device = MakeDevice();
+  auto store = PipelinedStore::Create(SmallConfig(), device.get())
+                   .ValueOrDie();
+  std::vector<EntryId> keys = {10, 11};
+  TrainBatch(store.get(), 1, keys, 0.1f);
+  ASSERT_TRUE(store->RequestCheckpoint(1).ok());
+  ASSERT_TRUE(store->DrainCheckpoints().ok());
+  auto at_ckpt = store->Peek(10).ValueOrDie();
+  TrainBatch(store.get(), 2, keys, 0.5f);  // newer than the checkpoint
+  ASSERT_TRUE(store->ExportCheckpoint(remote.get()).ok());
+
+  auto new_device = MakeDevice();
+  auto restored = PipelinedStore::Create(SmallConfig(), new_device.get())
+                      .ValueOrDie();
+  ASSERT_TRUE(restored->ImportCheckpoint(*remote).ok());
+  EXPECT_EQ(restored->Peek(10).ValueOrDie(), at_ckpt);
+}
+
+class ParallelRecoveryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelRecoveryTest, ThreadCountsAgree) {
+  auto device = MakeDevice();
+  StoreConfig config = SmallConfig();
+  config.recovery_threads = GetParam();
+  auto store = PipelinedStore::Create(config, device.get()).ValueOrDie();
+
+  Random rng(99);
+  std::vector<EntryId> keys(1024);
+  std::iota(keys.begin(), keys.end(), 0);
+  for (uint64_t batch = 1; batch <= 12; ++batch) {
+    TrainBatch(store.get(), batch, keys, rng.UniformFloat(-0.2f, 0.2f));
+    if (batch % 4 == 0) {
+      ASSERT_TRUE(store->RequestCheckpoint(batch).ok());
+      ASSERT_TRUE(store->DrainCheckpoints().ok());
+    }
+  }
+  std::map<EntryId, std::vector<float>> expected;
+  for (EntryId key : keys) expected[key] = store->Peek(key).ValueOrDie();
+
+  device->SimulateCrash();
+  ASSERT_TRUE(store->RecoverFromCrash().ok());
+  EXPECT_EQ(store->PublishedCheckpoint(), 12u);
+  EXPECT_EQ(store->EntryCount(), keys.size());
+  for (EntryId key : keys) {
+    auto got = store->Peek(key).ValueOrDie();
+    for (uint32_t d = 0; d < kDim; ++d) {
+      EXPECT_NEAR(got[d], expected[key][d], 1e-6)
+          << "key " << key << " threads " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelRecoveryTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace oe::storage

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <list>
+#include <thread>
+#include <vector>
+
+#include "cache/access_queue.h"
+#include "cache/lru_list.h"
+#include "cache/tagged_ptr.h"
+#include "common/random.h"
+
+namespace oe::cache {
+namespace {
+
+struct Entry {
+  uint64_t key = 0;
+  LruNode lru;
+};
+
+using List = LruList<Entry, &Entry::lru>;
+
+TEST(TaggedPtrTest, NullByDefault) {
+  TaggedPtr ptr;
+  EXPECT_TRUE(ptr.is_null());
+  EXPECT_FALSE(ptr.is_dram());
+  EXPECT_FALSE(ptr.is_pmem());
+}
+
+TEST(TaggedPtrTest, DramRoundTrip) {
+  Entry entry;
+  TaggedPtr ptr = TaggedPtr::FromDram(&entry);
+  EXPECT_TRUE(ptr.is_dram());
+  EXPECT_FALSE(ptr.is_pmem());
+  EXPECT_EQ(ptr.dram<Entry>(), &entry);
+}
+
+TEST(TaggedPtrTest, PmemRoundTrip) {
+  TaggedPtr ptr = TaggedPtr::FromPmem(0xdeadbeef);
+  EXPECT_TRUE(ptr.is_pmem());
+  EXPECT_FALSE(ptr.is_dram());
+  EXPECT_EQ(ptr.pmem_offset(), 0xdeadbeefULL);
+}
+
+TEST(TaggedPtrTest, PmemOffsetZeroIsNotNull) {
+  TaggedPtr ptr = TaggedPtr::FromPmem(0);
+  EXPECT_FALSE(ptr.is_null());
+  EXPECT_TRUE(ptr.is_pmem());
+  EXPECT_EQ(ptr.pmem_offset(), 0u);
+}
+
+TEST(TaggedPtrTest, Equality) {
+  Entry entry;
+  EXPECT_EQ(TaggedPtr::FromDram(&entry), TaggedPtr::FromDram(&entry));
+  EXPECT_FALSE(TaggedPtr::FromPmem(1) == TaggedPtr::FromPmem(2));
+}
+
+TEST(LruListTest, EmptyList) {
+  List list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.Tail(), nullptr);
+  EXPECT_EQ(list.Head(), nullptr);
+}
+
+TEST(LruListTest, PushFrontOrdering) {
+  List list;
+  Entry a{1, {}}, b{2, {}}, c{3, {}};
+  list.PushFront(&a);
+  list.PushFront(&b);
+  list.PushFront(&c);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.Head(), &c);  // most recent
+  EXPECT_EQ(list.Tail(), &a);  // victim
+}
+
+TEST(LruListTest, TouchMovesToHead) {
+  List list;
+  Entry a{1, {}}, b{2, {}}, c{3, {}};
+  list.PushFront(&a);
+  list.PushFront(&b);
+  list.PushFront(&c);
+  list.Touch(&a);
+  EXPECT_EQ(list.Head(), &a);
+  EXPECT_EQ(list.Tail(), &b);
+}
+
+TEST(LruListTest, TouchLinksUnlinkedEntry) {
+  List list;
+  Entry a{1, {}};
+  EXPECT_FALSE(list.Contains(&a));
+  list.Touch(&a);
+  EXPECT_TRUE(list.Contains(&a));
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(LruListTest, RemoveUnlinks) {
+  List list;
+  Entry a{1, {}}, b{2, {}};
+  list.PushFront(&a);
+  list.PushFront(&b);
+  list.Remove(&a);
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_FALSE(list.Contains(&a));
+  EXPECT_EQ(list.Tail(), &b);
+}
+
+TEST(LruListTest, ClearUnlinksEverything) {
+  List list;
+  std::vector<Entry> entries(10);
+  for (auto& entry : entries) list.PushFront(&entry);
+  list.Clear();
+  EXPECT_TRUE(list.empty());
+  for (auto& entry : entries) EXPECT_FALSE(list.Contains(&entry));
+  // Reusable after Clear.
+  list.PushFront(&entries[0]);
+  EXPECT_EQ(list.size(), 1u);
+}
+
+// Property: LruList behaves exactly like a reference std::list-based LRU
+// under random Touch/Remove/PushFront sequences.
+class LruPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LruPropertyTest, MatchesReferenceModel) {
+  constexpr size_t kEntries = 32;
+  std::vector<Entry> entries(kEntries);
+  for (size_t i = 0; i < kEntries; ++i) entries[i].key = i;
+  List list;
+  std::list<size_t> reference;  // front = MRU
+
+  Random rng(GetParam());
+  for (int step = 0; step < 2000; ++step) {
+    const size_t i = rng.Uniform(kEntries);
+    const bool linked = list.Contains(&entries[i]);
+    const double dice = rng.NextDouble();
+    if (dice < 0.5) {
+      list.Touch(&entries[i]);
+      reference.remove(i);
+      reference.push_front(i);
+    } else if (dice < 0.75 && linked) {
+      list.Remove(&entries[i]);
+      reference.remove(i);
+    } else if (!linked) {
+      list.PushFront(&entries[i]);
+      reference.push_front(i);
+    }
+    ASSERT_EQ(list.size(), reference.size());
+    if (!reference.empty()) {
+      ASSERT_EQ(list.Head()->key, reference.front());
+      ASSERT_EQ(list.Tail()->key, reference.back());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LruPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+TEST(AccessQueueTest, FifoOrder) {
+  AccessQueue<int> queue;
+  queue.Append(1, {1, 2});
+  queue.Append(2, {3});
+  uint64_t batch = 0;
+  std::vector<int> items;
+  ASSERT_TRUE(queue.TryPop(&batch, &items));
+  EXPECT_EQ(batch, 1u);
+  EXPECT_EQ(items, std::vector<int>({1, 2}));
+  ASSERT_TRUE(queue.TryPop(&batch, &items));
+  EXPECT_EQ(batch, 2u);
+  EXPECT_FALSE(queue.TryPop(&batch, &items));
+}
+
+TEST(AccessQueueTest, BlockingPopWaits) {
+  AccessQueue<int> queue;
+  std::thread producer([&] { queue.Append(7, {42}); });
+  uint64_t batch = 0;
+  std::vector<int> items;
+  ASSERT_TRUE(queue.Pop(&batch, &items));
+  EXPECT_EQ(batch, 7u);
+  EXPECT_EQ(items, std::vector<int>({42}));
+  producer.join();
+}
+
+TEST(AccessQueueTest, CloseReleasesBlockedConsumers) {
+  AccessQueue<int> queue;
+  std::thread consumer([&] {
+    uint64_t batch;
+    std::vector<int> items;
+    EXPECT_FALSE(queue.Pop(&batch, &items));  // closed and empty
+  });
+  queue.Close();
+  consumer.join();
+}
+
+TEST(AccessQueueTest, DrainsRemainingAfterClose) {
+  AccessQueue<int> queue;
+  queue.Append(1, {1});
+  queue.Close();
+  uint64_t batch;
+  std::vector<int> items;
+  EXPECT_TRUE(queue.Pop(&batch, &items));   // still drains
+  EXPECT_FALSE(queue.Pop(&batch, &items));  // then reports closed
+}
+
+TEST(AccessQueueTest, ConcurrentProducersConsumers) {
+  AccessQueue<int> queue;
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      uint64_t batch;
+      std::vector<int> items;
+      while (queue.Pop(&batch, &items)) {
+        consumed.fetch_add(static_cast<int>(items.size()));
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < 100; ++i) {
+        queue.Append(static_cast<uint64_t>(p), {i});
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  // Wait for drain, then close.
+  while (queue.size() > 0) std::this_thread::yield();
+  queue.Close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(consumed.load(), 400);
+}
+
+}  // namespace
+}  // namespace oe::cache

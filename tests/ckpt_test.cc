@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "ckpt/checkpoint_log.h"
+#include "ckpt/quantized_snapshot.h"
+#include "common/random.h"
+#include "pmem/device.h"
+#include "storage/ori_cache_store.h"
+
+namespace oe::ckpt {
+namespace {
+
+using pmem::CrashFidelity;
+using pmem::PmemDevice;
+using pmem::PmemDeviceOptions;
+using storage::EntryLayout;
+
+std::unique_ptr<PmemDevice> MakeDevice(
+    pmem::DeviceKind kind = pmem::DeviceKind::kPmem,
+    uint64_t size = 8 << 20) {
+  PmemDeviceOptions options;
+  options.size_bytes = size;
+  options.kind = kind;
+  options.crash_fidelity = CrashFidelity::kStrict;
+  return PmemDevice::Create(options).ValueOrDie();
+}
+
+std::vector<uint8_t> MakeRecords(const EntryLayout& layout,
+                                 const std::vector<uint64_t>& keys,
+                                 uint64_t version, float value) {
+  std::vector<uint8_t> buffer(keys.size() * layout.record_bytes());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    uint8_t* record = buffer.data() + i * layout.record_bytes();
+    EntryLayout::SetRecordHeader(record, keys[i], version);
+    float* data = EntryLayout::RecordData(record);
+    for (uint32_t d = 0; d < layout.values_per_entry(); ++d) {
+      data[d] = value + static_cast<float>(d);
+    }
+  }
+  return buffer;
+}
+
+TEST(CheckpointLogTest, EmptyLogHasNoBatches) {
+  auto device = MakeDevice();
+  EntryLayout layout(4, 0);
+  auto log = CheckpointLog::Create(device.get(), layout).ValueOrDie();
+  EXPECT_EQ(log->LatestBatch(), 0u);
+  EXPECT_EQ(log->UsedBytes(), 0u);
+  int calls = 0;
+  ASSERT_TRUE(log->Replay(100, [&](auto, auto, auto) { ++calls; }).ok());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(CheckpointLogTest, AppendAndReplayRoundTrip) {
+  auto device = MakeDevice();
+  EntryLayout layout(4, 0);
+  auto log = CheckpointLog::Create(device.get(), layout).ValueOrDie();
+  auto records = MakeRecords(layout, {1, 2, 3}, 5, 10.0f);
+  ASSERT_TRUE(log->AppendChunk(5, records.data(), 3).ok());
+  EXPECT_EQ(log->LatestBatch(), 5u);
+
+  std::map<uint64_t, float> seen;
+  ASSERT_TRUE(log->Replay(5, [&](uint64_t key, uint64_t version,
+                                 const float* data) {
+                   EXPECT_EQ(version, 5u);
+                   seen[key] = data[0];
+                 })
+                  .ok());
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_FLOAT_EQ(seen[1], 10.0f);
+}
+
+TEST(CheckpointLogTest, ReplayFiltersByBatch) {
+  auto device = MakeDevice();
+  EntryLayout layout(4, 0);
+  auto log = CheckpointLog::Create(device.get(), layout).ValueOrDie();
+  auto r1 = MakeRecords(layout, {1}, 1, 1.0f);
+  auto r2 = MakeRecords(layout, {1}, 2, 2.0f);
+  ASSERT_TRUE(log->AppendChunk(1, r1.data(), 1).ok());
+  ASSERT_TRUE(log->AppendChunk(2, r2.data(), 1).ok());
+
+  float last = 0;
+  ASSERT_TRUE(
+      log->Replay(1, [&](auto, auto, const float* d) { last = d[0]; }).ok());
+  EXPECT_FLOAT_EQ(last, 1.0f);
+  ASSERT_TRUE(
+      log->Replay(2, [&](auto, auto, const float* d) { last = d[0]; }).ok());
+  EXPECT_FLOAT_EQ(last, 2.0f);  // later chunk replayed last -> overrides
+}
+
+TEST(CheckpointLogTest, UncommittedChunkInvisibleAfterCrash) {
+  auto device = MakeDevice();
+  EntryLayout layout(4, 0);
+  {
+    auto log = CheckpointLog::Create(device.get(), layout).ValueOrDie();
+    auto r1 = MakeRecords(layout, {1, 2}, 1, 1.0f);
+    ASSERT_TRUE(log->AppendChunk(1, r1.data(), 2).ok());
+  }
+  device->SimulateCrash();
+  auto log = CheckpointLog::Open(device.get(), layout).ValueOrDie();
+  EXPECT_EQ(log->LatestBatch(), 1u);
+  int count = 0;
+  ASSERT_TRUE(log->Replay(1, [&](auto, auto, auto) { ++count; }).ok());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(CheckpointLogTest, OutOfSpaceReported) {
+  auto device = MakeDevice(pmem::DeviceKind::kPmem, 1 << 12);
+  EntryLayout layout(16, 0);
+  auto log = CheckpointLog::Create(device.get(), layout).ValueOrDie();
+  std::vector<uint64_t> keys(200);
+  std::iota(keys.begin(), keys.end(), 0);
+  auto records = MakeRecords(layout, keys, 1, 0.0f);
+  auto status = log->AppendChunk(1, records.data(), keys.size());
+  EXPECT_TRUE(status.IsOutOfSpace());
+}
+
+TEST(CheckpointLogTest, OpenRejectsWrongLayout) {
+  auto device = MakeDevice();
+  EntryLayout layout(4, 0);
+  { auto log = CheckpointLog::Create(device.get(), layout).ValueOrDie(); }
+  EntryLayout other(8, 0);
+  EXPECT_FALSE(CheckpointLog::Open(device.get(), other).ok());
+}
+
+TEST(CheckpointLogTest, OpenRejectsUnformattedDevice) {
+  auto device = MakeDevice();
+  EntryLayout layout(4, 0);
+  EXPECT_FALSE(CheckpointLog::Open(device.get(), layout).ok());
+}
+
+TEST(CheckpointLogTest, CorruptionDetectedByCrc) {
+  auto device = MakeDevice();
+  EntryLayout layout(4, 0);
+  auto log = CheckpointLog::Create(device.get(), layout).ValueOrDie();
+  auto records = MakeRecords(layout, {1, 2, 3}, 1, 1.0f);
+  ASSERT_TRUE(log->AppendChunk(1, records.data(), 3).ok());
+  // Flip a payload byte behind the log's back.
+  device->base()[64 + 32 + 20] ^= 0xff;
+  auto status = log->Replay(1, [](auto, auto, auto) {});
+  EXPECT_TRUE(status.IsCorruption());
+}
+
+// ---------- Ori-Cache specific behaviour ----------
+
+storage::StoreConfig OriConfig() {
+  storage::StoreConfig config;
+  config.dim = 8;
+  config.optimizer.learning_rate = 0.5f;
+  config.cache_bytes = 4 * 1024;
+  return config;
+}
+
+struct OriFixture {
+  std::unique_ptr<PmemDevice> store_device = MakeDevice();
+  std::unique_ptr<PmemDevice> log_device = MakeDevice();
+  std::unique_ptr<CheckpointLog> log;
+  std::unique_ptr<storage::OriCacheStore> store;
+
+  explicit OriFixture(const storage::StoreConfig& config = OriConfig()) {
+    EntryLayout layout(config.dim, config.optimizer.Slots());
+    log = CheckpointLog::Create(log_device.get(), layout).ValueOrDie();
+    store = storage::OriCacheStore::Create(config, store_device.get(),
+                                           log.get())
+                .ValueOrDie();
+  }
+};
+
+TEST(OriCacheStoreTest, SyncOpsGrowPerAccess) {
+  OriFixture f;
+  std::vector<uint64_t> keys = {1, 2, 3, 4};
+  std::vector<float> w(keys.size() * 8);
+  ASSERT_TRUE(f.store->Pull(keys.data(), keys.size(), 1, w.data()).ok());
+  const uint64_t after_pull = f.store->sync_ops();
+  EXPECT_GE(after_pull, 2 * keys.size());  // hash op + LRU op per key
+  std::vector<float> g(keys.size() * 8, 0.1f);
+  ASSERT_TRUE(f.store->Push(keys.data(), keys.size(), g.data(), 1).ok());
+  // Push touches the LRU again: "pair operations ... two independent
+  // operations in cache".
+  EXPECT_GE(f.store->sync_ops(), after_pull + 2 * keys.size());
+}
+
+TEST(OriCacheStoreTest, EvictionWritesBackSynchronously) {
+  OriFixture f;
+  const size_t capacity = f.store->CacheCapacityEntries();
+  std::vector<uint64_t> keys(capacity * 2);
+  std::iota(keys.begin(), keys.end(), 0);
+  std::vector<float> w(keys.size() * 8);
+  ASSERT_TRUE(f.store->Pull(keys.data(), keys.size(), 1, w.data()).ok());
+  EXPECT_LE(f.store->CachedEntries(), capacity);
+  EXPECT_GT(f.store->stats().evictions.load(), 0u);
+  // Evicted entries still readable with correct values.
+  for (uint64_t key : keys) {
+    EXPECT_TRUE(f.store->Peek(key).ok()) << key;
+  }
+}
+
+TEST(OriCacheStoreTest, CheckpointRecoverRoundTrip) {
+  OriFixture f;
+  std::vector<uint64_t> keys = {10, 20, 30};
+  std::vector<float> w(keys.size() * 8);
+  ASSERT_TRUE(f.store->Pull(keys.data(), keys.size(), 1, w.data()).ok());
+  std::vector<float> g(keys.size() * 8, 0.25f);
+  ASSERT_TRUE(f.store->Push(keys.data(), keys.size(), g.data(), 1).ok());
+  ASSERT_TRUE(f.store->RequestCheckpoint(1).ok());
+  auto expected = f.store->Peek(10).ValueOrDie();
+
+  // Post-checkpoint noise.
+  ASSERT_TRUE(f.store->Pull(keys.data(), keys.size(), 2, w.data()).ok());
+  ASSERT_TRUE(f.store->Push(keys.data(), keys.size(), g.data(), 2).ok());
+
+  f.store_device->SimulateCrash();
+  ASSERT_TRUE(f.store->RecoverFromCrash().ok());
+  EXPECT_EQ(f.store->PublishedCheckpoint(), 1u);
+  EXPECT_EQ(f.store->EntryCount(), keys.size());
+  EXPECT_EQ(f.store->Peek(10).ValueOrDie(), expected);
+}
+
+TEST(OriCacheStoreTest, CheckpointCopiesScaleWithDirtySet) {
+  OriFixture f;
+  std::vector<uint64_t> keys(50);
+  std::iota(keys.begin(), keys.end(), 0);
+  std::vector<float> w(keys.size() * 8);
+  ASSERT_TRUE(f.store->Pull(keys.data(), keys.size(), 1, w.data()).ok());
+  ASSERT_TRUE(f.store->RequestCheckpoint(1).ok());
+  const uint64_t full = f.log->UsedBytes();
+
+  std::vector<float> g(8, 0.1f);
+  ASSERT_TRUE(f.store->Pull(keys.data(), 1, 2, w.data()).ok());
+  ASSERT_TRUE(f.store->Push(keys.data(), 1, g.data(), 2).ok());
+  ASSERT_TRUE(f.store->RequestCheckpoint(2).ok());
+  EXPECT_LT(f.log->UsedBytes() - full, full / 4);
+}
+
+
+// ---------- Quantized snapshots (Check-N-Run-style) ----------
+
+TEST(QuantizedSnapshotTest, RoundTripWithinQuantizationError) {
+  auto device = MakeDevice();
+  EntryLayout layout(8, 1);  // weights + AdaGrad state
+  QuantizedSnapshot snapshot(device.get(), layout);
+
+  oe::Random rng(3);
+  const uint64_t count = 100;
+  std::vector<uint8_t> records(count * layout.record_bytes());
+  for (uint64_t i = 0; i < count; ++i) {
+    uint8_t* record = records.data() + i * layout.record_bytes();
+    EntryLayout::SetRecordHeader(record, 1000 + i, 7);
+    float* data = EntryLayout::RecordData(record);
+    for (uint32_t v = 0; v < layout.values_per_entry(); ++v) {
+      data[v] = rng.UniformFloat(-2.0f, 2.0f);
+    }
+  }
+  ASSERT_TRUE(snapshot.Write(7, records.data(), count).ok());
+  EXPECT_EQ(snapshot.Batch(), 7u);
+  EXPECT_EQ(snapshot.Count(), count);
+
+  const double max_error = QuantizedSnapshot::MaxError(4.0) * 2.01;
+  uint64_t seen = 0;
+  ASSERT_TRUE(snapshot
+                  .Read([&](uint64_t key, uint64_t version,
+                            const float* values) {
+                    ASSERT_GE(key, 1000u);
+                    EXPECT_EQ(version, 7u);
+                    const uint8_t* record =
+                        records.data() + (key - 1000) * layout.record_bytes();
+                    const float* original = EntryLayout::RecordData(record);
+                    for (uint32_t v = 0; v < layout.values_per_entry(); ++v) {
+                      EXPECT_NEAR(values[v], original[v], max_error);
+                    }
+                    ++seen;
+                  })
+                  .ok());
+  EXPECT_EQ(seen, count);
+}
+
+TEST(QuantizedSnapshotTest, CompressionRatio) {
+  auto device = MakeDevice();
+  EntryLayout layout(64, 0);  // the paper's dim-64 entries
+  QuantizedSnapshot snapshot(device.get(), layout);
+  const double ratio = static_cast<double>(layout.record_bytes()) /
+                       static_cast<double>(snapshot.QuantizedRecordBytes());
+  EXPECT_GT(ratio, 2.5);  // 272 B -> ~88 B
+}
+
+TEST(QuantizedSnapshotTest, TornWriteInvisibleAfterCrash) {
+  auto device = MakeDevice();
+  EntryLayout layout(4, 0);
+  QuantizedSnapshot snapshot(device.get(), layout);
+  std::vector<uint8_t> records(2 * layout.record_bytes(), 0);
+  EntryLayout::SetRecordHeader(records.data(), 1, 1);
+  EntryLayout::SetRecordHeader(records.data() + layout.record_bytes(), 2, 1);
+  ASSERT_TRUE(snapshot.Write(1, records.data(), 2).ok());
+  device->SimulateCrash();
+  EXPECT_EQ(snapshot.Count(), 2u);  // fully published snapshot survives
+  int seen = 0;
+  ASSERT_TRUE(snapshot.Read([&](auto, auto, auto) { ++seen; }).ok());
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(QuantizedSnapshotTest, ConstantEntryQuantizesExactly) {
+  auto device = MakeDevice();
+  EntryLayout layout(4, 0);
+  QuantizedSnapshot snapshot(device.get(), layout);
+  std::vector<uint8_t> record(layout.record_bytes());
+  EntryLayout::SetRecordHeader(record.data(), 9, 3);
+  float* data = EntryLayout::RecordData(record.data());
+  for (int v = 0; v < 4; ++v) data[v] = 1.25f;  // zero range
+  ASSERT_TRUE(snapshot.Write(3, record.data(), 1).ok());
+  ASSERT_TRUE(snapshot
+                  .Read([&](auto, auto, const float* values) {
+                    for (int v = 0; v < 4; ++v) {
+                      EXPECT_FLOAT_EQ(values[v], 1.25f);
+                    }
+                  })
+                  .ok());
+}
+
+TEST(QuantizedSnapshotTest, RejectsOversizedWrite) {
+  pmem::PmemDeviceOptions options;
+  options.size_bytes = 4096;
+  options.crash_fidelity = CrashFidelity::kStrict;
+  auto device = pmem::PmemDevice::Create(options).ValueOrDie();
+  EntryLayout layout(64, 0);
+  QuantizedSnapshot snapshot(device.get(), layout);
+  std::vector<uint8_t> records(100 * layout.record_bytes(), 0);
+  EXPECT_TRUE(snapshot.Write(1, records.data(), 100).IsOutOfSpace());
+}
+
+}  // namespace
+}  // namespace oe::ckpt

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/openembedding.h"
+
+namespace oe {
+namespace {
+
+OpenEmbeddingOptions SmallOptions() {
+  OpenEmbeddingOptions options;
+  options.embedding_dim = 8;
+  options.num_shards = 2;
+  options.optimizer.learning_rate = 0.5f;
+  options.cache_bytes_per_shard = 16 * 1024;
+  options.pmem_bytes_per_shard = 32ULL << 20;
+  return options;
+}
+
+TEST(OpenEmbeddingTest, QuickstartFlow) {
+  auto oe = OpenEmbedding::Create(SmallOptions()).ValueOrDie();
+  std::vector<uint64_t> keys = {1, 2, 3, 4};
+  std::vector<float> weights(keys.size() * 8);
+  ASSERT_TRUE(oe->Pull(keys.data(), keys.size(), 1, weights.data()).ok());
+  ASSERT_TRUE(oe->FinishPullPhase(1).ok());
+  std::vector<float> grads(keys.size() * 8, 1.0f);
+  ASSERT_TRUE(oe->Push(keys.data(), keys.size(), grads.data(), 1).ok());
+  auto after = oe->Peek(2).ValueOrDie();
+  EXPECT_NEAR(after[0], weights[8] - 0.5f, 1e-5);
+  EXPECT_EQ(oe->Size().ValueOrDie(), 4u);
+}
+
+TEST(OpenEmbeddingTest, CheckpointCrashRecover) {
+  auto oe = OpenEmbedding::Create(SmallOptions()).ValueOrDie();
+  std::vector<uint64_t> keys(16);
+  std::iota(keys.begin(), keys.end(), 0);
+  std::vector<float> weights(keys.size() * 8);
+  std::vector<float> grads(keys.size() * 8, 0.5f);
+
+  ASSERT_TRUE(oe->Pull(keys.data(), keys.size(), 1, weights.data()).ok());
+  ASSERT_TRUE(oe->FinishPullPhase(1).ok());
+  ASSERT_TRUE(oe->Push(keys.data(), keys.size(), grads.data(), 1).ok());
+  ASSERT_TRUE(oe->Checkpoint(1).ok());
+  ASSERT_TRUE(oe->Flush().ok());
+  EXPECT_EQ(oe->LatestCheckpoint().ValueOrDie(), 1u);
+  auto expected = oe->Peek(5).ValueOrDie();
+
+  // Post-checkpoint batch, then crash.
+  ASSERT_TRUE(oe->Pull(keys.data(), keys.size(), 2, weights.data()).ok());
+  ASSERT_TRUE(oe->FinishPullPhase(2).ok());
+  ASSERT_TRUE(oe->Push(keys.data(), keys.size(), grads.data(), 2).ok());
+  oe->SimulateCrash();
+  ASSERT_TRUE(oe->Recover().ok());
+
+  EXPECT_EQ(oe->LatestCheckpoint().ValueOrDie(), 1u);
+  EXPECT_EQ(oe->Peek(5).ValueOrDie(), expected);
+}
+
+TEST(OpenEmbeddingTest, BaselineEnginesWork) {
+  for (auto engine :
+       {storage::StoreKind::kDram, storage::StoreKind::kOriCache,
+        storage::StoreKind::kPmemHash}) {
+    auto options = SmallOptions();
+    options.engine = engine;
+    auto oe = OpenEmbedding::Create(options).ValueOrDie();
+    uint64_t key = 9;
+    std::vector<float> w(8);
+    ASSERT_TRUE(oe->Pull(&key, 1, 1, w.data()).ok());
+    std::vector<float> g(8, 1.0f);
+    ASSERT_TRUE(oe->Push(&key, 1, g.data(), 1).ok());
+    EXPECT_TRUE(oe->Peek(key).ok());
+  }
+}
+
+TEST(OpenEmbeddingTest, AdaGradOptimizerEndToEnd) {
+  auto options = SmallOptions();
+  options.optimizer.kind = storage::OptimizerKind::kAdaGrad;
+  options.optimizer.learning_rate = 0.1f;
+  auto oe = OpenEmbedding::Create(options).ValueOrDie();
+  uint64_t key = 3;
+  std::vector<float> w(8);
+  ASSERT_TRUE(oe->Pull(&key, 1, 1, w.data()).ok());
+  ASSERT_TRUE(oe->FinishPullPhase(1).ok());
+  std::vector<float> g(8, 2.0f);
+  ASSERT_TRUE(oe->Push(&key, 1, g.data(), 1).ok());
+  auto after = oe->Peek(key).ValueOrDie();
+  // AdaGrad first step: w -= lr * g / sqrt(g^2) = lr (approximately).
+  EXPECT_NEAR(after[0], w[0] - 0.1f, 1e-4);
+}
+
+}  // namespace
+}  // namespace oe

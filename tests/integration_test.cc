@@ -1,0 +1,180 @@
+// Cluster-level integration soaks: repeated crash/recover/train cycles,
+// adversarial device fidelity, and end-to-end consistency between the
+// distributed client view and per-shard state.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+#include "ps/ps_cluster.h"
+
+namespace oe::ps {
+namespace {
+
+using storage::EntryId;
+using storage::StoreKind;
+
+constexpr uint32_t kDim = 8;
+
+ClusterOptions SoakOptions(pmem::CrashFidelity fidelity) {
+  ClusterOptions options;
+  options.num_nodes = 3;
+  options.kind = StoreKind::kPipelined;
+  options.store.dim = kDim;
+  options.store.optimizer.kind = storage::OptimizerKind::kAdaGrad;
+  options.store.optimizer.learning_rate = 0.1f;
+  options.store.cache_bytes = 8 * 1024;  // heavy eviction traffic
+  options.pmem_bytes_per_node = 64ULL << 20;
+  options.crash_fidelity = fidelity;
+  return options;
+}
+
+// Runs one synchronous batch over the cluster and mirrors it in `model`.
+void RunBatch(PsClient* client, Random* rng, uint64_t batch,
+              std::map<EntryId, std::vector<float>>* model,
+              const storage::StoreConfig& config) {
+  std::vector<EntryId> keys;
+  for (int i = 0; i < 32; ++i) keys.push_back(rng->Uniform(500));
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  std::vector<float> weights(keys.size() * kDim);
+  ASSERT_TRUE(client->Pull(keys.data(), keys.size(), batch, weights.data())
+                  .ok());
+  ASSERT_TRUE(client->FinishPullPhase(batch).ok());
+  std::vector<float> grads(keys.size() * kDim);
+  for (auto& g : grads) g = rng->UniformFloat(-0.5f, 0.5f);
+  ASSERT_TRUE(
+      client->Push(keys.data(), keys.size(), grads.data(), batch).ok());
+
+  // Mirror in the reference model (AdaGrad).
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto& entry = (*model)[keys[i]];
+    if (entry.empty()) {
+      entry.resize(2 * kDim, 0.0f);  // weights ++ accumulators
+      config.initializer.Fill(keys[i], entry.data(), kDim);
+    }
+    for (uint32_t d = 0; d < kDim; ++d) {
+      const float g = grads[i * kDim + d];
+      float& acc = entry[kDim + d];
+      acc += g * g;
+      entry[d] -= config.optimizer.learning_rate * g /
+                  (std::sqrt(acc) + config.optimizer.epsilon);
+    }
+  }
+}
+
+class CrashCycleTest
+    : public ::testing::TestWithParam<pmem::CrashFidelity> {};
+
+TEST_P(CrashCycleTest, ThreeCrashRecoverCyclesStayConsistent) {
+  auto cluster = PsCluster::Create(SoakOptions(GetParam())).ValueOrDie();
+  auto& client = cluster->client();
+  Random rng(2026);
+  std::map<EntryId, std::vector<float>> model;
+  std::map<EntryId, std::vector<float>> model_at_checkpoint;
+
+  uint64_t batch = 0;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    // Train 8 batches, checkpoint after the 8th.
+    for (int b = 0; b < 8; ++b) {
+      ++batch;
+      RunBatch(&client, &rng, batch, &model, cluster->options().store);
+    }
+    ASSERT_TRUE(client.RequestCheckpoint(batch).ok());
+    ASSERT_TRUE(client.DrainCheckpoints().ok());
+    model_at_checkpoint = model;
+    const uint64_t checkpoint_batch = batch;
+
+    // Two doomed batches, then crash.
+    for (int b = 0; b < 2; ++b) {
+      ++batch;
+      RunBatch(&client, &rng, batch, &model, cluster->options().store);
+    }
+    cluster->SimulateCrashAll();
+    ASSERT_TRUE(client.Recover().ok());
+    ASSERT_EQ(client.ClusterCheckpoint().ValueOrDie(), checkpoint_batch);
+
+    // The cluster state equals the reference model at the checkpoint.
+    model = model_at_checkpoint;
+    batch = checkpoint_batch;
+    ASSERT_EQ(client.TotalEntries().ValueOrDie(), model.size())
+        << "cycle " << cycle;
+    for (const auto& [key, expected] : model) {
+      auto got = client.Peek(key);
+      ASSERT_TRUE(got.ok()) << "cycle " << cycle << " key " << key;
+      for (uint32_t d = 0; d < kDim; ++d) {
+        ASSERT_NEAR(got.value()[d], expected[d], 1e-4)
+            << "cycle " << cycle << " key " << key;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fidelity, CrashCycleTest,
+    ::testing::Values(pmem::CrashFidelity::kStrict,
+                      pmem::CrashFidelity::kAdversarial),
+    [](const auto& info) {
+      return info.param == pmem::CrashFidelity::kStrict ? "Strict"
+                                                        : "Adversarial";
+    });
+
+TEST(ClusterConsistencyTest, ShardViewsMatchClientView) {
+  auto cluster =
+      PsCluster::Create(SoakOptions(pmem::CrashFidelity::kNone)).ValueOrDie();
+  auto& client = cluster->client();
+  Random rng(11);
+  std::map<EntryId, std::vector<float>> model;
+  for (uint64_t batch = 1; batch <= 10; ++batch) {
+    RunBatch(&client, &rng, batch, &model, cluster->options().store);
+  }
+  // Per-shard entry counts sum to the client view, and every key lives on
+  // exactly the shard the router names.
+  uint64_t total = 0;
+  for (uint32_t node = 0; node < cluster->num_nodes(); ++node) {
+    total += cluster->store(node)->EntryCount();
+  }
+  EXPECT_EQ(total, client.TotalEntries().ValueOrDie());
+  for (const auto& [key, unused] : model) {
+    const uint32_t owner = client.router().NodeFor(key);
+    EXPECT_TRUE(cluster->store(owner)->Peek(key).ok()) << key;
+    for (uint32_t node = 0; node < cluster->num_nodes(); ++node) {
+      if (node != owner) {
+        EXPECT_FALSE(cluster->store(node)->Peek(key).ok()) << key;
+      }
+    }
+  }
+}
+
+TEST(ClusterConsistencyTest, CheckpointWaitsForSlowestShard) {
+  // A cluster checkpoint only exists once every shard published it: drive
+  // one shard's publication while the others lag, and verify the cluster
+  // view stays at the minimum.
+  auto cluster =
+      PsCluster::Create(SoakOptions(pmem::CrashFidelity::kNone)).ValueOrDie();
+  auto& client = cluster->client();
+  std::vector<EntryId> keys(96);
+  std::iota(keys.begin(), keys.end(), 0);
+  std::vector<float> w(keys.size() * kDim);
+  std::vector<float> g(keys.size() * kDim, 0.1f);
+  ASSERT_TRUE(client.Pull(keys.data(), keys.size(), 1, w.data()).ok());
+  ASSERT_TRUE(client.FinishPullPhase(1).ok());
+  ASSERT_TRUE(client.Push(keys.data(), keys.size(), g.data(), 1).ok());
+  ASSERT_TRUE(client.RequestCheckpoint(1).ok());
+  // Pending everywhere: cluster checkpoint is still 0.
+  EXPECT_EQ(client.ClusterCheckpoint().ValueOrDie(), 0u);
+  // Drain only shard 0.
+  ASSERT_TRUE(cluster->store(0)->DrainCheckpoints().ok());
+  EXPECT_EQ(cluster->store(0)->PublishedCheckpoint(), 1u);
+  EXPECT_EQ(client.ClusterCheckpoint().ValueOrDie(), 0u);  // min over shards
+  // Drain the rest: now the cluster checkpoint exists.
+  ASSERT_TRUE(client.DrainCheckpoints().ok());
+  EXPECT_EQ(client.ClusterCheckpoint().ValueOrDie(), 1u);
+}
+
+}  // namespace
+}  // namespace oe::ps

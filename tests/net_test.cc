@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "net/message.h"
+#include "net/tcp.h"
+#include "net/transport.h"
+
+namespace oe::net {
+namespace {
+
+TEST(MessageTest, WriterReaderRoundTrip) {
+  Buffer buffer;
+  Writer writer(&buffer);
+  writer.PutU32(7);
+  writer.PutU64(1ULL << 40);
+  writer.PutFloat(3.5f);
+  std::vector<uint64_t> keys = {1, 2, 3};
+  writer.PutU64Span(keys.data(), keys.size());
+  std::vector<float> floats = {0.5f, -0.5f};
+  writer.PutFloatSpan(floats.data(), floats.size());
+  writer.PutString("hello");
+
+  Reader reader(buffer);
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  float f = 0;
+  std::vector<uint64_t> keys_out;
+  std::vector<float> floats_out;
+  std::string s;
+  ASSERT_TRUE(reader.GetU32(&u32).ok());
+  ASSERT_TRUE(reader.GetU64(&u64).ok());
+  ASSERT_TRUE(reader.GetFloat(&f).ok());
+  ASSERT_TRUE(reader.GetU64Span(&keys_out).ok());
+  ASSERT_TRUE(reader.GetFloatSpan(&floats_out).ok());
+  ASSERT_TRUE(reader.GetString(&s).ok());
+  EXPECT_EQ(u32, 7u);
+  EXPECT_EQ(u64, 1ULL << 40);
+  EXPECT_FLOAT_EQ(f, 3.5f);
+  EXPECT_EQ(keys_out, keys);
+  EXPECT_EQ(floats_out, floats);
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(MessageTest, TruncatedInputRejected) {
+  Buffer buffer;
+  Writer writer(&buffer);
+  writer.PutU32(100);  // claims a 100-element span with no payload
+  Reader reader(buffer);
+  std::vector<uint64_t> out;
+  EXPECT_FALSE(reader.GetU64Span(&out).ok());
+}
+
+TEST(MessageTest, EmptyReader) {
+  Reader reader(nullptr, 0);
+  uint32_t v = 0;
+  EXPECT_FALSE(reader.GetU32(&v).ok());
+}
+
+TEST(InProcTransportTest, EchoCall) {
+  InProcTransport transport;
+  transport.RegisterNode(3, [](uint32_t method, const Buffer& request,
+                               Buffer* response) {
+    EXPECT_EQ(method, 9u);
+    *response = request;
+    return Status::OK();
+  });
+  Buffer request = {1, 2, 3};
+  Buffer response;
+  ASSERT_TRUE(transport.Call(3, 9, request, &response).ok());
+  EXPECT_EQ(response, request);
+  EXPECT_EQ(transport.stats().requests.load(), 1u);
+  EXPECT_EQ(transport.stats().bytes_sent.load(), 3u);
+}
+
+TEST(InProcTransportTest, UnknownNodeFails) {
+  InProcTransport transport;
+  Buffer response;
+  EXPECT_TRUE(transport.Call(1, 0, {}, &response).IsNotFound());
+}
+
+TEST(InProcTransportTest, HandlerErrorPropagates) {
+  InProcTransport transport;
+  transport.RegisterNode(0, [](uint32_t, const Buffer&, Buffer*) {
+    return Status::Aborted("nope");
+  });
+  Buffer response;
+  auto status = transport.Call(0, 0, {}, &response);
+  EXPECT_EQ(status.code(), StatusCode::kAborted);
+}
+
+TEST(InProcTransportTest, UnregisterRemovesNode) {
+  InProcTransport transport;
+  transport.RegisterNode(0, [](uint32_t, const Buffer&, Buffer* response) {
+    response->push_back(1);
+    return Status::OK();
+  });
+  Buffer response;
+  ASSERT_TRUE(transport.Call(0, 0, {}, &response).ok());
+  transport.UnregisterNode(0);
+  EXPECT_FALSE(transport.Call(0, 0, {}, &response).ok());
+}
+
+TEST(TcpTest, RoundTripOverLoopback) {
+  auto server = TcpServer::Start(0, [](uint32_t method,
+                                       const Buffer& request,
+                                       Buffer* response) {
+    Writer writer(response);
+    writer.PutU32(method * 2);
+    writer.PutRaw(request.data(), request.size());
+    return Status::OK();
+  }).ValueOrDie();
+
+  TcpTransport transport;
+  transport.AddNode(0, "127.0.0.1", server->port());
+  Buffer request = {9, 8, 7};
+  Buffer response;
+  ASSERT_TRUE(transport.Call(0, 21, request, &response).ok());
+  Reader reader(response);
+  uint32_t doubled = 0;
+  ASSERT_TRUE(reader.GetU32(&doubled).ok());
+  EXPECT_EQ(doubled, 42u);
+  std::vector<uint8_t> echoed(3);
+  ASSERT_TRUE(reader.GetRaw(echoed.data(), 3).ok());
+  EXPECT_EQ(echoed, std::vector<uint8_t>({9, 8, 7}));
+}
+
+TEST(TcpTest, RemoteErrorSurfacesMessage) {
+  auto server = TcpServer::Start(0, [](uint32_t, const Buffer&, Buffer*) {
+    return Status::InvalidArgument("bad payload");
+  }).ValueOrDie();
+  TcpTransport transport;
+  transport.AddNode(0, "127.0.0.1", server->port());
+  Buffer response;
+  auto status = transport.Call(0, 1, {}, &response);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("bad payload"), std::string::npos);
+}
+
+TEST(TcpTest, MultipleSequentialCallsReuseConnection) {
+  std::atomic<int> calls{0};
+  auto server = TcpServer::Start(0, [&](uint32_t, const Buffer&,
+                                        Buffer* response) {
+    response->push_back(static_cast<uint8_t>(calls.fetch_add(1)));
+    return Status::OK();
+  }).ValueOrDie();
+  TcpTransport transport;
+  transport.AddNode(0, "127.0.0.1", server->port());
+  for (int i = 0; i < 5; ++i) {
+    Buffer response;
+    ASSERT_TRUE(transport.Call(0, 0, {}, &response).ok());
+    EXPECT_EQ(response[0], i);
+  }
+  EXPECT_EQ(calls.load(), 5);
+}
+
+TEST(TcpTest, ConnectToClosedPortFails) {
+  TcpTransport transport;
+  transport.AddNode(0, "127.0.0.1", 1);  // reserved port, nothing listening
+  Buffer response;
+  EXPECT_FALSE(transport.Call(0, 0, {}, &response).ok());
+}
+
+TEST(TcpTest, ConcurrentClients) {
+  auto server = TcpServer::Start(0, [](uint32_t, const Buffer& request,
+                                       Buffer* response) {
+    *response = request;
+    return Status::OK();
+  }).ValueOrDie();
+
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      TcpTransport transport;
+      transport.AddNode(0, "127.0.0.1", server->port());
+      for (int i = 0; i < 20; ++i) {
+        Buffer request = {static_cast<uint8_t>(t), static_cast<uint8_t>(i)};
+        Buffer response;
+        if (!transport.Call(0, 0, request, &response).ok() ||
+            response != request) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace oe::net

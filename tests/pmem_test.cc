@@ -1,0 +1,380 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "pmem/device.h"
+#include "pmem/pool.h"
+
+namespace oe::pmem {
+namespace {
+
+PmemDeviceOptions SmallDevice(CrashFidelity fidelity = CrashFidelity::kStrict) {
+  PmemDeviceOptions options;
+  options.size_bytes = 4 << 20;
+  options.crash_fidelity = fidelity;
+  return options;
+}
+
+TEST(DeviceTimingTest, TableOneOrdering) {
+  // Table I: DRAM beats PMem beats SSD on both axes.
+  const auto dram = DramTiming();
+  const auto pmem = PmemTiming();
+  const auto ssd = SsdTiming();
+  EXPECT_GT(dram.read_bandwidth_gbps, pmem.read_bandwidth_gbps);
+  EXPECT_GT(pmem.read_bandwidth_gbps, ssd.read_bandwidth_gbps);
+  EXPECT_LT(dram.read_latency_ns, pmem.read_latency_ns);
+  EXPECT_LT(pmem.read_latency_ns, ssd.read_latency_ns);
+  // Paper: PMem read BW about 1/3 of DRAM, write about 1/5.
+  EXPECT_NEAR(dram.read_bandwidth_gbps / pmem.read_bandwidth_gbps, 3.0, 0.5);
+  EXPECT_NEAR(dram.write_bandwidth_gbps / pmem.write_bandwidth_gbps, 5.0, 1.0);
+}
+
+TEST(DeviceTimingTest, CostScalesWithBytes) {
+  const auto pmem = PmemTiming();
+  EXPECT_LT(pmem.ReadCost(64), pmem.ReadCost(1 << 20));
+  EXPECT_GE(pmem.ReadCost(0), pmem.read_latency_ns);
+}
+
+TEST(DeviceTest, CreateRejectsZeroSize) {
+  PmemDeviceOptions options;
+  options.size_bytes = 0;
+  EXPECT_FALSE(PmemDevice::Create(options).ok());
+}
+
+TEST(DeviceTest, WriteReadRoundTrip) {
+  auto device = PmemDevice::Create(SmallDevice()).ValueOrDie();
+  const std::string data = "hello pmem";
+  device->Write(128, data.data(), data.size());
+  std::string out(data.size(), '\0');
+  device->Read(128, out.data(), out.size());
+  EXPECT_EQ(out, data);
+}
+
+TEST(DeviceTest, StatsAccountBytesAndOps) {
+  auto device = PmemDevice::Create(SmallDevice()).ValueOrDie();
+  device->stats().Reset();
+  char buf[256] = {};
+  device->Write(0, buf, sizeof(buf));
+  device->Read(0, buf, 128);
+  device->ChargeRead(64);
+  auto snap = device->stats().TakeSnapshot();
+  EXPECT_EQ(snap.write_bytes, 256u);
+  EXPECT_EQ(snap.read_bytes, 192u);
+  EXPECT_EQ(snap.write_ops, 1u);
+  EXPECT_EQ(snap.read_ops, 2u);
+}
+
+TEST(DeviceTest, UnpersistedWriteLostOnCrash) {
+  auto device = PmemDevice::Create(SmallDevice()).ValueOrDie();
+  const uint64_t value = 0xdeadbeefcafef00dULL;
+  device->Write(64, &value, sizeof(value));
+  EXPECT_FALSE(device->IsPersisted(64, 8));
+  device->SimulateCrash();
+  uint64_t out = 1;
+  device->Read(64, &out, sizeof(out));
+  EXPECT_EQ(out, 0u);  // anonymous mapping starts zeroed
+}
+
+TEST(DeviceTest, PersistedWriteSurvivesCrash) {
+  auto device = PmemDevice::Create(SmallDevice()).ValueOrDie();
+  const uint64_t value = 0xdeadbeefcafef00dULL;
+  device->Write(64, &value, sizeof(value));
+  device->Persist(64, sizeof(value));
+  EXPECT_TRUE(device->IsPersisted(64, 8));
+  device->SimulateCrash();
+  uint64_t out = 0;
+  device->Read(64, &out, sizeof(out));
+  EXPECT_EQ(out, value);
+}
+
+TEST(DeviceTest, FlushWithoutDrainNotPersistent) {
+  auto device = PmemDevice::Create(SmallDevice()).ValueOrDie();
+  const uint64_t value = 7;
+  device->Write(0, &value, sizeof(value));
+  device->Flush(0, sizeof(value));
+  EXPECT_FALSE(device->IsPersisted(0, 8));
+  device->Drain();
+  EXPECT_TRUE(device->IsPersisted(0, 8));
+}
+
+TEST(DeviceTest, RawStorePlusPersistIsDurable) {
+  auto device = PmemDevice::Create(SmallDevice()).ValueOrDie();
+  // PMDK style: store through the mapped pointer, then persist the range.
+  *reinterpret_cast<uint64_t*>(device->base() + 256) = 99;
+  device->Persist(256, 8);
+  device->SimulateCrash();
+  EXPECT_EQ(*reinterpret_cast<uint64_t*>(device->base() + 256), 99u);
+}
+
+TEST(DeviceTest, AtomicStore64IsImmediatelyDurable) {
+  auto device = PmemDevice::Create(SmallDevice()).ValueOrDie();
+  device->AtomicStore64(512, 12345);
+  EXPECT_EQ(device->AtomicLoad64(512), 12345u);
+  device->SimulateCrash();
+  EXPECT_EQ(device->AtomicLoad64(512), 12345u);
+}
+
+TEST(DeviceTest, CrashGranularityIsWholeLines) {
+  auto device = PmemDevice::Create(SmallDevice()).ValueOrDie();
+  // Two values on the same cache line; persisting one persists the line.
+  uint32_t a = 1, b = 2;
+  device->Write(0, &a, 4);
+  device->Write(4, &b, 4);
+  device->Persist(0, 4);
+  device->SimulateCrash();
+  uint32_t out = 0;
+  device->Read(4, &out, 4);
+  EXPECT_EQ(out, 2u);  // same line as the persisted word
+}
+
+TEST(DeviceTest, AdversarialCrashKeepsPersistedData) {
+  auto device =
+      PmemDevice::Create(SmallDevice(CrashFidelity::kAdversarial)).ValueOrDie();
+  std::vector<uint64_t> values(64);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = 1000 + i;
+    device->Write(i * 64, &values[i], 8);
+  }
+  // Persist only even lines.
+  for (size_t i = 0; i < values.size(); i += 2) device->Persist(i * 64, 8);
+  device->SimulateCrash();
+  int odd_survivors = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    uint64_t out = 0;
+    device->Read(i * 64, &out, 8);
+    if (i % 2 == 0) {
+      EXPECT_EQ(out, values[i]) << "persisted line " << i << " must survive";
+    } else if (out == values[i]) {
+      ++odd_survivors;
+    }
+  }
+  // Some unpersisted lines survive, some do not (probabilistic eviction).
+  EXPECT_GT(odd_survivors, 0);
+  EXPECT_LT(odd_survivors, 32);
+}
+
+TEST(DeviceTest, CrashFidelityNoneKeepsEverything) {
+  auto device =
+      PmemDevice::Create(SmallDevice(CrashFidelity::kNone)).ValueOrDie();
+  const uint64_t value = 31337;
+  device->Write(0, &value, 8);
+  device->SimulateCrash();
+  uint64_t out = 0;
+  device->Read(0, &out, 8);
+  EXPECT_EQ(out, value);
+  EXPECT_TRUE(device->IsPersisted(0, 8));
+}
+
+TEST(DeviceTest, FileBackedSurvivesReopen) {
+  const std::string path = ::testing::TempDir() + "/oe_pmem_test.img";
+  std::filesystem::remove(path);
+  {
+    auto options = SmallDevice(CrashFidelity::kNone);
+    options.backing_file = path;
+    auto device = PmemDevice::Create(options).ValueOrDie();
+    const uint64_t value = 777;
+    device->Write(1024, &value, 8);
+    device->Persist(1024, 8);
+  }
+  {
+    auto options = SmallDevice(CrashFidelity::kNone);
+    options.backing_file = path;
+    auto device = PmemDevice::Create(options).ValueOrDie();
+    uint64_t out = 0;
+    device->Read(1024, &out, 8);
+    EXPECT_EQ(out, 777u);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(DeviceTest, CostOfChargesBothDirections) {
+  auto device = PmemDevice::Create(SmallDevice()).ValueOrDie();
+  DeviceStats::Snapshot snap;
+  snap.read_ops = 1;
+  snap.read_bytes = 1 << 20;
+  Nanos read_only = device->CostOf(snap);
+  snap.write_ops = 1;
+  snap.write_bytes = 1 << 20;
+  EXPECT_GT(device->CostOf(snap), read_only);
+}
+
+class PoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    device_ = PmemDevice::Create(SmallDevice()).ValueOrDie();
+    pool_ = PmemPool::Create(device_.get()).ValueOrDie();
+  }
+
+  std::unique_ptr<PmemDevice> device_;
+  std::unique_ptr<PmemPool> pool_;
+};
+
+TEST_F(PoolTest, AllocWriteReadBack) {
+  const std::string data = "embedding entry payload";
+  uint64_t offset =
+      pool_->AllocWrite(data.data(), data.size(), /*type_tag=*/1).ValueOrDie();
+  EXPECT_EQ(std::memcmp(pool_->Translate(offset), data.data(), data.size()),
+            0);
+  EXPECT_EQ(pool_->AllocatedBytes(), data.size());
+}
+
+TEST_F(PoolTest, AllocZeroFails) {
+  EXPECT_FALSE(pool_->Alloc(0, 1).ok());
+}
+
+TEST_F(PoolTest, ExhaustionReturnsOutOfSpace) {
+  // Grab 1 MiB blocks until the 4 MiB pool runs out.
+  int allocated = 0;
+  for (int i = 0; i < 16; ++i) {
+    auto r = pool_->Alloc(1 << 20, 1);
+    if (!r.ok()) {
+      EXPECT_TRUE(r.status().IsOutOfSpace());
+      break;
+    }
+    ++allocated;
+  }
+  EXPECT_GT(allocated, 0);
+  EXPECT_LT(allocated, 16);
+}
+
+TEST_F(PoolTest, FreeEnablesReuse) {
+  uint64_t a = pool_->AllocWrite("aaaa", 4, 1).ValueOrDie();
+  ASSERT_TRUE(pool_->Free(a).ok());
+  uint64_t b = pool_->AllocWrite("bbbb", 4, 1).ValueOrDie();
+  EXPECT_EQ(a, b);  // exact-fit free list reuses the block
+}
+
+TEST_F(PoolTest, DoubleFreeRejected) {
+  uint64_t a = pool_->AllocWrite("aaaa", 4, 1).ValueOrDie();
+  ASSERT_TRUE(pool_->Free(a).ok());
+  EXPECT_FALSE(pool_->Free(a).ok());
+}
+
+TEST_F(PoolTest, RootsPersistAcrossCrash) {
+  pool_->RootSet(3, 123456);
+  EXPECT_EQ(pool_->RootGet(3), 123456u);
+  device_->SimulateCrash();
+  auto reopened = PmemPool::Open(device_.get()).ValueOrDie();
+  EXPECT_EQ(reopened->RootGet(3), 123456u);
+  EXPECT_EQ(reopened->RootGet(0), 0u);
+}
+
+TEST_F(PoolTest, CommittedAllocationsSurviveCrash) {
+  std::vector<uint64_t> offsets;
+  for (int i = 0; i < 10; ++i) {
+    uint64_t v = 100 + i;
+    offsets.push_back(pool_->AllocWrite(&v, sizeof(v), 7).ValueOrDie());
+  }
+  device_->SimulateCrash();
+  auto reopened = PmemPool::Open(device_.get()).ValueOrDie();
+  int seen = 0;
+  reopened->ForEachAllocated(7, [&](uint64_t offset, uint64_t size) {
+    EXPECT_EQ(size, 8u);
+    uint64_t v = 0;
+    std::memcpy(&v, reopened->Translate(offset), 8);
+    EXPECT_GE(v, 100u);
+    EXPECT_LT(v, 110u);
+    ++seen;
+  });
+  EXPECT_EQ(seen, 10);
+}
+
+TEST_F(PoolTest, UncommittedAllocationRolledBackOnCrash) {
+  uint64_t committed = pool_->AllocWrite("good", 4, 9).ValueOrDie();
+  (void)committed;
+  // Allocate but crash before CommitAlloc.
+  uint64_t pending = pool_->Alloc(4, 9).ValueOrDie();
+  device_->Write(pending, "evil", 4);
+  device_->SimulateCrash();
+  auto reopened = PmemPool::Open(device_.get()).ValueOrDie();
+  int seen = 0;
+  reopened->ForEachAllocated(9, [&](uint64_t, uint64_t) { ++seen; });
+  EXPECT_EQ(seen, 1);  // only the committed block
+  EXPECT_EQ(reopened->AllocatedBytes(), 4u);
+}
+
+TEST_F(PoolTest, ForEachFiltersByTypeTag) {
+  (void)pool_->AllocWrite("a", 1, 1).ValueOrDie();
+  (void)pool_->AllocWrite("b", 1, 2).ValueOrDie();
+  (void)pool_->AllocWrite("c", 1, 1).ValueOrDie();
+  int tag1 = 0, tag2 = 0;
+  pool_->ForEachAllocated(1, [&](uint64_t, uint64_t) { ++tag1; });
+  pool_->ForEachAllocated(2, [&](uint64_t, uint64_t) { ++tag2; });
+  EXPECT_EQ(tag1, 2);
+  EXPECT_EQ(tag2, 1);
+}
+
+TEST_F(PoolTest, OpenRejectsUnformattedDevice) {
+  auto fresh = PmemDevice::Create(SmallDevice()).ValueOrDie();
+  auto r = PmemPool::Open(fresh.get());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(PoolTest, RecreateDropsOldBlocks) {
+  (void)pool_->AllocWrite("old", 3, 5).ValueOrDie();
+  auto fresh = PmemPool::Create(device_.get()).ValueOrDie();
+  int seen = 0;
+  fresh->ForEachAllocated(5, [&](uint64_t, uint64_t) { ++seen; });
+  EXPECT_EQ(seen, 0);
+}
+
+TEST_F(PoolTest, FreeBytesDecreasesWithAllocation) {
+  const uint64_t before = pool_->FreeBytes();
+  (void)pool_->AllocWrite(std::string(1000, 'x').data(), 1000, 1).ValueOrDie();
+  EXPECT_LT(pool_->FreeBytes(), before);
+}
+
+// Property sweep: random alloc/free sequences followed by a crash always
+// recover exactly the committed blocks.
+class PoolCrashPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PoolCrashPropertyTest, RecoversExactlyCommittedBlocks) {
+  auto device = PmemDevice::Create(SmallDevice()).ValueOrDie();
+  auto pool = PmemPool::Create(device.get()).ValueOrDie();
+  Random rng(GetParam());
+
+  std::map<uint64_t, uint64_t> live;  // offset -> value
+  for (int step = 0; step < 200; ++step) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.6 || live.empty()) {
+      uint64_t v = rng.Next();
+      auto r = pool->AllocWrite(&v, sizeof(v), 42);
+      if (r.ok()) live[std::move(r).ValueOrDie()] = v;
+    } else if (dice < 0.8) {
+      auto it = live.begin();
+      std::advance(it, rng.Uniform(live.size()));
+      ASSERT_TRUE(pool->Free(it->first).ok());
+      live.erase(it);
+    } else {
+      // Start an allocation and abandon it (simulates crash mid-insert).
+      auto r = pool->Alloc(sizeof(uint64_t), 42);
+      if (r.ok()) {
+        uint64_t junk = rng.Next();
+        device->Write(r.value(), &junk, sizeof(junk));
+      }
+    }
+  }
+
+  device->SimulateCrash();
+  auto reopened = PmemPool::Open(device.get()).ValueOrDie();
+  std::map<uint64_t, uint64_t> recovered;
+  reopened->ForEachAllocated(42, [&](uint64_t offset, uint64_t size) {
+    ASSERT_EQ(size, sizeof(uint64_t));
+    uint64_t v = 0;
+    std::memcpy(&v, reopened->Translate(offset), sizeof(v));
+    recovered[offset] = v;
+  });
+  EXPECT_EQ(recovered, live);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PoolCrashPropertyTest,
+                         ::testing::Values(1, 2, 3, 17, 99, 12345));
+
+}  // namespace
+}  // namespace oe::pmem

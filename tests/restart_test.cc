@@ -1,0 +1,175 @@
+// Process-restart and concurrency tests for the pipelined store: the
+// file-backed PMem image survives a store teardown + reopen (the paper's
+// deployment restarts), and the store is safe under concurrent workers.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/pipelined_store.h"
+
+namespace oe::storage {
+namespace {
+
+using pmem::CrashFidelity;
+using pmem::PmemDevice;
+using pmem::PmemDeviceOptions;
+
+constexpr uint32_t kDim = 8;
+
+StoreConfig SmallConfig() {
+  StoreConfig config;
+  config.dim = kDim;
+  config.optimizer.learning_rate = 0.5f;
+  config.cache_bytes = 8 * 1024;
+  return config;
+}
+
+TEST(PipelinedRestartTest, OpenRejectsUnformattedDevice) {
+  PmemDeviceOptions options;
+  options.size_bytes = 8 << 20;
+  auto device = PmemDevice::Create(options).ValueOrDie();
+  EXPECT_FALSE(PipelinedStore::Open(SmallConfig(), device.get()).ok());
+}
+
+TEST(PipelinedRestartTest, FileBackedRestartRestoresCheckpoint) {
+  const std::string path = ::testing::TempDir() + "/oe_restart_test.img";
+  std::filesystem::remove(path);
+  std::vector<EntryId> keys = {1, 2, 3, 4};
+  std::vector<float> expected;
+
+  {
+    PmemDeviceOptions device_options;
+    device_options.size_bytes = 16 << 20;
+    device_options.backing_file = path;
+    device_options.crash_fidelity = CrashFidelity::kNone;
+    auto device = PmemDevice::Create(device_options).ValueOrDie();
+    auto store = PipelinedStore::Create(SmallConfig(), device.get())
+                     .ValueOrDie();
+    std::vector<float> w(keys.size() * kDim);
+    ASSERT_TRUE(store->Pull(keys.data(), keys.size(), 1, w.data()).ok());
+    std::vector<float> g(keys.size() * kDim, 0.25f);
+    ASSERT_TRUE(store->Push(keys.data(), keys.size(), g.data(), 1).ok());
+    ASSERT_TRUE(store->RequestCheckpoint(1).ok());
+    ASSERT_TRUE(store->DrainCheckpoints().ok());
+    expected = store->Peek(2).ValueOrDie();
+    // Store and device destroyed: "process exits". msync flushes the file.
+  }
+
+  {
+    PmemDeviceOptions device_options;
+    device_options.size_bytes = 16 << 20;
+    device_options.backing_file = path;
+    device_options.crash_fidelity = CrashFidelity::kNone;
+    auto device = PmemDevice::Create(device_options).ValueOrDie();
+    auto store =
+        PipelinedStore::Open(SmallConfig(), device.get()).ValueOrDie();
+    EXPECT_EQ(store->PublishedCheckpoint(), 1u);
+    EXPECT_EQ(store->EntryCount(), keys.size());
+    EXPECT_EQ(store->Peek(2).ValueOrDie(), expected);
+
+    // Training continues after the restart.
+    std::vector<float> w(keys.size() * kDim);
+    ASSERT_TRUE(store->Pull(keys.data(), keys.size(), 2, w.data()).ok());
+    std::vector<float> g(keys.size() * kDim, 0.1f);
+    ASSERT_TRUE(store->Push(keys.data(), keys.size(), g.data(), 2).ok());
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(PipelinedConcurrencyTest, ParallelWorkersPullAndPush) {
+  PmemDeviceOptions device_options;
+  device_options.size_bytes = 64 << 20;
+  device_options.crash_fidelity = CrashFidelity::kNone;
+  auto device = PmemDevice::Create(device_options).ValueOrDie();
+  StoreConfig config = SmallConfig();
+  config.cache_bytes = 64 * 1024;
+  auto store = PipelinedStore::Create(config, device.get()).ValueOrDie();
+
+  constexpr int kWorkers = 4;
+  constexpr uint64_t kBatches = 20;
+  std::atomic<int> failures{0};
+
+  for (uint64_t batch = 1; batch <= kBatches; ++batch) {
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kWorkers; ++w) {
+      workers.emplace_back([&, w, batch] {
+        Random rng(batch * 131 + static_cast<uint64_t>(w));
+        std::vector<EntryId> keys;
+        for (int i = 0; i < 64; ++i) keys.push_back(rng.Uniform(2000));
+        std::sort(keys.begin(), keys.end());
+        keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+        std::vector<float> weights(keys.size() * kDim);
+        if (!store->Pull(keys.data(), keys.size(), batch, weights.data())
+                 .ok()) {
+          failures.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+    store->FinishPullPhase(batch);
+
+    std::vector<std::thread> pushers;
+    for (int w = 0; w < kWorkers; ++w) {
+      pushers.emplace_back([&, w, batch] {
+        Random rng(batch * 131 + static_cast<uint64_t>(w));
+        std::vector<EntryId> keys;
+        for (int i = 0; i < 64; ++i) keys.push_back(rng.Uniform(2000));
+        std::sort(keys.begin(), keys.end());
+        keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+        std::vector<float> grads(keys.size() * kDim, 0.01f);
+        if (!store->Push(keys.data(), keys.size(), grads.data(), batch)
+                 .ok()) {
+          failures.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : pushers) t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(store->EntryCount(), 0u);
+  EXPECT_LE(store->CachedEntries(), store->CacheCapacityEntries());
+
+  // Every key remains readable and finite after the storm.
+  for (EntryId key = 0; key < 100; ++key) {
+    auto r = store->Peek(key);
+    if (r.ok()) {
+      for (float v : r.value()) EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST(PipelinedConcurrencyTest, CheckpointsDuringConcurrentTraining) {
+  PmemDeviceOptions device_options;
+  device_options.size_bytes = 64 << 20;
+  device_options.crash_fidelity = CrashFidelity::kStrict;
+  auto device = PmemDevice::Create(device_options).ValueOrDie();
+  auto store = PipelinedStore::Create(SmallConfig(), device.get())
+                   .ValueOrDie();
+
+  std::vector<EntryId> keys(128);
+  std::iota(keys.begin(), keys.end(), 0);
+  for (uint64_t batch = 1; batch <= 30; ++batch) {
+    std::vector<float> w(keys.size() * kDim);
+    ASSERT_TRUE(store->Pull(keys.data(), keys.size(), batch, w.data()).ok());
+    store->FinishPullPhase(batch);
+    std::vector<float> g(keys.size() * kDim, 0.05f);
+    ASSERT_TRUE(store->Push(keys.data(), keys.size(), g.data(), batch).ok());
+    if (batch % 5 == 0) {
+      ASSERT_TRUE(store->RequestCheckpoint(batch).ok());
+    }
+  }
+  ASSERT_TRUE(store->DrainCheckpoints().ok());
+  EXPECT_EQ(store->PublishedCheckpoint(), 30u);
+
+  device->SimulateCrash();
+  ASSERT_TRUE(store->RecoverFromCrash().ok());
+  EXPECT_EQ(store->EntryCount(), keys.size());
+}
+
+}  // namespace
+}  // namespace oe::storage

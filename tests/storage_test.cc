@@ -1,0 +1,652 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+#include "pmem/device.h"
+#include "storage/dram_store.h"
+#include "storage/ori_cache_store.h"
+#include "storage/pipelined_store.h"
+#include "storage/pmem_hash_store.h"
+
+namespace oe::storage {
+namespace {
+
+using pmem::CrashFidelity;
+using pmem::PmemDevice;
+using pmem::PmemDeviceOptions;
+
+constexpr uint32_t kDim = 8;
+
+StoreConfig SmallConfig() {
+  StoreConfig config;
+  config.dim = kDim;
+  config.optimizer.kind = OptimizerKind::kSgd;
+  config.optimizer.learning_rate = 0.5f;
+  config.initializer.kind = InitializerKind::kUniform;
+  config.initializer.scale = 0.1f;
+  config.cache_bytes = 8 * 1024;  // tiny cache to force evictions
+  return config;
+}
+
+std::unique_ptr<PmemDevice> MakeDevice(
+    uint64_t size = 16 << 20,
+    CrashFidelity fidelity = CrashFidelity::kStrict) {
+  PmemDeviceOptions options;
+  options.size_bytes = size;
+  options.crash_fidelity = fidelity;
+  return PmemDevice::Create(options).ValueOrDie();
+}
+
+// ---------- Optimizer unit tests ----------
+
+TEST(OptimizerTest, SgdStep) {
+  OptimizerSpec spec;
+  spec.kind = OptimizerKind::kSgd;
+  spec.learning_rate = 0.1f;
+  float w[2] = {1.0f, -1.0f};
+  float g[2] = {1.0f, 2.0f};
+  spec.Apply(w, nullptr, g, 2, 1);
+  EXPECT_FLOAT_EQ(w[0], 0.9f);
+  EXPECT_FLOAT_EQ(w[1], -1.2f);
+}
+
+TEST(OptimizerTest, AdaGradAccumulates) {
+  OptimizerSpec spec;
+  spec.kind = OptimizerKind::kAdaGrad;
+  spec.learning_rate = 1.0f;
+  EXPECT_EQ(spec.Slots(), 1u);
+  float w[1] = {0.0f};
+  float acc[1] = {0.0f};
+  float g[1] = {2.0f};
+  spec.Apply(w, acc, g, 1, 1);
+  EXPECT_FLOAT_EQ(acc[0], 4.0f);
+  EXPECT_NEAR(w[0], -1.0f, 1e-5);  // -lr * 2/sqrt(4)
+  spec.Apply(w, acc, g, 1, 2);
+  EXPECT_FLOAT_EQ(acc[0], 8.0f);  // second step accumulates
+}
+
+TEST(OptimizerTest, AdamMovesTowardGradientDirection) {
+  OptimizerSpec spec;
+  spec.kind = OptimizerKind::kAdam;
+  spec.learning_rate = 0.01f;
+  EXPECT_EQ(spec.Slots(), 2u);
+  float w[1] = {1.0f};
+  float state[2] = {0.0f, 0.0f};
+  float g[1] = {1.0f};
+  for (uint64_t step = 1; step <= 10; ++step) {
+    spec.Apply(w, state, g, 1, step);
+  }
+  EXPECT_LT(w[0], 1.0f);  // positive gradient decreases the weight
+  EXPECT_GT(state[0], 0.0f);
+  EXPECT_GT(state[1], 0.0f);
+}
+
+TEST(InitializerTest, DeterministicPerKey) {
+  InitializerSpec spec;
+  spec.kind = InitializerKind::kUniform;
+  spec.scale = 0.5f;
+  float a[4], b[4], c[4];
+  spec.Fill(7, a, 4);
+  spec.Fill(7, b, 4);
+  spec.Fill(8, c, 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(a[i], b[i]);
+    EXPECT_GE(a[i], -0.5f);
+    EXPECT_LE(a[i], 0.5f);
+  }
+  bool any_diff = false;
+  for (int i = 0; i < 4; ++i) any_diff |= (a[i] != c[i]);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(InitializerTest, ZerosKind) {
+  InitializerSpec spec;
+  spec.kind = InitializerKind::kZeros;
+  float a[4] = {9, 9, 9, 9};
+  spec.Fill(1, a, 4);
+  for (float v : a) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(EntryLayoutTest, SizesAndAccessors) {
+  EntryLayout layout(64, 1);
+  EXPECT_EQ(layout.values_per_entry(), 128u);
+  EXPECT_EQ(layout.data_bytes(), 512u);
+  EXPECT_EQ(layout.record_bytes(), 528u);
+  std::vector<uint8_t> rec(layout.record_bytes());
+  EntryLayout::SetRecordHeader(rec.data(), 42, 7);
+  EXPECT_EQ(EntryLayout::RecordKey(rec.data()), 42u);
+  EXPECT_EQ(EntryLayout::RecordVersion(rec.data()), 7u);
+  EntryLayout::SetRecordVersion(rec.data(), 9);
+  EXPECT_EQ(EntryLayout::RecordVersion(rec.data()), 9u);
+}
+
+// ---------- Shared behavioural tests over both engines ----------
+
+enum class Engine {
+  kDram,
+  kPipelined,
+  kPipelinedNoPipe,
+  kPipelinedNoCache,
+  kOriCache,
+  kPmemHash,
+};
+
+struct EngineFixture {
+  std::unique_ptr<PmemDevice> store_device;
+  std::unique_ptr<PmemDevice> log_device;
+  std::unique_ptr<ckpt::CheckpointLog> log;
+  std::unique_ptr<EmbeddingStore> store;
+};
+
+EngineFixture MakeEngine(Engine engine, StoreConfig config = SmallConfig()) {
+  EngineFixture fixture;
+  switch (engine) {
+    case Engine::kDram: {
+      fixture.log_device = MakeDevice();
+      EntryLayout layout(config.dim, config.optimizer.Slots());
+      fixture.log =
+          ckpt::CheckpointLog::Create(fixture.log_device.get(), layout)
+              .ValueOrDie();
+      fixture.store = DramStore::Create(config, fixture.log.get()).ValueOrDie();
+      break;
+    }
+    case Engine::kPipelined:
+      fixture.store_device = MakeDevice();
+      fixture.store =
+          PipelinedStore::Create(config, fixture.store_device.get())
+              .ValueOrDie();
+      break;
+    case Engine::kPipelinedNoPipe:
+      config.pipeline_enabled = false;
+      fixture.store_device = MakeDevice();
+      fixture.store =
+          PipelinedStore::Create(config, fixture.store_device.get())
+              .ValueOrDie();
+      break;
+    case Engine::kPipelinedNoCache:
+      config.cache_enabled = false;
+      fixture.store_device = MakeDevice();
+      fixture.store =
+          PipelinedStore::Create(config, fixture.store_device.get())
+              .ValueOrDie();
+      break;
+    case Engine::kOriCache: {
+      fixture.store_device = MakeDevice();
+      fixture.log_device = MakeDevice();
+      EntryLayout layout(config.dim, config.optimizer.Slots());
+      fixture.log =
+          ckpt::CheckpointLog::Create(fixture.log_device.get(), layout)
+              .ValueOrDie();
+      fixture.store = OriCacheStore::Create(config, fixture.store_device.get(),
+                                            fixture.log.get())
+                          .ValueOrDie();
+      break;
+    }
+    case Engine::kPmemHash:
+      fixture.store_device = MakeDevice();
+      fixture.store =
+          PmemHashStore::Create(config, fixture.store_device.get())
+              .ValueOrDie();
+      break;
+  }
+  return fixture;
+}
+
+class StoreBehaviorTest : public ::testing::TestWithParam<Engine> {};
+
+TEST_P(StoreBehaviorTest, PullInitializesDeterministically) {
+  auto fixture = MakeEngine(GetParam());
+  std::vector<EntryId> keys = {1, 2, 3};
+  std::vector<float> out(keys.size() * kDim);
+  ASSERT_TRUE(fixture.store->Pull(keys.data(), keys.size(), 1, out.data()).ok());
+
+  // Same keys from a second engine instance produce identical weights.
+  auto fixture2 = MakeEngine(GetParam());
+  std::vector<float> out2(out.size());
+  ASSERT_TRUE(
+      fixture2.store->Pull(keys.data(), keys.size(), 1, out2.data()).ok());
+  EXPECT_EQ(out, out2);
+  EXPECT_EQ(fixture.store->EntryCount(), 3u);
+}
+
+TEST_P(StoreBehaviorTest, PushAppliesSgd) {
+  auto fixture = MakeEngine(GetParam());
+  EntryId key = 77;
+  std::vector<float> before(kDim);
+  ASSERT_TRUE(fixture.store->Pull(&key, 1, 1, before.data()).ok());
+  fixture.store->FinishPullPhase(1);
+  std::vector<float> grad(kDim, 1.0f);
+  ASSERT_TRUE(fixture.store->Push(&key, 1, grad.data(), 1).ok());
+
+  auto after = fixture.store->Peek(key);
+  ASSERT_TRUE(after.ok());
+  for (uint32_t i = 0; i < kDim; ++i) {
+    EXPECT_NEAR(after.value()[i], before[i] - 0.5f, 1e-5);  // lr = 0.5
+  }
+}
+
+TEST_P(StoreBehaviorTest, PushUnknownKeyFails) {
+  auto fixture = MakeEngine(GetParam());
+  EntryId key = 1;
+  std::vector<float> grad(kDim, 1.0f);
+  EXPECT_FALSE(fixture.store->Push(&key, 1, grad.data(), 1).ok());
+}
+
+TEST_P(StoreBehaviorTest, ManyBatchesConvergeLikeReference) {
+  // Train every engine the same way; all must produce identical weights
+  // (the engines differ in placement and durability, not math).
+  auto fixture = MakeEngine(GetParam());
+  Random rng(42);
+  const size_t kKeys = 64;
+  std::map<EntryId, std::vector<float>> reference;
+
+  for (uint64_t batch = 1; batch <= 20; ++batch) {
+    std::vector<EntryId> keys;
+    for (int i = 0; i < 16; ++i) keys.push_back(rng.Uniform(kKeys));
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+    std::vector<float> weights(keys.size() * kDim);
+    ASSERT_TRUE(fixture.store
+                    ->Pull(keys.data(), keys.size(), batch, weights.data())
+                    .ok());
+    fixture.store->FinishPullPhase(batch);
+
+    std::vector<float> grads(keys.size() * kDim);
+    for (auto& g : grads) g = rng.UniformFloat(-0.1f, 0.1f);
+    ASSERT_TRUE(fixture.store
+                    ->Push(keys.data(), keys.size(), grads.data(), batch)
+                    .ok());
+
+    // Maintain an independent reference model.
+    for (size_t i = 0; i < keys.size(); ++i) {
+      auto& ref = reference[keys[i]];
+      if (ref.empty()) {
+        ref.resize(kDim);
+        SmallConfig().initializer.Fill(keys[i], ref.data(), kDim);
+      }
+      for (uint32_t d = 0; d < kDim; ++d) {
+        ref[d] -= 0.5f * grads[i * kDim + d];
+      }
+    }
+  }
+
+  for (const auto& [key, ref] : reference) {
+    auto got = fixture.store->Peek(key);
+    ASSERT_TRUE(got.ok()) << key;
+    for (uint32_t d = 0; d < kDim; ++d) {
+      EXPECT_NEAR(got.value()[d], ref[d], 1e-4) << "key " << key;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, StoreBehaviorTest,
+                         ::testing::Values(Engine::kDram, Engine::kPipelined,
+                                           Engine::kPipelinedNoPipe,
+                                           Engine::kPipelinedNoCache,
+                                           Engine::kOriCache,
+                                           Engine::kPmemHash),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Engine::kDram:
+                               return "DramPs";
+                             case Engine::kPipelined:
+                               return "PmemOe";
+                             case Engine::kPipelinedNoPipe:
+                               return "PmemOeNoPipeline";
+                             case Engine::kPipelinedNoCache:
+                               return "PmemOeNoCache";
+                             case Engine::kOriCache:
+                               return "OriCache";
+                             case Engine::kPmemHash:
+                               return "PmemHash";
+                           }
+                           return "Unknown";
+                         });
+
+// ---------- DramStore-specific: incremental checkpoint + recovery ----------
+
+TEST(DramStoreTest, CheckpointAndRecoverRoundTrip) {
+  auto fixture = MakeEngine(Engine::kDram);
+  std::vector<EntryId> keys = {10, 20, 30};
+  std::vector<float> w(keys.size() * kDim);
+  ASSERT_TRUE(fixture.store->Pull(keys.data(), keys.size(), 1, w.data()).ok());
+  std::vector<float> g(keys.size() * kDim, 0.2f);
+  ASSERT_TRUE(fixture.store->Push(keys.data(), keys.size(), g.data(), 1).ok());
+  ASSERT_TRUE(fixture.store->RequestCheckpoint(1).ok());
+  EXPECT_EQ(fixture.store->PublishedCheckpoint(), 1u);
+
+  auto expected = fixture.store->Peek(10).ValueOrDie();
+
+  // Updates after the checkpoint must vanish on recovery.
+  ASSERT_TRUE(fixture.store->Pull(keys.data(), keys.size(), 2, w.data()).ok());
+  ASSERT_TRUE(fixture.store->Push(keys.data(), keys.size(), g.data(), 2).ok());
+  ASSERT_TRUE(fixture.store->RecoverFromCrash().ok());
+
+  EXPECT_EQ(fixture.store->EntryCount(), 3u);
+  auto recovered = fixture.store->Peek(10).ValueOrDie();
+  EXPECT_EQ(recovered, expected);
+}
+
+TEST(DramStoreTest, IncrementalCheckpointOnlyCopiesDirty) {
+  auto fixture = MakeEngine(Engine::kDram);
+  std::vector<EntryId> keys(100);
+  std::iota(keys.begin(), keys.end(), 0);
+  std::vector<float> w(keys.size() * kDim);
+  ASSERT_TRUE(fixture.store->Pull(keys.data(), keys.size(), 1, w.data()).ok());
+  ASSERT_TRUE(fixture.store->RequestCheckpoint(1).ok());
+  const uint64_t after_full = fixture.log->UsedBytes();
+
+  // Touch only 5 entries; the next checkpoint should be much smaller.
+  std::vector<float> g(5 * kDim, 0.1f);
+  ASSERT_TRUE(fixture.store->Pull(keys.data(), 5, 2, w.data()).ok());
+  ASSERT_TRUE(fixture.store->Push(keys.data(), 5, g.data(), 2).ok());
+  ASSERT_TRUE(fixture.store->RequestCheckpoint(2).ok());
+  const uint64_t delta = fixture.log->UsedBytes() - after_full;
+  EXPECT_LT(delta, after_full / 10);
+}
+
+TEST(DramStoreTest, RecoverWithoutLogFails) {
+  auto store = DramStore::Create(SmallConfig(), nullptr).ValueOrDie();
+  EXPECT_FALSE(store->RecoverFromCrash().ok());
+  EXPECT_FALSE(store->RequestCheckpoint(1).ok());
+}
+
+// ---------- PipelinedStore-specific ----------
+
+class PipelinedStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    device_ = MakeDevice();
+    config_ = SmallConfig();
+    store_ = PipelinedStore::Create(config_, device_.get()).ValueOrDie();
+  }
+
+  // One synchronous training batch over `keys` with constant gradient g.
+  void RunBatch(uint64_t batch, const std::vector<EntryId>& keys, float g) {
+    std::vector<float> w(keys.size() * kDim);
+    ASSERT_TRUE(
+        store_->Pull(keys.data(), keys.size(), batch, w.data()).ok());
+    store_->FinishPullPhase(batch);
+    std::vector<float> grads(keys.size() * kDim, g);
+    ASSERT_TRUE(
+        store_->Push(keys.data(), keys.size(), grads.data(), batch).ok());
+  }
+
+  std::unique_ptr<PmemDevice> device_;
+  StoreConfig config_;
+  std::unique_ptr<PipelinedStore> store_;
+};
+
+TEST_F(PipelinedStoreTest, CacheCapacityMatchesBudget) {
+  EntryLayout layout(kDim, 0);
+  EXPECT_EQ(store_->CacheCapacityEntries(),
+            config_.cache_bytes / layout.record_bytes());
+}
+
+TEST_F(PipelinedStoreTest, EvictionKeepsCacheWithinCapacity) {
+  const size_t capacity = store_->CacheCapacityEntries();
+  std::vector<EntryId> keys(capacity * 3);
+  std::iota(keys.begin(), keys.end(), 0);
+  RunBatch(1, keys, 0.0f);
+  store_->WaitMaintenance(1);
+  EXPECT_LE(store_->CachedEntries(), capacity);
+  EXPECT_GT(store_->stats().evictions.load(), 0u);
+  EXPECT_EQ(store_->EntryCount(), keys.size());
+}
+
+TEST_F(PipelinedStoreTest, EvictedEntriesReadBackFromPmem) {
+  const size_t capacity = store_->CacheCapacityEntries();
+  std::vector<EntryId> keys(capacity * 2);
+  std::iota(keys.begin(), keys.end(), 0);
+  RunBatch(1, keys, 0.25f);
+  store_->WaitMaintenance(1);
+
+  // Every key must still return its updated value, cached or not.
+  for (EntryId key : keys) {
+    std::vector<float> init(kDim);
+    config_.initializer.Fill(key, init.data(), kDim);
+    auto got = store_->Peek(key).ValueOrDie();
+    for (uint32_t d = 0; d < kDim; ++d) {
+      EXPECT_NEAR(got[d], init[d] - 0.5f * 0.25f, 1e-5) << key;
+    }
+  }
+  EXPECT_GT(store_->stats().flushes.load(), 0u);
+}
+
+TEST_F(PipelinedStoreTest, HitRateHighForRepeatedKeys) {
+  std::vector<EntryId> keys = {1, 2, 3, 4};
+  for (uint64_t batch = 1; batch <= 10; ++batch) RunBatch(batch, keys, 0.0f);
+  // First batch misses (first touch) then all hits.
+  EXPECT_GT(store_->stats().HitRate(), 0.85);
+}
+
+TEST_F(PipelinedStoreTest, CheckpointRequestIsLightweight) {
+  std::vector<EntryId> keys = {1, 2, 3};
+  RunBatch(1, keys, 0.1f);
+  const uint64_t flushes_before = store_->stats().flushes.load();
+  ASSERT_TRUE(store_->RequestCheckpoint(1).ok());
+  // Only the request is enqueued: no data movement yet.
+  EXPECT_EQ(store_->stats().flushes.load(), flushes_before);
+  EXPECT_EQ(store_->PublishedCheckpoint(), 0u);
+}
+
+TEST_F(PipelinedStoreTest, CheckpointPublishesViaEvictionPressure) {
+  const size_t capacity = store_->CacheCapacityEntries();
+  std::vector<EntryId> hot(capacity / 2);
+  std::iota(hot.begin(), hot.end(), 0);
+  RunBatch(1, hot, 0.1f);
+  ASSERT_TRUE(store_->RequestCheckpoint(1).ok());
+
+  // Subsequent batches over fresh keys force eviction; the victims carry
+  // versions > 1 eventually, publishing checkpoint 1.
+  EntryId next = 1000;
+  for (uint64_t batch = 2; batch <= 6; ++batch) {
+    std::vector<EntryId> keys(capacity);
+    std::iota(keys.begin(), keys.end(), next);
+    next += capacity;
+    RunBatch(batch, keys, 0.1f);
+  }
+  store_->WaitMaintenance(6);
+  EXPECT_EQ(store_->PublishedCheckpoint(), 1u);
+}
+
+TEST_F(PipelinedStoreTest, DrainCheckpointsPublishesAll) {
+  std::vector<EntryId> keys = {1, 2, 3};
+  RunBatch(1, keys, 0.1f);
+  ASSERT_TRUE(store_->RequestCheckpoint(1).ok());
+  RunBatch(2, keys, 0.1f);
+  ASSERT_TRUE(store_->RequestCheckpoint(2).ok());
+  ASSERT_TRUE(store_->DrainCheckpoints().ok());
+  EXPECT_EQ(store_->PublishedCheckpoint(), 2u);
+}
+
+TEST_F(PipelinedStoreTest, CheckpointIdsMustIncrease) {
+  std::vector<EntryId> keys = {1};
+  RunBatch(1, keys, 0.1f);
+  RunBatch(2, keys, 0.1f);
+  ASSERT_TRUE(store_->RequestCheckpoint(2).ok());
+  EXPECT_FALSE(store_->RequestCheckpoint(2).ok());
+  EXPECT_FALSE(store_->RequestCheckpoint(1).ok());
+}
+
+TEST_F(PipelinedStoreTest, StaleCheckpointRequestRejected) {
+  // A checkpoint of batch 1's state requested after batch 3 has trained
+  // would publish an inconsistent snapshot (batch 1 state may already be
+  // overwritten in place): the store must refuse.
+  std::vector<EntryId> keys = {1, 2};
+  RunBatch(1, keys, 0.1f);
+  RunBatch(2, keys, 0.1f);
+  RunBatch(3, keys, 0.1f);
+  auto status = store_->RequestCheckpoint(1);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  // The current batch is still checkpointable.
+  EXPECT_TRUE(store_->RequestCheckpoint(3).ok());
+  ASSERT_TRUE(store_->DrainCheckpoints().ok());
+  EXPECT_EQ(store_->PublishedCheckpoint(), 3u);
+}
+
+TEST_F(PipelinedStoreTest, RecoveryRestoresExactCheckpointState) {
+  std::vector<EntryId> keys = {5, 6, 7, 8};
+  RunBatch(1, keys, 0.1f);
+  RunBatch(2, keys, 0.2f);
+  ASSERT_TRUE(store_->RequestCheckpoint(2).ok());
+  ASSERT_TRUE(store_->DrainCheckpoints().ok());
+
+  std::map<EntryId, std::vector<float>> expected;
+  for (EntryId key : keys) expected[key] = store_->Peek(key).ValueOrDie();
+
+  // Post-checkpoint batches that must vanish.
+  RunBatch(3, keys, 0.7f);
+  RunBatch(4, keys, -0.3f);
+
+  device_->SimulateCrash();
+  ASSERT_TRUE(store_->RecoverFromCrash().ok());
+  EXPECT_EQ(store_->PublishedCheckpoint(), 2u);
+  EXPECT_EQ(store_->EntryCount(), keys.size());
+  for (EntryId key : keys) {
+    auto got = store_->Peek(key).ValueOrDie();
+    for (uint32_t d = 0; d < kDim; ++d) {
+      EXPECT_NEAR(got[d], expected[key][d], 1e-6) << key;
+    }
+  }
+}
+
+TEST_F(PipelinedStoreTest, RecoveryWithoutCheckpointYieldsEmptyModel) {
+  std::vector<EntryId> keys = {1, 2, 3};
+  RunBatch(1, keys, 0.1f);
+  device_->SimulateCrash();
+  ASSERT_TRUE(store_->RecoverFromCrash().ok());
+  EXPECT_EQ(store_->PublishedCheckpoint(), 0u);
+  EXPECT_EQ(store_->EntryCount(), 0u);
+}
+
+TEST_F(PipelinedStoreTest, EntriesCreatedAfterCheckpointVanishOnRecovery) {
+  std::vector<EntryId> old_keys = {1, 2};
+  RunBatch(1, old_keys, 0.1f);
+  ASSERT_TRUE(store_->RequestCheckpoint(1).ok());
+  ASSERT_TRUE(store_->DrainCheckpoints().ok());
+
+  std::vector<EntryId> new_keys = {100, 200};
+  RunBatch(2, new_keys, 0.1f);
+
+  device_->SimulateCrash();
+  ASSERT_TRUE(store_->RecoverFromCrash().ok());
+  EXPECT_EQ(store_->EntryCount(), 2u);
+  EXPECT_TRUE(store_->Peek(1).ok());
+  EXPECT_FALSE(store_->Peek(100).ok());
+}
+
+TEST_F(PipelinedStoreTest, TrainingContinuesAfterRecovery) {
+  std::vector<EntryId> keys = {1, 2, 3};
+  RunBatch(1, keys, 0.1f);
+  ASSERT_TRUE(store_->RequestCheckpoint(1).ok());
+  ASSERT_TRUE(store_->DrainCheckpoints().ok());
+  device_->SimulateCrash();
+  ASSERT_TRUE(store_->RecoverFromCrash().ok());
+
+  // Resume from batch 2.
+  RunBatch(2, keys, 0.2f);
+  ASSERT_TRUE(store_->RequestCheckpoint(2).ok());
+  ASSERT_TRUE(store_->DrainCheckpoints().ok());
+  EXPECT_EQ(store_->PublishedCheckpoint(), 2u);
+}
+
+TEST_F(PipelinedStoreTest, SpaceReclaimedAfterPublish) {
+  // Flushing the same keys across many checkpoints must not leak PMem:
+  // superseded records are freed when a newer checkpoint publishes.
+  std::vector<EntryId> keys = {1, 2, 3, 4};
+  RunBatch(1, keys, 0.1f);
+  ASSERT_TRUE(store_->RequestCheckpoint(1).ok());
+  ASSERT_TRUE(store_->DrainCheckpoints().ok());
+  const uint64_t baseline = store_->pool()->AllocatedBytes();
+
+  for (uint64_t batch = 2; batch <= 12; ++batch) {
+    RunBatch(batch, keys, 0.1f);
+    ASSERT_TRUE(store_->RequestCheckpoint(batch).ok());
+    ASSERT_TRUE(store_->DrainCheckpoints().ok());
+  }
+  // At most a bounded number of live records per key (current + one
+  // deferred), never 11 generations.
+  EXPECT_LE(store_->pool()->AllocatedBytes(), baseline * 3);
+}
+
+// Property sweep: random workloads with checkpoints and adversarial
+// crashes must always recover the exact checkpoint state.
+class PipelinedCrashPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(PipelinedCrashPropertyTest, BatchAtomicityUnderAdversarialCrash) {
+  auto device = MakeDevice(32 << 20, CrashFidelity::kAdversarial);
+  StoreConfig config = SmallConfig();
+  config.cache_bytes = 4 * 1024;  // heavy eviction traffic
+  auto store = PipelinedStore::Create(config, device.get()).ValueOrDie();
+  Random rng(GetParam());
+
+  // Reference model mirrors every applied update.
+  std::map<EntryId, std::vector<float>> model;
+  std::map<EntryId, std::vector<float>> at_checkpoint;
+  uint64_t checkpoint_batch = 0;
+
+  const uint64_t total_batches = 30;
+  const uint64_t crash_batch = 10 + rng.Uniform(15);
+  for (uint64_t batch = 1; batch <= total_batches; ++batch) {
+    std::vector<EntryId> keys;
+    const size_t nkeys = 4 + rng.Uniform(12);
+    for (size_t i = 0; i < nkeys; ++i) keys.push_back(rng.Uniform(200));
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+    std::vector<float> w(keys.size() * kDim);
+    ASSERT_TRUE(store->Pull(keys.data(), keys.size(), batch, w.data()).ok());
+    store->FinishPullPhase(batch);
+    std::vector<float> grads(keys.size() * kDim);
+    for (auto& g : grads) g = rng.UniformFloat(-1.0f, 1.0f);
+    ASSERT_TRUE(
+        store->Push(keys.data(), keys.size(), grads.data(), batch).ok());
+
+    for (size_t i = 0; i < keys.size(); ++i) {
+      auto& ref = model[keys[i]];
+      if (ref.empty()) {
+        ref.resize(kDim);
+        config.initializer.Fill(keys[i], ref.data(), kDim);
+      }
+      for (uint32_t d = 0; d < kDim; ++d) {
+        ref[d] -= config.optimizer.learning_rate * grads[i * kDim + d];
+      }
+    }
+
+    if (batch % 7 == 0) {
+      ASSERT_TRUE(store->RequestCheckpoint(batch).ok());
+      ASSERT_TRUE(store->DrainCheckpoints().ok());
+      at_checkpoint = model;
+      checkpoint_batch = batch;
+    }
+    if (batch == crash_batch) break;
+  }
+
+  device->SimulateCrash();
+  ASSERT_TRUE(store->RecoverFromCrash().ok());
+  EXPECT_EQ(store->PublishedCheckpoint(), checkpoint_batch);
+  EXPECT_EQ(store->EntryCount(), at_checkpoint.size());
+  for (const auto& [key, ref] : at_checkpoint) {
+    auto got = store->Peek(key);
+    ASSERT_TRUE(got.ok()) << "lost key " << key;
+    for (uint32_t d = 0; d < kDim; ++d) {
+      EXPECT_NEAR(got.value()[d], ref[d], 1e-5)
+          << "key " << key << " dim " << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelinedCrashPropertyTest,
+                         ::testing::Values(1, 7, 21, 42, 1234, 777, 31337,
+                                           2026));
+
+}  // namespace
+}  // namespace oe::storage
