@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_skew.dir/bench_fig11_skew.cpp.o"
+  "CMakeFiles/bench_fig11_skew.dir/bench_fig11_skew.cpp.o.d"
+  "bench_fig11_skew"
+  "bench_fig11_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

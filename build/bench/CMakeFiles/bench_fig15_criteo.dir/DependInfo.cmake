@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig15_criteo.cpp" "bench/CMakeFiles/bench_fig15_criteo.dir/bench_fig15_criteo.cpp.o" "gcc" "bench/CMakeFiles/bench_fig15_criteo.dir/bench_fig15_criteo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/oe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ps/CMakeFiles/oe_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oe_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/oe_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/oe_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/oe_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/oe_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

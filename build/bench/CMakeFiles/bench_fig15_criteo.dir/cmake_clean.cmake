@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_criteo.dir/bench_fig15_criteo.cpp.o"
+  "CMakeFiles/bench_fig15_criteo.dir/bench_fig15_criteo.cpp.o.d"
+  "bench_fig15_criteo"
+  "bench_fig15_criteo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_criteo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

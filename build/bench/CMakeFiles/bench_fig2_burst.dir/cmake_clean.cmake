@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_burst.dir/bench_fig2_burst.cpp.o"
+  "CMakeFiles/bench_fig2_burst.dir/bench_fig2_burst.cpp.o.d"
+  "bench_fig2_burst"
+  "bench_fig2_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_penalty.dir/bench_fig3_penalty.cpp.o"
+  "CMakeFiles/bench_fig3_penalty.dir/bench_fig3_penalty.cpp.o.d"
+  "bench_fig3_penalty"
+  "bench_fig3_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

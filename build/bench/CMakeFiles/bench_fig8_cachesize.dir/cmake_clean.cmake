@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_cachesize.dir/bench_fig8_cachesize.cpp.o"
+  "CMakeFiles/bench_fig8_cachesize.dir/bench_fig8_cachesize.cpp.o.d"
+  "bench_fig8_cachesize"
+  "bench_fig8_cachesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_cachesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_skew.dir/bench_table2_skew.cpp.o"
+  "CMakeFiles/bench_table2_skew.dir/bench_table2_skew.cpp.o.d"
+  "bench_table2_skew"
+  "bench_table2_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

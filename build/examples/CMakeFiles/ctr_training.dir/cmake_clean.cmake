@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctr_training.dir/ctr_training.cpp.o"
+  "CMakeFiles/ctr_training.dir/ctr_training.cpp.o.d"
+  "ctr_training"
+  "ctr_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctr_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

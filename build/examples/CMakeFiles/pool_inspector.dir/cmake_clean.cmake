@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pool_inspector.dir/pool_inspector.cpp.o"
+  "CMakeFiles/pool_inspector.dir/pool_inspector.cpp.o.d"
+  "pool_inspector"
+  "pool_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pool_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckpt/checkpoint_log.cc" "src/ckpt/CMakeFiles/oe_ckpt.dir/checkpoint_log.cc.o" "gcc" "src/ckpt/CMakeFiles/oe_ckpt.dir/checkpoint_log.cc.o.d"
+  "/root/repo/src/ckpt/quantized_snapshot.cc" "src/ckpt/CMakeFiles/oe_ckpt.dir/quantized_snapshot.cc.o" "gcc" "src/ckpt/CMakeFiles/oe_ckpt.dir/quantized_snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/oe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/oe_pmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

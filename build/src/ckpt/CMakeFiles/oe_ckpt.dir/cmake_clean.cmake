@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oe_ckpt.dir/checkpoint_log.cc.o"
+  "CMakeFiles/oe_ckpt.dir/checkpoint_log.cc.o.d"
+  "CMakeFiles/oe_ckpt.dir/quantized_snapshot.cc.o"
+  "CMakeFiles/oe_ckpt.dir/quantized_snapshot.cc.o.d"
+  "liboe_ckpt.a"
+  "liboe_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oe_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oe_common.dir/crc32.cc.o"
+  "CMakeFiles/oe_common.dir/crc32.cc.o.d"
+  "CMakeFiles/oe_common.dir/format.cc.o"
+  "CMakeFiles/oe_common.dir/format.cc.o.d"
+  "CMakeFiles/oe_common.dir/histogram.cc.o"
+  "CMakeFiles/oe_common.dir/histogram.cc.o.d"
+  "CMakeFiles/oe_common.dir/logging.cc.o"
+  "CMakeFiles/oe_common.dir/logging.cc.o.d"
+  "CMakeFiles/oe_common.dir/status.cc.o"
+  "CMakeFiles/oe_common.dir/status.cc.o.d"
+  "CMakeFiles/oe_common.dir/thread_pool.cc.o"
+  "CMakeFiles/oe_common.dir/thread_pool.cc.o.d"
+  "liboe_common.a"
+  "liboe_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oe_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

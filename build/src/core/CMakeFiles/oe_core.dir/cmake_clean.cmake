@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oe_core.dir/openembedding.cc.o"
+  "CMakeFiles/oe_core.dir/openembedding.cc.o.d"
+  "liboe_core.a"
+  "liboe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

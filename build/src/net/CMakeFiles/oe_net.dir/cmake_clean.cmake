@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oe_net.dir/tcp.cc.o"
+  "CMakeFiles/oe_net.dir/tcp.cc.o.d"
+  "CMakeFiles/oe_net.dir/transport.cc.o"
+  "CMakeFiles/oe_net.dir/transport.cc.o.d"
+  "liboe_net.a"
+  "liboe_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oe_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

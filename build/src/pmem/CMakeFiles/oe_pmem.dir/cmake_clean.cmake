@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oe_pmem.dir/device.cc.o"
+  "CMakeFiles/oe_pmem.dir/device.cc.o.d"
+  "CMakeFiles/oe_pmem.dir/pool.cc.o"
+  "CMakeFiles/oe_pmem.dir/pool.cc.o.d"
+  "liboe_pmem.a"
+  "liboe_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oe_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

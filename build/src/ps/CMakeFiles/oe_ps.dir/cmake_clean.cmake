@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oe_ps.dir/ps_client.cc.o"
+  "CMakeFiles/oe_ps.dir/ps_client.cc.o.d"
+  "CMakeFiles/oe_ps.dir/ps_cluster.cc.o"
+  "CMakeFiles/oe_ps.dir/ps_cluster.cc.o.d"
+  "CMakeFiles/oe_ps.dir/ps_service.cc.o"
+  "CMakeFiles/oe_ps.dir/ps_service.cc.o.d"
+  "liboe_ps.a"
+  "liboe_ps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oe_ps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

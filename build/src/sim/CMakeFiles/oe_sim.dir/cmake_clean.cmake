@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oe_sim.dir/cost_model.cc.o"
+  "CMakeFiles/oe_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/oe_sim.dir/training_sim.cc.o"
+  "CMakeFiles/oe_sim.dir/training_sim.cc.o.d"
+  "liboe_sim.a"
+  "liboe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

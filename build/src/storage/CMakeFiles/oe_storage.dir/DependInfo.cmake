@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/dram_store.cc" "src/storage/CMakeFiles/oe_storage.dir/dram_store.cc.o" "gcc" "src/storage/CMakeFiles/oe_storage.dir/dram_store.cc.o.d"
+  "/root/repo/src/storage/optimizer.cc" "src/storage/CMakeFiles/oe_storage.dir/optimizer.cc.o" "gcc" "src/storage/CMakeFiles/oe_storage.dir/optimizer.cc.o.d"
+  "/root/repo/src/storage/ori_cache_store.cc" "src/storage/CMakeFiles/oe_storage.dir/ori_cache_store.cc.o" "gcc" "src/storage/CMakeFiles/oe_storage.dir/ori_cache_store.cc.o.d"
+  "/root/repo/src/storage/pipelined_store.cc" "src/storage/CMakeFiles/oe_storage.dir/pipelined_store.cc.o" "gcc" "src/storage/CMakeFiles/oe_storage.dir/pipelined_store.cc.o.d"
+  "/root/repo/src/storage/pmem_hash_store.cc" "src/storage/CMakeFiles/oe_storage.dir/pmem_hash_store.cc.o" "gcc" "src/storage/CMakeFiles/oe_storage.dir/pmem_hash_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/oe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/oe_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/oe_ckpt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

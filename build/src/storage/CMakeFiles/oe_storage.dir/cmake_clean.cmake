@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oe_storage.dir/dram_store.cc.o"
+  "CMakeFiles/oe_storage.dir/dram_store.cc.o.d"
+  "CMakeFiles/oe_storage.dir/optimizer.cc.o"
+  "CMakeFiles/oe_storage.dir/optimizer.cc.o.d"
+  "CMakeFiles/oe_storage.dir/ori_cache_store.cc.o"
+  "CMakeFiles/oe_storage.dir/ori_cache_store.cc.o.d"
+  "CMakeFiles/oe_storage.dir/pipelined_store.cc.o"
+  "CMakeFiles/oe_storage.dir/pipelined_store.cc.o.d"
+  "CMakeFiles/oe_storage.dir/pmem_hash_store.cc.o"
+  "CMakeFiles/oe_storage.dir/pmem_hash_store.cc.o.d"
+  "liboe_storage.a"
+  "liboe_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oe_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/deepfm.cc" "src/train/CMakeFiles/oe_train.dir/deepfm.cc.o" "gcc" "src/train/CMakeFiles/oe_train.dir/deepfm.cc.o.d"
+  "/root/repo/src/train/mlp.cc" "src/train/CMakeFiles/oe_train.dir/mlp.cc.o" "gcc" "src/train/CMakeFiles/oe_train.dir/mlp.cc.o.d"
+  "/root/repo/src/train/sync_trainer.cc" "src/train/CMakeFiles/oe_train.dir/sync_trainer.cc.o" "gcc" "src/train/CMakeFiles/oe_train.dir/sync_trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/oe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ps/CMakeFiles/oe_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/oe_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oe_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/oe_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/oe_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/oe_pmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

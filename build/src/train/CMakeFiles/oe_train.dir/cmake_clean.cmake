@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oe_train.dir/deepfm.cc.o"
+  "CMakeFiles/oe_train.dir/deepfm.cc.o.d"
+  "CMakeFiles/oe_train.dir/mlp.cc.o"
+  "CMakeFiles/oe_train.dir/mlp.cc.o.d"
+  "CMakeFiles/oe_train.dir/sync_trainer.cc.o"
+  "CMakeFiles/oe_train.dir/sync_trainer.cc.o.d"
+  "liboe_train.a"
+  "liboe_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oe_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

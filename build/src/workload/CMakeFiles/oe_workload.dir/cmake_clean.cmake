@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oe_workload.dir/criteo.cc.o"
+  "CMakeFiles/oe_workload.dir/criteo.cc.o.d"
+  "CMakeFiles/oe_workload.dir/skew.cc.o"
+  "CMakeFiles/oe_workload.dir/skew.cc.o.d"
+  "CMakeFiles/oe_workload.dir/trace.cc.o"
+  "CMakeFiles/oe_workload.dir/trace.cc.o.d"
+  "liboe_workload.a"
+  "liboe_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oe_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

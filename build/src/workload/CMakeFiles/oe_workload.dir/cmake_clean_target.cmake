@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboe_workload.a"
+)
