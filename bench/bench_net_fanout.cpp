@@ -1,0 +1,122 @@
+// Micro-benchmark for the worker->PS RPC fan-out: every per-node request of
+// a Pull/Push/broadcast is issued concurrently via Transport::ParallelCall,
+// so one operation costs ~one round trip instead of num_nodes sequential
+// ones. A fixed per-call delay stands in for the network round trip; the
+// serial baseline is the same transport with CallAsync forced inline (the
+// pre-fan-out behavior).
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "net/transport.h"
+#include "ps/ps_client.h"
+#include "ps/ps_service.h"
+#include "storage/dram_store.h"
+
+using oe::Status;
+using oe::net::Buffer;
+using oe::net::InProcTransport;
+using oe::net::NodeId;
+using oe::net::Transport;
+using oe::ps::PsClient;
+using oe::ps::PsService;
+using oe::storage::DramStore;
+using oe::storage::EntryId;
+using oe::storage::StoreConfig;
+
+namespace {
+
+constexpr uint32_t kDim = 64;
+constexpr size_t kKeysPerBatch = 2048;
+constexpr int kBatches = 20;
+constexpr auto kRoundTrip = std::chrono::microseconds(300);
+
+/// Adds a fixed per-call latency in front of an in-process backend: the
+/// stand-in for one network round trip.
+class DelayTransport : public Transport {
+ public:
+  explicit DelayTransport(InProcTransport* inner) : inner_(inner) {}
+
+  Status Call(NodeId node, uint32_t method, const Buffer& request,
+              Buffer* response) override {
+    std::this_thread::sleep_for(kRoundTrip);
+    return inner_->Call(node, method, request, response);
+  }
+
+ private:
+  InProcTransport* inner_;
+};
+
+/// The serial baseline: completing CallAsync inline degrades ParallelCall
+/// to one blocking call after another, exactly the old loop.
+class SerialDelayTransport final : public DelayTransport {
+ public:
+  using DelayTransport::DelayTransport;
+
+  void CallAsync(NodeId node, uint32_t method, const Buffer& request,
+                 Buffer* response,
+                 std::function<void(Status)> done) override {
+    done(Call(node, method, request, response));
+  }
+};
+
+double RunEpochMs(Transport* transport, uint32_t num_nodes) {
+  PsClient client(transport, num_nodes, kDim);
+  std::vector<EntryId> keys(kKeysPerBatch);
+  std::iota(keys.begin(), keys.end(), 0);
+  std::vector<float> weights(kKeysPerBatch * kDim);
+  std::vector<float> grads(kKeysPerBatch * kDim, 0.01f);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int b = 1; b <= kBatches; ++b) {
+    Status status = client.Pull(keys.data(), keys.size(), b, weights.data());
+    if (status.ok()) status = client.FinishPullPhase(b);
+    if (status.ok()) {
+      status = client.Push(keys.data(), keys.size(), grads.data(), b);
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "batch %d failed: %s\n", b,
+                   status.ToString().c_str());
+      return -1;
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count() /
+         kBatches;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("RPC fan-out: Pull+FinishPull+Push per batch, %zu keys, "
+              "%d us simulated round trip\n",
+              kKeysPerBatch, static_cast<int>(kRoundTrip.count()));
+  std::printf("%8s %16s %18s %10s\n", "nodes", "serial ms/batch",
+              "parallel ms/batch", "speedup");
+
+  for (uint32_t num_nodes : {2u, 4u, 8u}) {
+    InProcTransport inner;
+    std::vector<std::unique_ptr<DramStore>> stores;
+    std::vector<std::unique_ptr<PsService>> services;
+    for (uint32_t i = 0; i < num_nodes; ++i) {
+      StoreConfig config;
+      config.dim = kDim;
+      stores.push_back(DramStore::Create(config, nullptr).ValueOrDie());
+      services.push_back(std::make_unique<PsService>(stores.back().get()));
+      inner.RegisterNode(i, services.back()->AsHandler());
+    }
+
+    SerialDelayTransport serial(&inner);
+    const double serial_ms = RunEpochMs(&serial, num_nodes);
+    DelayTransport parallel(&inner);
+    const double parallel_ms = RunEpochMs(&parallel, num_nodes);
+    if (serial_ms < 0 || parallel_ms < 0) return 1;
+    std::printf("%8u %16.2f %18.2f %9.2fx\n", num_nodes, serial_ms,
+                parallel_ms, serial_ms / parallel_ms);
+  }
+  return 0;
+}

@@ -1,6 +1,7 @@
 #ifndef OE_CACHE_TAGGED_PTR_H_
 #define OE_CACHE_TAGGED_PTR_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "common/logging.h"
@@ -49,9 +50,46 @@ class TaggedPtr {
   }
 
  private:
+  friend class AtomicTaggedPtr;
+
   explicit TaggedPtr(uint64_t bits) : bits_(bits) {}
 
   uint64_t bits_;
+};
+
+/// An index slot holding a TaggedPtr as one lock-free 64-bit atomic. The
+/// push path updates a slot while readers holding only the shared lock load
+/// it concurrently; the atomic makes that 8-byte exchange tear-free. Copy
+/// construction/assignment exist solely for container bookkeeping (rehash,
+/// node moves), which the stores only perform under their exclusive lock.
+class AtomicTaggedPtr {
+ public:
+  AtomicTaggedPtr() = default;
+  AtomicTaggedPtr(TaggedPtr ptr) : bits_(ptr.bits_) {}  // NOLINT(runtime/explicit)
+
+  AtomicTaggedPtr(const AtomicTaggedPtr& other)
+      : bits_(other.bits_.load(std::memory_order_relaxed)) {}
+  AtomicTaggedPtr& operator=(const AtomicTaggedPtr& other) {
+    bits_.store(other.bits_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    return *this;
+  }
+
+  AtomicTaggedPtr& operator=(TaggedPtr ptr) {
+    store(ptr);
+    return *this;
+  }
+
+  TaggedPtr load() const {
+    return TaggedPtr(bits_.load(std::memory_order_acquire));
+  }
+
+  void store(TaggedPtr ptr) {
+    bits_.store(ptr.bits_, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<uint64_t> bits_{0};
 };
 
 }  // namespace oe::cache

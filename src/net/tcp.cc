@@ -43,6 +43,14 @@ Status WriteFully(int fd, const void* data, size_t n) {
 }
 
 Status SendFrame(int fd, uint32_t tag, const uint8_t* payload, size_t n) {
+  // Validate before writing a single byte: a payload over the receiver's
+  // frame cap would only be rejected after a full (wasted) send, and one
+  // at or above 4 GiB - 4 would silently truncate in the 32-bit length.
+  if (n > kMaxFramePayloadBytes) {
+    return Status::InvalidArgument("frame payload too large: " +
+                                   std::to_string(n) + " > " +
+                                   std::to_string(kMaxFramePayloadBytes));
+  }
   const uint32_t len = static_cast<uint32_t>(n) + 4;
   uint8_t header[8];
   std::memcpy(header, &len, 4);
@@ -58,7 +66,7 @@ Status ReceiveFrame(int fd, uint32_t* tag, Buffer* payload) {
   uint32_t len = 0;
   std::memcpy(&len, header, 4);
   std::memcpy(tag, header + 4, 4);
-  if (len < 4 || len > (256u << 20)) {
+  if (len < 4 || len > kMaxFrameBytes) {
     return Status::Corruption("bad frame length");
   }
   payload->resize(len - 4);
@@ -113,11 +121,21 @@ void TcpServer::Stop() {
   std::vector<std::thread> threads;
   {
     std::lock_guard<std::mutex> lock(conn_mutex_);
-    threads.swap(conn_threads_);
     // Unblock connection threads parked in read() on live connections.
-    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    for (const auto& [id, fd] : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    for (auto& [id, thread] : conn_threads_) {
+      threads.push_back(std::move(thread));
+    }
+    conn_threads_.clear();
+    for (auto& thread : finished_threads_) threads.push_back(std::move(thread));
+    finished_threads_.clear();
   }
   for (auto& t : threads) t.join();
+}
+
+size_t TcpServer::ActiveConnections() const {
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  return conn_fds_.size();
 }
 
 void TcpServer::AcceptLoop() {
@@ -129,13 +147,22 @@ void TcpServer::AcceptLoop() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::lock_guard<std::mutex> lock(conn_mutex_);
-    conn_fds_.push_back(fd);
-    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+    std::vector<std::thread> finished;
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      const uint64_t id = next_conn_id_++;
+      conn_fds_.emplace(id, fd);
+      conn_threads_.emplace(
+          id, std::thread([this, id, fd] { ServeConnection(id, fd); }));
+      // Reap threads whose connections have since closed, so a long-lived
+      // server does not accumulate one dead thread per past connection.
+      finished.swap(finished_threads_);
+    }
+    for (auto& t : finished) t.join();
   }
 }
 
-void TcpServer::ServeConnection(int fd) {
+void TcpServer::ServeConnection(uint64_t id, int fd) {
   Buffer request;
   Buffer response;
   while (!stopping_.load(std::memory_order_acquire)) {
@@ -155,11 +182,20 @@ void TcpServer::ServeConnection(int fd) {
     if (!io.ok()) break;
   }
   ::close(fd);
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  conn_fds_.erase(id);
+  auto it = conn_threads_.find(id);
+  if (it != conn_threads_.end()) {
+    // Hand the (still finishing) thread to the reaper; Stop() may already
+    // have taken ownership, in which case there is nothing to move.
+    finished_threads_.push_back(std::move(it->second));
+    conn_threads_.erase(it);
+  }
 }
 
 TcpTransport::~TcpTransport() {
   for (auto& [node, endpoint] : endpoints_) {
-    if (endpoint->fd >= 0) ::close(endpoint->fd);
+    for (int fd : endpoint->idle_fds) ::close(fd);
   }
 }
 
@@ -172,8 +208,17 @@ void TcpTransport::AddNode(NodeId node, const std::string& host,
   endpoints_[node] = std::move(endpoint);
 }
 
-Status TcpTransport::EnsureConnected(Endpoint* endpoint) {
-  if (endpoint->fd >= 0) return Status::OK();
+Result<int> TcpTransport::CheckOut(Endpoint* endpoint) {
+  {
+    std::lock_guard<std::mutex> lock(endpoint->mutex);
+    if (!endpoint->idle_fds.empty()) {
+      const int fd = endpoint->idle_fds.back();
+      endpoint->idle_fds.pop_back();
+      return fd;
+    }
+  }
+  // Dial outside the endpoint lock so concurrent callers connect in
+  // parallel rather than serializing on the handshake.
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Status::IoError("socket() failed");
   sockaddr_in addr{};
@@ -189,8 +234,16 @@ Status TcpTransport::EnsureConnected(Endpoint* endpoint) {
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  endpoint->fd = fd;
-  return Status::OK();
+  return fd;
+}
+
+void TcpTransport::CheckIn(Endpoint* endpoint, int fd) {
+  std::lock_guard<std::mutex> lock(endpoint->mutex);
+  if (endpoint->idle_fds.size() < kMaxIdleConnections) {
+    endpoint->idle_fds.push_back(fd);
+  } else {
+    ::close(fd);
+  }
 }
 
 Status TcpTransport::Call(NodeId node, uint32_t method, const Buffer& request,
@@ -204,17 +257,21 @@ Status TcpTransport::Call(NodeId node, uint32_t method, const Buffer& request,
     }
     endpoint = it->second.get();
   }
-  std::lock_guard<std::mutex> lock(endpoint->mutex);
-  OE_RETURN_IF_ERROR(EnsureConnected(endpoint));
-  Status status = SendFrame(endpoint->fd, method, request.data(),
-                            request.size());
-  uint32_t code = 0;
-  if (status.ok()) status = ReceiveFrame(endpoint->fd, &code, response);
-  if (!status.ok()) {
-    ::close(endpoint->fd);
-    endpoint->fd = -1;
+  OE_ASSIGN_OR_RETURN(const int fd, CheckOut(endpoint));
+  Status status = SendFrame(fd, method, request.data(), request.size());
+  if (status.code() == StatusCode::kInvalidArgument) {
+    // Length validation failed before any bytes hit the wire; the
+    // connection is still clean.
+    CheckIn(endpoint, fd);
     return status;
   }
+  uint32_t code = 0;
+  if (status.ok()) status = ReceiveFrame(fd, &code, response);
+  if (!status.ok()) {
+    ::close(fd);
+    return status;
+  }
+  CheckIn(endpoint, fd);
   stats_.Record(request.size(), response->size());
   if (code != 0) {
     const std::string msg(response->begin(), response->end());

@@ -15,6 +15,12 @@
 
 namespace oe::net {
 
+/// Hard cap on one frame (length word included); the receiver rejects
+/// anything larger, so the sender validates against it before writing.
+inline constexpr size_t kMaxFrameBytes = 256u << 20;
+/// Largest request/response payload one RPC frame can carry.
+inline constexpr size_t kMaxFramePayloadBytes = kMaxFrameBytes - 4;
+
 /// Blocking TCP RPC server for one PS node. Wire format (little endian):
 ///   request:  [ len : u32 ][ method : u32 ][ payload : len-4 bytes ]
 ///   response: [ len : u32 ][ status : u32 ][ payload : len-4 bytes ]
@@ -22,7 +28,9 @@ namespace oe::net {
 class TcpServer {
  public:
   /// Binds to 127.0.0.1:`port` (0 = ephemeral; see port()) and serves
-  /// `handler` until Stop() or destruction. One thread per connection.
+  /// `handler` until Stop() or destruction. One thread per connection;
+  /// threads of closed connections are reaped as new connections arrive
+  /// rather than accumulating for the server's lifetime.
   static Result<std::unique_ptr<TcpServer>> Start(uint16_t port,
                                                   RpcHandler handler);
   ~TcpServer();
@@ -33,24 +41,32 @@ class TcpServer {
   uint16_t port() const { return port_; }
   void Stop();
 
+  /// Connections currently being served (for tests/introspection).
+  size_t ActiveConnections() const;
+
  private:
   TcpServer(int listen_fd, uint16_t port, RpcHandler handler);
 
   void AcceptLoop();
-  void ServeConnection(int fd);
+  void ServeConnection(uint64_t id, int fd);
 
   int listen_fd_;
   uint16_t port_;
   RpcHandler handler_;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
-  std::mutex conn_mutex_;
-  std::vector<std::thread> conn_threads_;
-  std::vector<int> conn_fds_;  // open connections, for shutdown on Stop
+
+  mutable std::mutex conn_mutex_;
+  uint64_t next_conn_id_ = 0;
+  std::unordered_map<uint64_t, int> conn_fds_;  // open, for shutdown on Stop
+  std::unordered_map<uint64_t, std::thread> conn_threads_;
+  std::vector<std::thread> finished_threads_;  // exited, awaiting join
 };
 
-/// TCP transport: maps node ids to host:port endpoints and issues blocking
-/// RPCs over one cached connection per node.
+/// TCP transport: maps node ids to host:port endpoints. Each endpoint keeps
+/// a small pool of cached connections, so concurrent calls to the same node
+/// (the ParallelCall fan-out, or several workers sharing one transport) run
+/// on distinct sockets instead of serializing behind a single connection.
 class TcpTransport final : public Transport {
  public:
   ~TcpTransport() override;
@@ -65,11 +81,18 @@ class TcpTransport final : public Transport {
   struct Endpoint {
     std::string host;
     uint16_t port = 0;
-    int fd = -1;
-    std::mutex mutex;  // one in-flight call per connection
+    std::mutex mutex;           // guards idle_fds
+    std::vector<int> idle_fds;  // pooled connections, most recent last
   };
 
-  Status EnsureConnected(Endpoint* endpoint);
+  /// Idle connections kept per node; calls beyond this run on short-lived
+  /// extra sockets that close on check-in instead of pooling.
+  static constexpr size_t kMaxIdleConnections = 8;
+
+  /// Pops an idle pooled connection or dials a new one.
+  Result<int> CheckOut(Endpoint* endpoint);
+  /// Returns a healthy connection to the pool (or closes it if full).
+  void CheckIn(Endpoint* endpoint, int fd);
 
   std::mutex mutex_;
   std::unordered_map<NodeId, std::unique_ptr<Endpoint>> endpoints_;

@@ -1,6 +1,67 @@
 #include "net/transport.h"
 
+#include <algorithm>
+#include <condition_variable>
+#include <thread>
+
 namespace oe::net {
+
+ThreadPool* Transport::pool() {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  if (pool_ == nullptr) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    pool_ = std::make_unique<ThreadPool>(
+        static_cast<int>(std::max(8u, 2 * hw)));
+  }
+  return pool_.get();
+}
+
+void Transport::CallAsync(NodeId node, uint32_t method, const Buffer& request,
+                          Buffer* response,
+                          std::function<void(Status)> done) {
+  const Buffer* req = &request;
+  pool()->Submit([this, node, method, req, response,
+                  done = std::move(done)] {
+    done(Call(node, method, *req, response));
+  });
+}
+
+Status Transport::ParallelCall(RpcCall* calls, size_t n) {
+  static const Buffer kEmptyRequest;
+  if (n == 0) return Status::OK();
+  auto request_of = [](const RpcCall& call) -> const Buffer& {
+    return call.request != nullptr ? *call.request : kEmptyRequest;
+  };
+  if (n == 1) {
+    calls[0].status =
+        Call(calls[0].node, calls[0].method, request_of(calls[0]),
+             calls[0].response);
+    return calls[0].status;
+  }
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  size_t outstanding = n - 1;
+  for (size_t i = 1; i < n; ++i) {
+    RpcCall* call = &calls[i];
+    CallAsync(call->node, call->method, request_of(*call), call->response,
+              [call, &mutex, &cv, &outstanding](Status status) {
+                call->status = std::move(status);
+                std::lock_guard<std::mutex> lock(mutex);
+                if (--outstanding == 0) cv.notify_one();
+              });
+  }
+  calls[0].status = Call(calls[0].node, calls[0].method, request_of(calls[0]),
+                         calls[0].response);
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return outstanding == 0; });
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!calls[i].status.ok()) return calls[i].status;
+  }
+  return Status::OK();
+}
 
 void InProcTransport::RegisterNode(NodeId node, RpcHandler handler) {
   std::lock_guard<std::mutex> lock(mutex_);

@@ -7,8 +7,10 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "net/message.h"
 
 namespace oe::net {
@@ -35,26 +37,73 @@ struct NetStats {
   }
 };
 
-/// Synchronous RPC transport. Implementations: in-process (deterministic,
-/// default for tests/benches) and TCP loopback (demonstrates the real wire
-/// path; see TcpTransport).
+/// One RPC of a ParallelCall fan-out. `request` may be null (empty payload);
+/// `response` must be non-null and stays owned by the caller.
+struct RpcCall {
+  NodeId node = 0;
+  uint32_t method = 0;
+  const Buffer* request = nullptr;
+  Buffer* response = nullptr;
+  Status status;  // per-call result, filled by ParallelCall
+};
+
+/// RPC transport. Implementations: in-process (deterministic, default for
+/// tests/benches) and TCP loopback (demonstrates the real wire path; see
+/// TcpTransport). Call() is the blocking primitive; CallAsync()/
+/// ParallelCall() overlap independent per-node requests, which is how the
+/// worker pulls/pushes shards from all PS nodes concurrently (Section IV).
 class Transport {
  public:
   virtual ~Transport() = default;
 
   /// Calls `method` on `node`, blocking until the response arrives.
+  /// Thread-safe; concurrent calls to the same node must not corrupt each
+  /// other (TcpTransport pools one connection per in-flight call).
   virtual Status Call(NodeId node, uint32_t method, const Buffer& request,
                       Buffer* response) = 0;
+
+  /// Issues `method` on `node` without blocking the caller; `done` runs
+  /// exactly once with the call's status after the response landed in
+  /// `*response`. `request` and `response` must stay alive until then, and
+  /// all outstanding completions must have run before the transport is
+  /// destroyed (ParallelCall guarantees both). The default implementation
+  /// dispatches the blocking Call() onto a lazily started internal thread
+  /// pool; `done` then runs on a pool thread.
+  virtual void CallAsync(NodeId node, uint32_t method, const Buffer& request,
+                         Buffer* response, std::function<void(Status)> done);
+
+  /// Issues all `calls` concurrently and blocks until every one finished.
+  /// Per-call results land in RpcCall::status; the return value is the first
+  /// non-OK status in call order (deterministic regardless of completion
+  /// order). The calling thread serves calls[0] itself, so a single-call
+  /// fan-out pays no thread handoff.
+  Status ParallelCall(RpcCall* calls, size_t n);
+  Status ParallelCall(std::vector<RpcCall>* calls) {
+    return ParallelCall(calls->data(), calls->size());
+  }
 
   const NetStats& stats() const { return stats_; }
 
  protected:
   NetStats stats_;
+
+ private:
+  /// Lazily started fan-out pool shared by every CallAsync on this
+  /// transport. Sized generously: fan-out tasks are I/O-bound blocking
+  /// calls, so oversubscription is harmless while undersizing serializes
+  /// the very round-trips ParallelCall exists to overlap.
+  ThreadPool* pool();
+
+  std::mutex pool_mutex_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 /// In-process transport: every node is an RpcHandler in the same address
 /// space. Requests still cross a serialization boundary, so the code path
 /// (encode -> dispatch -> decode) matches the distributed deployment.
+/// Handlers run on the caller's thread for Call() and on fan-out pool
+/// threads for CallAsync(), so they must be thread-safe (PsService is, to
+/// the extent its store is).
 class InProcTransport final : public Transport {
  public:
   /// Registers `handler` as `node`. Replaces any previous registration.

@@ -11,6 +11,7 @@ namespace oe::ps {
 
 using net::Buffer;
 using net::Reader;
+using net::RpcCall;
 using net::Writer;
 
 PsClient::PsClient(net::Transport* transport, uint32_t num_nodes,
@@ -24,19 +25,32 @@ Status PsClient::Pull(const storage::EntryId* keys, size_t n, uint64_t batch,
   for (size_t i = 0; i < n; ++i) {
     positions[router_.NodeFor(keys[i])].push_back(i);
   }
-  Buffer request;
-  Buffer response;
+  std::vector<uint32_t> nodes;
   for (uint32_t node = 0; node < router_.num_nodes(); ++node) {
-    const auto& pos = positions[node];
-    if (pos.empty()) continue;
-    request.clear();
-    Writer writer(&request);
+    if (!positions[node].empty()) nodes.push_back(node);
+  }
+  if (nodes.empty()) return Status::OK();
+
+  // One request per owning node, issued concurrently (Section IV: the
+  // worker reaches every PS shard in one overlapped round trip).
+  std::vector<Buffer> requests(nodes.size());
+  std::vector<Buffer> responses(nodes.size());
+  std::vector<RpcCall> calls(nodes.size());
+  for (size_t c = 0; c < nodes.size(); ++c) {
+    const auto& pos = positions[nodes[c]];
+    Writer writer(&requests[c]);
     writer.PutU64(batch);
     writer.PutU32(static_cast<uint32_t>(pos.size()));
     for (size_t i : pos) writer.PutRaw(&keys[i], sizeof(keys[i]));
-    OE_RETURN_IF_ERROR(transport_->Call(
-        node, static_cast<uint32_t>(PsMethod::kPull), request, &response));
-    Reader reader(response);
+    calls[c] = {nodes[c], static_cast<uint32_t>(PsMethod::kPull),
+                &requests[c], &responses[c], Status::OK()};
+  }
+  OE_RETURN_IF_ERROR(transport_->ParallelCall(&calls));
+
+  // Reassemble in key order.
+  for (size_t c = 0; c < nodes.size(); ++c) {
+    const auto& pos = positions[nodes[c]];
+    Reader reader(responses[c]);
     std::vector<float> weights;
     OE_RETURN_IF_ERROR(reader.GetFloatSpan(&weights));
     if (weights.size() != pos.size() * dim_) {
@@ -56,13 +70,18 @@ Status PsClient::Push(const storage::EntryId* keys, size_t n,
   for (size_t i = 0; i < n; ++i) {
     positions[router_.NodeFor(keys[i])].push_back(i);
   }
-  Buffer request;
-  Buffer response;
+  std::vector<uint32_t> nodes;
   for (uint32_t node = 0; node < router_.num_nodes(); ++node) {
-    const auto& pos = positions[node];
-    if (pos.empty()) continue;
-    request.clear();
-    Writer writer(&request);
+    if (!positions[node].empty()) nodes.push_back(node);
+  }
+  if (nodes.empty()) return Status::OK();
+
+  std::vector<Buffer> requests(nodes.size());
+  std::vector<Buffer> responses(nodes.size());
+  std::vector<RpcCall> calls(nodes.size());
+  for (size_t c = 0; c < nodes.size(); ++c) {
+    const auto& pos = positions[nodes[c]];
+    Writer writer(&requests[c]);
     writer.PutU64(batch);
     writer.PutU32(static_cast<uint32_t>(pos.size()));
     for (size_t i : pos) writer.PutRaw(&keys[i], sizeof(keys[i]));
@@ -70,18 +89,19 @@ Status PsClient::Push(const storage::EntryId* keys, size_t n,
     for (size_t i : pos) {
       writer.PutRaw(grads + i * dim_, dim_ * sizeof(float));
     }
-    OE_RETURN_IF_ERROR(transport_->Call(
-        node, static_cast<uint32_t>(PsMethod::kPush), request, &response));
+    calls[c] = {nodes[c], static_cast<uint32_t>(PsMethod::kPush),
+                &requests[c], &responses[c], Status::OK()};
   }
-  return Status::OK();
+  return transport_->ParallelCall(&calls);
 }
 
 Status PsClient::Broadcast(uint32_t method, const Buffer& request) {
-  Buffer response;
+  std::vector<Buffer> responses(router_.num_nodes());
+  std::vector<RpcCall> calls(router_.num_nodes());
   for (uint32_t node = 0; node < router_.num_nodes(); ++node) {
-    OE_RETURN_IF_ERROR(transport_->Call(node, method, request, &response));
+    calls[node] = {node, method, &request, &responses[node], Status::OK()};
   }
-  return Status::OK();
+  return transport_->ParallelCall(&calls);
 }
 
 Status PsClient::FinishPullPhase(uint64_t batch) {
@@ -113,11 +133,15 @@ Status PsClient::Recover() {
 }
 
 Result<uint64_t> PsClient::TotalEntries() {
-  uint64_t total = 0;
-  Buffer response;
+  std::vector<Buffer> responses(router_.num_nodes());
+  std::vector<RpcCall> calls(router_.num_nodes());
   for (uint32_t node = 0; node < router_.num_nodes(); ++node) {
-    OE_RETURN_IF_ERROR(transport_->Call(
-        node, static_cast<uint32_t>(PsMethod::kEntryCount), {}, &response));
+    calls[node] = {node, static_cast<uint32_t>(PsMethod::kEntryCount),
+                   nullptr, &responses[node], Status::OK()};
+  }
+  OE_RETURN_IF_ERROR(transport_->ParallelCall(&calls));
+  uint64_t total = 0;
+  for (const Buffer& response : responses) {
     uint64_t count = 0;
     OE_RETURN_IF_ERROR(Reader(response).GetU64(&count));
     total += count;
@@ -126,12 +150,16 @@ Result<uint64_t> PsClient::TotalEntries() {
 }
 
 Result<uint64_t> PsClient::ClusterCheckpoint() {
-  uint64_t min_cp = ~0ULL;
-  Buffer response;
+  std::vector<Buffer> responses(router_.num_nodes());
+  std::vector<RpcCall> calls(router_.num_nodes());
   for (uint32_t node = 0; node < router_.num_nodes(); ++node) {
-    OE_RETURN_IF_ERROR(transport_->Call(
-        node, static_cast<uint32_t>(PsMethod::kPublishedCheckpoint), {},
-        &response));
+    calls[node] = {node,
+                   static_cast<uint32_t>(PsMethod::kPublishedCheckpoint),
+                   nullptr, &responses[node], Status::OK()};
+  }
+  OE_RETURN_IF_ERROR(transport_->ParallelCall(&calls));
+  uint64_t min_cp = ~0ULL;
+  for (const Buffer& response : responses) {
     uint64_t cp = 0;
     OE_RETURN_IF_ERROR(Reader(response).GetU64(&cp));
     min_cp = std::min(min_cp, cp);

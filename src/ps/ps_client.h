@@ -30,7 +30,13 @@ class Router {
 };
 
 /// Worker-side client: batches Pull/Push per PS node over a Transport and
-/// reassembles responses in key order.
+/// reassembles responses in key order. Per-node requests are issued
+/// concurrently via Transport::ParallelCall — one overlapped round trip
+/// per operation instead of num_nodes sequential ones (Section IV: workers
+/// reach all PS shards in parallel). Errors surface as the first failing
+/// node in node order, deterministically. The client holds no mutable
+/// state, so distinct threads may share one instance; SyncTrainer still
+/// gives each worker its own client to mirror the deployment.
 class PsClient {
  public:
   /// `transport` must outlive the client; nodes [0, num_nodes) must be

@@ -18,10 +18,21 @@ Nanos CostModel::DeviceTime(const pmem::DeviceStats::Snapshot& delta,
                             latency_time / parallelism);
 }
 
-Nanos CostModel::NetworkTime(uint64_t bytes, uint64_t requests) const {
+Nanos CostModel::NetworkTime(uint64_t bytes, uint64_t requests,
+                             int parallelism) const {
   if (requests == 0 && bytes == 0) return 0;
   const double transfer = static_cast<double>(bytes) / network_.bandwidth_gbps;
-  return static_cast<Nanos>(transfer) + (requests > 0 ? network_.rtt_ns : 0);
+  uint64_t waves = 0;
+  if (requests > 0) {
+    if (parallelism <= 0) {
+      waves = 1;
+    } else {
+      const uint64_t p = static_cast<uint64_t>(parallelism);
+      waves = (requests + p - 1) / p;
+    }
+  }
+  return static_cast<Nanos>(transfer) +
+         static_cast<Nanos>(waves) * network_.rtt_ns;
 }
 
 Nanos CostModel::ContentionTime(uint64_t sync_ops, int workers) const {

@@ -62,9 +62,13 @@ class CostModel {
                    const pmem::DeviceTimingSpec& spec,
                    int parallelism = 0) const;
 
-  /// Network time for one burst: bytes share the link; the round trip is
-  /// paid once since workers issue in parallel.
-  Nanos NetworkTime(uint64_t bytes, uint64_t requests) const;
+  /// Network time for one burst: bytes share the link; round-trip latency
+  /// is paid once per *wave* of `parallelism` overlapped requests (the
+  /// PsClient fan-out issues all per-node RPCs of an operation
+  /// concurrently, and the workers of a burst overlap with each other).
+  /// `parallelism` <= 0 means every request overlaps: one round trip.
+  Nanos NetworkTime(uint64_t bytes, uint64_t requests,
+                    int parallelism = 0) const;
 
   /// Serialized time of `sync_ops` fine-grained critical sections under a
   /// burst of `workers` concurrent clients.

@@ -41,8 +41,13 @@ Nanos TrainingSimulator::PhaseCost(const TrafficSnapshot& before,
       options_.checkpoint_device == pmem::DeviceKind::kPmem
           ? pmem_parallelism
           : 0);
+  // Each worker's PsClient fans its per-node RPCs out concurrently and the
+  // workers of a burst overlap with each other, so up to gpus x nodes
+  // requests share one round trip per wave.
+  const int net_parallelism = options_.num_gpus * options_.num_nodes;
   cost += cost_model_.NetworkTime(after.net_bytes - before.net_bytes,
-                                  after.net_requests - before.net_requests);
+                                  after.net_requests - before.net_requests,
+                                  net_parallelism);
   cost += cost_model_.ContentionTime(after.sync_ops - before.sync_ops,
                                      options_.num_gpus);
   return cost;

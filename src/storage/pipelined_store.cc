@@ -119,7 +119,7 @@ Status PipelinedStore::Pull(const EntryId* keys, size_t n, uint64_t batch,
         missing.push_back(i);
         continue;
       }
-      const TaggedPtr ptr = it->second;
+      const TaggedPtr ptr = it->second.load();
       if (ptr.is_dram()) {
         const CacheEntry* entry = ptr.dram<CacheEntry>();
         std::memcpy(out + i * config_.dim, entry->data.get(), weight_bytes);
@@ -131,6 +131,26 @@ Status PipelinedStore::Pull(const EntryId* keys, size_t n, uint64_t batch,
         device_->Read(ptr.pmem_offset() + EntryLayout::kHeaderBytes,
                       out + i * config_.dim, weight_bytes);
         stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    // Stage the accessed keys before the lock is released: a concurrent
+    // FinishPullPhase swapping the stage buffer between the accesses and
+    // the staging would attribute them to the wrong maintenance chunk.
+    // Keys not yet in the index are staged by the creation section below,
+    // in the critical section where their access actually happens.
+    if (config_.cache_enabled && missing.size() < n) {
+      std::lock_guard<std::mutex> lock(stage_mutex_);
+      if (missing.empty()) {
+        staged_keys_.insert(staged_keys_.end(), keys, keys + n);
+      } else {
+        size_t skip = 0;
+        for (size_t i = 0; i < n; ++i) {
+          if (skip < missing.size() && missing[skip] == i) {
+            ++skip;
+            continue;
+          }
+          staged_keys_.push_back(keys[i]);
+        }
       }
     }
   }
@@ -151,7 +171,7 @@ Status PipelinedStore::Pull(const EntryId* keys, size_t n, uint64_t batch,
         continue;
       }
       // Raced with another puller that created it.
-      const TaggedPtr ptr = it->second;
+      const TaggedPtr ptr = it->second.load();
       if (ptr.is_dram()) {
         std::memcpy(out + i * config_.dim, ptr.dram<CacheEntry>()->data.get(),
                     weight_bytes);
@@ -161,11 +181,10 @@ Status PipelinedStore::Pull(const EntryId* keys, size_t n, uint64_t batch,
                       out + i * config_.dim, weight_bytes);
       }
     }
-  }
-
-  if (config_.cache_enabled) {
-    std::lock_guard<std::mutex> lock(stage_mutex_);
-    staged_keys_.insert(staged_keys_.end(), keys, keys + n);
+    if (config_.cache_enabled) {
+      std::lock_guard<std::mutex> lock(stage_mutex_);
+      for (size_t i : missing) staged_keys_.push_back(keys[i]);
+    }
   }
   return Status::OK();
 }
@@ -254,7 +273,7 @@ void PipelinedStore::ProcessChunkLocked(uint64_t batch,
   for (const EntryId key : keys) {
     auto it = index_.find(key);
     if (it == index_.end()) continue;  // evaporated (should not happen)
-    const TaggedPtr ptr = it->second;
+    const TaggedPtr ptr = it->second.load();
     if (ptr.is_dram()) {
       CacheEntry* entry = ptr.dram<CacheEntry>();
       if (has_gate && entry->version <= flush_gate && entry->dirty) {
@@ -390,9 +409,12 @@ Status PipelinedStore::Push(const EntryId* keys, size_t n, const float* grads,
     if (it == index_.end()) {
       return Status::NotFound("push to unknown key (pull must precede push)");
     }
-    const TaggedPtr ptr = it->second;
     SpinLock& shard = push_locks_[key % kPushShards];
     shard.lock();
+    // Load the slot only after taking the shard lock: a concurrent pusher
+    // of the same key may have COW-remapped the record, and applying this
+    // gradient to the superseded offset would silently lose its update.
+    const TaggedPtr ptr = it->second.load();
     if (ptr.is_dram()) {
       CacheEntry* entry = ptr.dram<CacheEntry>();
       config_.optimizer.Apply(entry->data.get(),
@@ -403,9 +425,8 @@ Status PipelinedStore::Push(const EntryId* keys, size_t n, const float* grads,
       dram_stats_.AddWrite(layout_.data_bytes());
       shard.unlock();
     } else {
-      Status s =
-          PushPmemRecordLocked(key, ptr.pmem_offset(), grads + i * config_.dim,
-                               batch);
+      Status s = PushPmemRecord(&it->second, ptr.pmem_offset(),
+                                grads + i * config_.dim, batch);
       shard.unlock();
       OE_RETURN_IF_ERROR(s);
     }
@@ -413,10 +434,10 @@ Status PipelinedStore::Push(const EntryId* keys, size_t n, const float* grads,
   return Status::OK();
 }
 
-Status PipelinedStore::PushPmemRecordLocked(EntryId key,
-                                            uint64_t record_offset,
-                                            const float* grad,
-                                            uint64_t batch) {
+Status PipelinedStore::PushPmemRecord(cache::AtomicTaggedPtr* slot,
+                                      uint64_t record_offset,
+                                      const float* grad,
+                                      uint64_t batch) {
   std::vector<uint8_t> record(layout_.record_bytes());
   device_->Read(record_offset, record.data(), record.size());
   const uint64_t record_version = EntryLayout::RecordVersion(record.data());
@@ -440,7 +461,9 @@ Status PipelinedStore::PushPmemRecordLocked(EntryId key,
       std::lock_guard<std::mutex> lock(ckpt_mutex_);
       deferred_free_[batch].push_back(record_offset);
     }
-    index_[key] = TaggedPtr::FromPmem(offset);
+    // One atomic 8-byte store: concurrent Pull readers holding the shared
+    // lock observe either the old or the new record, never a torn slot.
+    slot->store(TaggedPtr::FromPmem(offset));
   } else {
     device_->Write(record_offset, record.data(), record.size());
     device_->Persist(record_offset, record.size());
@@ -688,7 +711,7 @@ Status PipelinedStore::ImportCheckpoint(const ckpt::CheckpointLog& log) {
         auto it = index_.find(key);
         if (it != index_.end()) {
           // Later chunks override earlier ones.
-          OE_CHECK_OK(pool_->Free(it->second.pmem_offset()));
+          OE_CHECK_OK(pool_->Free(it->second.load().pmem_offset()));
           it->second = TaggedPtr::FromPmem(offset);
         } else {
           index_[key] = TaggedPtr::FromPmem(offset);
@@ -715,11 +738,12 @@ Result<std::vector<float>> PipelinedStore::Peek(EntryId key) const {
   auto it = index_.find(key);
   if (it == index_.end()) return Status::NotFound("no such key");
   std::vector<float> out(config_.dim);
-  if (it->second.is_dram()) {
-    const CacheEntry* entry = it->second.dram<CacheEntry>();
+  const TaggedPtr ptr = it->second.load();
+  if (ptr.is_dram()) {
+    const CacheEntry* entry = ptr.dram<CacheEntry>();
     std::copy_n(entry->data.get(), config_.dim, out.begin());
   } else {
-    const uint8_t* record = pool_->Translate(it->second.pmem_offset());
+    const uint8_t* record = pool_->Translate(ptr.pmem_offset());
     std::copy_n(EntryLayout::RecordData(record), config_.dim, out.begin());
   }
   return out;

@@ -128,8 +128,12 @@ class PipelinedStore final : public EmbeddingStore {
   void PublishLocked(uint64_t cp);
   CacheEntry* LoadToDramLocked(EntryId key, uint64_t record_offset,
                                uint64_t batch);
-  Status PushPmemRecordLocked(EntryId key, uint64_t record_offset,
-                              const float* grad, uint64_t batch);
+  /// Applies one gradient to a PMem-resident record. Runs under the shared
+  /// (read) lock plus the key's push_locks_ shard; a COW remap publishes
+  /// the new record through the atomic index slot so concurrent readers
+  /// never observe a torn pointer.
+  Status PushPmemRecord(cache::AtomicTaggedPtr* slot, uint64_t record_offset,
+                        const float* grad, uint64_t batch);
   Status PullPmemDirect(EntryId key, uint64_t batch, float* out);
 
   /// Head of the checkpoint request queue; false if empty.
@@ -141,8 +145,13 @@ class PipelinedStore final : public EmbeddingStore {
   std::unique_ptr<pmem::PmemPool> pool_;
   size_t cache_capacity_ = 0;
 
+  // Locking protocol (see DESIGN.md §8): lock_ (shared for Pull/Push,
+  // exclusive for maintenance/insertions) -> push_locks_ shard (serializes
+  // writers of one key) -> ckpt_mutex_ / stage_mutex_ (leaf locks, never
+  // held while acquiring the others). Index slots are atomic so Pull may
+  // read them under the shared lock while a pusher swaps a slot.
   mutable InstrumentedRwLock lock_;
-  std::unordered_map<EntryId, cache::TaggedPtr> index_;
+  std::unordered_map<EntryId, cache::AtomicTaggedPtr> index_;
   std::unordered_map<EntryId, std::unique_ptr<CacheEntry>> cache_entries_;
   cache::LruList<CacheEntry, &CacheEntry::lru> lru_;
 

@@ -1,6 +1,7 @@
 #ifndef OE_TRAIN_SYNC_TRAINER_H_
 #define OE_TRAIN_SYNC_TRAINER_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -51,7 +52,9 @@ class SyncTrainer {
   Progress progress() const;
 
   /// Global batch id the next TrainBatches call starts from.
-  uint64_t next_batch() const { return next_batch_; }
+  uint64_t next_batch() const {
+    return next_batch_.load(std::memory_order_acquire);
+  }
 
   DeepFm& model() { return *model_; }
 
@@ -72,7 +75,9 @@ class SyncTrainer {
   std::vector<std::unique_ptr<ps::PsClient>> clients_;
   std::unique_ptr<Barrier> barrier_;
 
-  uint64_t next_batch_ = 1;
+  // Atomic: progress() may be polled from a monitoring thread while
+  // TrainBatches advances it.
+  std::atomic<uint64_t> next_batch_{1};
 
   // Dense snapshots by checkpoint batch id (the TF-side checkpoint).
   std::map<uint64_t, std::vector<float>> dense_checkpoints_;

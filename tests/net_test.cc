@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -104,6 +105,89 @@ TEST(InProcTransportTest, UnregisterRemovesNode) {
   EXPECT_FALSE(transport.Call(0, 0, {}, &response).ok());
 }
 
+TEST(ParallelCallTest, FansOutAndReassembles) {
+  InProcTransport transport;
+  for (NodeId node = 0; node < 6; ++node) {
+    transport.RegisterNode(node, [node](uint32_t method, const Buffer& request,
+                                        Buffer* response) {
+      *response = request;
+      response->push_back(static_cast<uint8_t>(node));
+      response->push_back(static_cast<uint8_t>(method));
+      return Status::OK();
+    });
+  }
+  std::vector<Buffer> requests(6);
+  std::vector<Buffer> responses(6);
+  std::vector<RpcCall> calls(6);
+  for (NodeId node = 0; node < 6; ++node) {
+    requests[node] = {static_cast<uint8_t>(100 + node)};
+    calls[node].node = node;
+    calls[node].method = 7 + node;
+    calls[node].request = &requests[node];
+    calls[node].response = &responses[node];
+  }
+  ASSERT_TRUE(transport.ParallelCall(&calls).ok());
+  for (NodeId node = 0; node < 6; ++node) {
+    Buffer expected = {static_cast<uint8_t>(100 + node),
+                       static_cast<uint8_t>(node),
+                       static_cast<uint8_t>(7 + node)};
+    EXPECT_EQ(responses[node], expected) << "node " << node;
+    EXPECT_TRUE(calls[node].status.ok());
+  }
+}
+
+TEST(ParallelCallTest, FirstErrorInCallOrderWins) {
+  InProcTransport transport;
+  transport.RegisterNode(0, [](uint32_t, const Buffer&, Buffer*) {
+    // Finishes last but sits first in the call array.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return Status::Aborted("first");
+  });
+  transport.RegisterNode(1, [](uint32_t, const Buffer&, Buffer*) {
+    return Status::Internal("second");
+  });
+  transport.RegisterNode(2, [](uint32_t, const Buffer&, Buffer*) {
+    return Status::OK();
+  });
+  std::vector<Buffer> responses(3);
+  std::vector<RpcCall> calls(3);
+  for (NodeId node = 0; node < 3; ++node) {
+    calls[node].node = node;
+    calls[node].response = &responses[node];
+  }
+  auto status = transport.ParallelCall(&calls);
+  EXPECT_EQ(status.code(), StatusCode::kAborted);
+  EXPECT_NE(status.message().find("first"), std::string::npos);
+  // Every per-call status is still individually reported.
+  EXPECT_EQ(calls[1].status.code(), StatusCode::kInternal);
+  EXPECT_TRUE(calls[2].status.ok());
+}
+
+TEST(ParallelCallTest, CallsActuallyOverlap) {
+  InProcTransport transport;
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  for (NodeId node = 0; node < 4; ++node) {
+    transport.RegisterNode(node, [&](uint32_t, const Buffer&, Buffer*) {
+      const int now = in_flight.fetch_add(1) + 1;
+      int seen = max_in_flight.load();
+      while (now > seen && !max_in_flight.compare_exchange_weak(seen, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      in_flight.fetch_sub(1);
+      return Status::OK();
+    });
+  }
+  std::vector<Buffer> responses(4);
+  std::vector<RpcCall> calls(4);
+  for (NodeId node = 0; node < 4; ++node) {
+    calls[node].node = node;
+    calls[node].response = &responses[node];
+  }
+  ASSERT_TRUE(transport.ParallelCall(&calls).ok());
+  EXPECT_GT(max_in_flight.load(), 1);
+}
+
 TEST(TcpTest, RoundTripOverLoopback) {
   auto server = TcpServer::Start(0, [](uint32_t method,
                                        const Buffer& request,
@@ -162,6 +246,89 @@ TEST(TcpTest, ConnectToClosedPortFails) {
   transport.AddNode(0, "127.0.0.1", 1);  // reserved port, nothing listening
   Buffer response;
   EXPECT_FALSE(transport.Call(0, 0, {}, &response).ok());
+}
+
+TEST(TcpTest, OversizedPayloadRejectedAtSender) {
+  std::atomic<int> calls{0};
+  auto server = TcpServer::Start(0, [&](uint32_t, const Buffer& request,
+                                        Buffer* response) {
+    calls.fetch_add(1);
+    *response = request;
+    return Status::OK();
+  }).ValueOrDie();
+  TcpTransport transport;
+  transport.AddNode(0, "127.0.0.1", server->port());
+
+  Buffer oversized(kMaxFramePayloadBytes + 1, 0);
+  Buffer response;
+  auto status = transport.Call(0, 0, oversized, &response);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls.load(), 0);  // rejected before any bytes hit the wire
+
+  // The connection is still usable afterwards: nothing partial was sent.
+  Buffer request = {1, 2, 3};
+  ASSERT_TRUE(transport.Call(0, 0, request, &response).ok());
+  EXPECT_EQ(response, request);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(TcpTest, ParallelCallsToOneNodeUseSeparateConnections) {
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  auto server = TcpServer::Start(0, [&](uint32_t, const Buffer& request,
+                                        Buffer* response) {
+    const int now = in_flight.fetch_add(1) + 1;
+    int seen = max_in_flight.load();
+    while (now > seen && !max_in_flight.compare_exchange_weak(seen, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    in_flight.fetch_sub(1);
+    *response = request;
+    return Status::OK();
+  }).ValueOrDie();
+
+  TcpTransport transport;
+  transport.AddNode(0, "127.0.0.1", server->port());
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5; ++i) {
+        Buffer request = {static_cast<uint8_t>(i)};
+        Buffer response;
+        if (!transport.Call(0, 0, request, &response).ok() ||
+            response != request) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // With a per-node connection pool the four client threads overlap instead
+  // of serializing on one endpoint mutex.
+  EXPECT_GT(max_in_flight.load(), 1);
+}
+
+TEST(TcpTest, FinishedConnectionsAreReaped) {
+  auto server = TcpServer::Start(0, [](uint32_t, const Buffer& request,
+                                       Buffer* response) {
+    *response = request;
+    return Status::OK();
+  }).ValueOrDie();
+
+  for (int i = 0; i < 8; ++i) {
+    TcpTransport transport;  // dtor closes its pooled connection
+    transport.AddNode(0, "127.0.0.1", server->port());
+    Buffer response;
+    ASSERT_TRUE(transport.Call(0, 0, {1}, &response).ok());
+  }
+  // Closed connections unregister themselves; give the server a moment to
+  // notice the EOFs.
+  for (int spin = 0; spin < 100 && server->ActiveConnections() > 1; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_LE(server->ActiveConnections(), 1u);
 }
 
 TEST(TcpTest, ConcurrentClients) {

@@ -41,6 +41,21 @@ TEST(CostModelTest, NetworkTimeHasRttAndBandwidth) {
   EXPECT_EQ(model.NetworkTime(1000000, 1), 1000000 + 1000);
 }
 
+TEST(CostModelTest, NetworkTimePaysRttPerWave) {
+  NetworkSpec network;
+  network.bandwidth_gbps = 1.0;  // 1 byte/ns
+  network.rtt_ns = 1000;
+  CostModel model(network, ContentionSpec{});
+  // parallelism <= 0: all requests overlap, one round trip.
+  EXPECT_EQ(model.NetworkTime(0, 64, 0), 1000);
+  // 64 requests at 8 in flight = 8 waves.
+  EXPECT_EQ(model.NetworkTime(0, 64, 8), 8 * 1000);
+  // Partial last wave still costs a full round trip.
+  EXPECT_EQ(model.NetworkTime(0, 65, 8), 9 * 1000);
+  // More slots than requests collapses back to one wave.
+  EXPECT_EQ(model.NetworkTime(500, 4, 16), 500 + 1000);
+}
+
 TEST(PricingTest, TableFiveConstants) {
   // Table V: 2 DRAM servers at $6.07/h vs 1 PMem server at $3.80/h for a
   // >500 GB model.
