@@ -74,9 +74,17 @@ class LruList {
     if (empty()) return nullptr;
     return EntryOf(sentinel_.prev);
   }
+  const Entry* Tail() const {
+    if (empty()) return nullptr;
+    return EntryOf(sentinel_.prev);
+  }
 
   /// The most recently used entry, or nullptr if empty.
   Entry* Head() {
+    if (empty()) return nullptr;
+    return EntryOf(sentinel_.next);
+  }
+  const Entry* Head() const {
     if (empty()) return nullptr;
     return EntryOf(sentinel_.next);
   }
@@ -107,6 +115,9 @@ class LruList {
     const auto delta = reinterpret_cast<const char*>(&(probe->*NodeMember)) -
                        reinterpret_cast<const char*>(probe);
     return reinterpret_cast<Entry*>(reinterpret_cast<char*>(node) - delta);
+  }
+  static const Entry* EntryOf(const LruNode* node) {
+    return EntryOf(const_cast<LruNode*>(node));
   }
 
   static void Link(LruNode* node, LruNode* prev, LruNode* next) {

@@ -53,6 +53,16 @@ class InstrumentedRwLock {
     mutex_.lock();
     write_acquisitions_.fetch_add(1, std::memory_order_relaxed);
   }
+
+  /// Non-blocking write acquisition, used by the sharded store's checkpoint
+  /// ack sweep: idle shards can acknowledge a pending checkpoint without the
+  /// requester stalling behind a busy shard's maintenance chunk.
+  bool TryAcquireWrite() {
+    if (!mutex_.try_lock()) return false;
+    write_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
   void ReleaseWrite() { mutex_.unlock(); }
 
   uint64_t read_acquisitions() const {

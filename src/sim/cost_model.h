@@ -43,6 +43,19 @@ struct ContentionSpec {
     if (p > pmem_max_parallelism) return pmem_max_parallelism;
     return p;
   }
+
+  /// Parallelism of the pipelined engine's cache-maintenance window:
+  /// maintainer threads drain chunks of *disjoint* shards, so their PMem
+  /// flushes/loads overlap up to min(maintainers, shards), still bounded by
+  /// the DIMM's sustainable concurrency. With one shard (the pre-sharding
+  /// single-lock layout) this degenerates to 1 regardless of thread count —
+  /// chunk processing serializes on the global write lock.
+  int MaintenanceParallelism(int maintainers, int shards) const {
+    int p = maintainers < shards ? maintainers : shards;
+    if (p < 1) p = 1;
+    if (p > pmem_max_parallelism) return pmem_max_parallelism;
+    return p;
+  }
 };
 
 /// Converts recorded traffic into simulated time. All component times are

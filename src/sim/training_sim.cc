@@ -28,9 +28,11 @@ TrainingSimulator::TrafficSnapshot TrainingSimulator::Capture() const {
 }
 
 Nanos TrainingSimulator::PhaseCost(const TrafficSnapshot& before,
-                                   const TrafficSnapshot& after) const {
-  const int pmem_parallelism =
-      options_.contention.PmemParallelism(options_.num_gpus);
+                                   const TrafficSnapshot& after,
+                                   int pmem_parallelism) const {
+  if (pmem_parallelism <= 0) {
+    pmem_parallelism = options_.contention.PmemParallelism(options_.num_gpus);
+  }
   Nanos cost = 0;
   cost += cost_model_.DeviceTime(after.pmem - before.pmem,
                                  pmem::PmemTiming(), pmem_parallelism);
@@ -222,7 +224,15 @@ Result<EpochReport> TrainingSimulator::Run() {
 
     PhaseTimes times;
     times.pull = PhaseCost(snap0, snap_pull);
-    times.maintenance = PhaseCost(snap_pull, snap_maint);
+    // With the pipeline on, maintainer threads drain disjoint shards
+    // concurrently, so the maintenance window's PMem traffic overlaps
+    // across min(maintainers, shards) streams instead of the GPU burst's.
+    times.maintenance =
+        overlapped ? PhaseCost(snap_pull, snap_maint,
+                               options_.contention.MaintenanceParallelism(
+                                   options_.store.maintainer_threads,
+                                   options_.store.store_shards))
+                   : PhaseCost(snap_pull, snap_maint);
     if (per_access_sync) {
       // Without the pipeline, cache maintenance is per-access work on the
       // request critical path (immediate LRU update + replacement on every

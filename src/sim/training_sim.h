@@ -135,8 +135,12 @@ class TrainingSimulator {
   };
 
   TrafficSnapshot Capture() const;
-  Nanos PhaseCost(const TrafficSnapshot& before,
-                  const TrafficSnapshot& after) const;
+  /// `pmem_parallelism` <= 0 charges the phase's PMem traffic at the
+  /// default burst parallelism PmemParallelism(num_gpus); the maintenance
+  /// phase of the sharded pipelined engine overrides it with
+  /// MaintenanceParallelism (maintainer threads over disjoint shards).
+  Nanos PhaseCost(const TrafficSnapshot& before, const TrafficSnapshot& after,
+                  int pmem_parallelism = 0) const;
   Status Populate();
 
   SimOptions options_;

@@ -44,6 +44,13 @@ struct StoreConfig {
   /// Number of cache-maintainer threads for the pipelined engine.
   int maintainer_threads = 1;
 
+  /// Lock-striped shards for the pipelined engine: each shard owns its own
+  /// RW lock, hash index, cache map, LRU list, staging buffer and a slice of
+  /// the DRAM cache budget, so maintainer threads process different shards
+  /// concurrently and a pull-miss write-locks only one shard. 1 restores the
+  /// single-lock layout; values < 1 are clamped to 1.
+  int store_shards = 16;
+
   /// Bucket count for the PMem-resident hash table (PMem-Hash engine).
   uint64_t pmem_hash_buckets = 1 << 14;
 

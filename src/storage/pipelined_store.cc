@@ -9,11 +9,18 @@ namespace oe::storage {
 
 using cache::TaggedPtr;
 
+size_t PipelinedStore::ShardCount(const StoreConfig& config) {
+  return static_cast<size_t>(std::max(1, config.store_shards));
+}
+
 PipelinedStore::PipelinedStore(const StoreConfig& config,
                                pmem::PmemDevice* device)
     : config_(config),
       layout_(config.dim, config.optimizer.Slots()),
-      device_(device) {}
+      device_(device),
+      shards_(ShardCount(config)),
+      access_queue_(ShardCount(config)),
+      shard_acked_(ShardCount(config), 0) {}
 
 Result<std::unique_ptr<PipelinedStore>> PipelinedStore::Create(
     const StoreConfig& config, pmem::PmemDevice* device) {
@@ -56,8 +63,17 @@ Status PipelinedStore::Init() {
   } else {
     cache_capacity_ = 0;
   }
-  published_ckpt_.store(pool_->RootGet(kRootCheckpointId),
-                        std::memory_order_release);
+  // Split the budget so per-shard capacities sum to exactly
+  // cache_capacity_. A zero-capacity shard is legal: entries pass through
+  // its cache and are evicted by the first maintenance touch.
+  const size_t shards = shards_.size();
+  for (size_t s = 0; s < shards; ++s) {
+    shards_[s].capacity =
+        cache_capacity_ / shards + (s < cache_capacity_ % shards ? 1 : 0);
+  }
+  const uint64_t cp = pool_->RootGet(kRootCheckpointId);
+  published_ckpt_.store(cp, std::memory_order_release);
+  std::fill(shard_acked_.begin(), shard_acked_.end(), cp);
   if (config_.cache_enabled && config_.pipeline_enabled) {
     maintainers_.reserve(static_cast<size_t>(config_.maintainer_threads));
     for (int i = 0; i < config_.maintainer_threads; ++i) {
@@ -72,14 +88,39 @@ PipelinedStore::~PipelinedStore() {
   for (auto& t : maintainers_) t.join();
 }
 
+void PipelinedStore::GroupByShard(const EntryId* keys, size_t n,
+                                  std::vector<size_t>* order,
+                                  std::vector<size_t>* begin) const {
+  const size_t shards = shards_.size();
+  begin->assign(shards + 1, 0);
+  if (shards == 1) {
+    order->resize(n);
+    for (size_t i = 0; i < n; ++i) (*order)[i] = i;
+    (*begin)[1] = n;
+    return;
+  }
+  // Counting sort by shard: stable, one pass over the keys per phase.
+  std::vector<size_t> shard_of(n);
+  for (size_t i = 0; i < n; ++i) {
+    shard_of[i] = ShardOf(keys[i]);
+    ++(*begin)[shard_of[i] + 1];
+  }
+  for (size_t s = 0; s < shards; ++s) (*begin)[s + 1] += (*begin)[s];
+  order->resize(n);
+  std::vector<size_t> cursor(begin->begin(), begin->end() - 1);
+  for (size_t i = 0; i < n; ++i) (*order)[cursor[shard_of[i]]++] = i;
+}
+
 void PipelinedStore::MaintainerLoop() {
+  size_t shard = 0;
   uint64_t batch = 0;
   std::vector<EntryId> keys;
-  while (access_queue_.Pop(&batch, &keys)) {
+  while (access_queue_.Pop(&shard, &batch, &keys)) {
     {
-      WriteGuard guard(lock_);
-      ProcessChunkLocked(batch, keys);
+      WriteGuard guard(shards_[shard].lock);
+      ProcessChunkLocked(shard, batch, keys);
     }
+    access_queue_.Done(shard);
     {
       std::lock_guard<std::mutex> lock(maint_mutex_);
       ++processed_chunks_;
@@ -89,7 +130,8 @@ void PipelinedStore::MaintainerLoop() {
 }
 
 PipelinedStore::CacheEntry* PipelinedStore::CreateCachedEntryLocked(
-    EntryId key, uint64_t batch) {
+    size_t shard, EntryId key, uint64_t batch) {
+  Shard& sh = shards_[shard];
   auto entry = std::make_unique<CacheEntry>();
   entry->key = key;
   entry->version = batch;
@@ -99,8 +141,9 @@ PipelinedStore::CacheEntry* PipelinedStore::CreateCachedEntryLocked(
   config_.initializer.Fill(key, entry->data.get(), config_.dim);
   dram_stats_.AddWrite(layout_.data_bytes());
   CacheEntry* raw = entry.get();
-  cache_entries_.emplace(key, std::move(entry));
-  index_[key] = TaggedPtr::FromDram(raw);
+  sh.cache_entries.emplace(key, std::move(entry));
+  sh.index[key] = TaggedPtr::FromDram(raw);
+  ++sh.fresh_entries;
   stats_.new_entries.fetch_add(1, std::memory_order_relaxed);
   return raw;
 }
@@ -108,14 +151,27 @@ PipelinedStore::CacheEntry* PipelinedStore::CreateCachedEntryLocked(
 Status PipelinedStore::Pull(const EntryId* keys, size_t n, uint64_t batch,
                             float* out) {
   stats_.pull_keys.fetch_add(n, std::memory_order_relaxed);
+  if (n == 0) return Status::OK();
   const size_t weight_bytes = config_.dim * sizeof(float);
-  std::vector<size_t> missing;
 
-  {
-    ReadGuard guard(lock_);
-    for (size_t i = 0; i < n; ++i) {
-      auto it = index_.find(keys[i]);
-      if (it == index_.end()) {
+  std::vector<size_t> order;
+  std::vector<size_t> begin;
+  GroupByShard(keys, n, &order, &begin);
+
+  // Positions of keys absent from their shard's index, grouped by shard
+  // (construction order below preserves the shard grouping of `order`).
+  std::vector<size_t> missing;
+  std::vector<EntryId> present;
+
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (begin[s] == begin[s + 1]) continue;
+    Shard& sh = shards_[s];
+    present.clear();
+    ReadGuard guard(sh.lock);
+    for (size_t j = begin[s]; j < begin[s + 1]; ++j) {
+      const size_t i = order[j];
+      auto it = sh.index.find(keys[i]);
+      if (it == sh.index.end()) {
         missing.push_back(i);
         continue;
       }
@@ -132,65 +188,68 @@ Status PipelinedStore::Pull(const EntryId* keys, size_t n, uint64_t batch,
                       out + i * config_.dim, weight_bytes);
         stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
       }
+      present.push_back(keys[i]);
     }
-    // Stage the accessed keys before the lock is released: a concurrent
-    // FinishPullPhase swapping the stage buffer between the accesses and
-    // the staging would attribute them to the wrong maintenance chunk.
-    // Keys not yet in the index are staged by the creation section below,
-    // in the critical section where their access actually happens.
-    if (config_.cache_enabled && missing.size() < n) {
-      std::lock_guard<std::mutex> lock(stage_mutex_);
-      if (missing.empty()) {
-        staged_keys_.insert(staged_keys_.end(), keys, keys + n);
-      } else {
-        size_t skip = 0;
-        for (size_t i = 0; i < n; ++i) {
-          if (skip < missing.size() && missing[skip] == i) {
-            ++skip;
-            continue;
-          }
-          staged_keys_.push_back(keys[i]);
-        }
-      }
+    // Stage the accessed keys before the shard lock is released: a
+    // concurrent FinishPullPhase swapping the stage buffer between the
+    // accesses and the staging would attribute them to the wrong
+    // maintenance chunk. Keys not yet in the index are staged by the
+    // creation section below, in the critical section where their access
+    // actually happens.
+    if (config_.cache_enabled && !present.empty()) {
+      std::lock_guard<std::mutex> lock(sh.stage_mutex);
+      sh.staged.insert(sh.staged.end(), present.begin(), present.end());
     }
   }
 
-  if (!missing.empty()) {
-    WriteGuard guard(lock_);
-    for (size_t i : missing) {
+  for (size_t m = 0; m < missing.size();) {
+    const size_t s = ShardOf(keys[missing[m]]);
+    size_t m_end = m + 1;
+    while (m_end < missing.size() && ShardOf(keys[missing[m_end]]) == s) {
+      ++m_end;
+    }
+    Shard& sh = shards_[s];
+    WriteGuard guard(sh.lock);
+    for (size_t j = m; j < m_end; ++j) {
+      const size_t i = missing[j];
       const EntryId key = keys[i];
-      auto it = index_.find(key);
-      if (it == index_.end()) {
+      auto it = sh.index.find(key);
+      if (it == sh.index.end()) {
         if (config_.cache_enabled) {
-          CacheEntry* entry = CreateCachedEntryLocked(key, batch);
+          CacheEntry* entry = CreateCachedEntryLocked(s, key, batch);
           std::memcpy(out + i * config_.dim, entry->data.get(), weight_bytes);
           dram_stats_.AddRead(weight_bytes);
         } else {
-          OE_RETURN_IF_ERROR(PullPmemDirect(key, batch, out + i * config_.dim));
+          OE_RETURN_IF_ERROR(
+              PullPmemDirect(s, key, batch, out + i * config_.dim));
         }
         continue;
       }
-      // Raced with another puller that created it.
+      // Raced with another puller (or a duplicate earlier in this batch)
+      // that created it; serve and count it like the read-locked pass.
       const TaggedPtr ptr = it->second.load();
       if (ptr.is_dram()) {
         std::memcpy(out + i * config_.dim, ptr.dram<CacheEntry>()->data.get(),
                     weight_bytes);
         dram_stats_.AddRead(weight_bytes);
+        stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
       } else {
         device_->Read(ptr.pmem_offset() + EntryLayout::kHeaderBytes,
                       out + i * config_.dim, weight_bytes);
+        stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
       }
     }
     if (config_.cache_enabled) {
-      std::lock_guard<std::mutex> lock(stage_mutex_);
-      for (size_t i : missing) staged_keys_.push_back(keys[i]);
+      std::lock_guard<std::mutex> lock(sh.stage_mutex);
+      for (size_t j = m; j < m_end; ++j) sh.staged.push_back(keys[missing[j]]);
     }
+    m = m_end;
   }
   return Status::OK();
 }
 
-Status PipelinedStore::PullPmemDirect(EntryId key, uint64_t batch,
-                                      float* out) {
+Status PipelinedStore::PullPmemDirect(size_t shard, EntryId key,
+                                      uint64_t batch, float* out) {
   // Cache-disabled mode: create the record directly in PMem.
   std::vector<uint8_t> record(layout_.record_bytes(), 0);
   EntryLayout::SetRecordHeader(record.data(), key, batch);
@@ -199,7 +258,7 @@ Status PipelinedStore::PullPmemDirect(EntryId key, uint64_t batch,
   OE_ASSIGN_OR_RETURN(
       uint64_t offset,
       pool_->AllocWrite(record.data(), record.size(), kEntryTag));
-  index_[key] = TaggedPtr::FromPmem(offset);
+  shards_[shard].index[key] = TaggedPtr::FromPmem(offset);
   stats_.new_entries.fetch_add(1, std::memory_order_relaxed);
   std::memcpy(out, EntryLayout::RecordData(record.data()),
               config_.dim * sizeof(float));
@@ -213,23 +272,34 @@ void PipelinedStore::FinishPullPhase(uint64_t batch) {
     maint_cv_.notify_all();
     return;
   }
-  std::vector<EntryId> keys;
-  {
-    std::lock_guard<std::mutex> lock(stage_mutex_);
-    keys.swap(staged_keys_);
+  // Seal: swap out every shard's staging buffer. Pulls of this batch have
+  // completed (training protocol), so each buffer holds exactly the batch's
+  // accesses for that shard.
+  std::vector<std::vector<EntryId>> chunks(shards_.size());
+  size_t nonempty = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].stage_mutex);
+    chunks[s].swap(shards_[s].staged);
+    if (!chunks[s].empty()) ++nonempty;
   }
   if (config_.pipeline_enabled) {
     {
       std::lock_guard<std::mutex> lock(maint_mutex_);
-      ++appended_chunks_;
+      appended_chunks_ += nonempty;
       sealed_batch_ = std::max(sealed_batch_, batch);
     }
-    access_queue_.Append(batch, std::move(keys));
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (!chunks[s].empty()) {
+        access_queue_.Append(s, batch, std::move(chunks[s]));
+      }
+    }
+    if (nonempty == 0) maint_cv_.notify_all();
   } else {
     // Ablation mode (Fig. 9): maintenance on the critical path.
-    {
-      WriteGuard guard(lock_);
-      ProcessChunkLocked(batch, keys);
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (chunks[s].empty()) continue;
+      WriteGuard guard(shards_[s].lock);
+      ProcessChunkLocked(s, batch, chunks[s]);
     }
     std::lock_guard<std::mutex> lock(maint_mutex_);
     sealed_batch_ = std::max(sealed_batch_, batch);
@@ -240,7 +310,7 @@ void PipelinedStore::FinishPullPhase(uint64_t batch) {
 void PipelinedStore::WaitMaintenance(uint64_t batch) {
   // Drain semantics: wait until every chunk sealed so far is processed.
   // Callers that need batch-complete guarantees (Push, the simulator) seal
-  // the batch before waiting, so its chunk is in the appended count. The
+  // the batch before waiting, so its chunks are in the appended count. The
   // batch id deliberately does not gate the wait — a wait on a never-
   // sealed batch (stray RPC) must not block a server thread forever.
   (void)batch;
@@ -256,8 +326,77 @@ bool PipelinedStore::PendingHead(uint64_t* cp) const {
   return true;
 }
 
-void PipelinedStore::ProcessChunkLocked(uint64_t batch,
-                                        const std::vector<EntryId>& keys) {
+bool PipelinedStore::ShardDurableForLocked(const Shard& shard,
+                                           uint64_t cp) const {
+  // Algorithm 2 lines 23-28, per shard: LRU order equals version order, so
+  // the tail carries the minimum version in this shard's cache; once it
+  // exceeds the checkpoint's batch id every state the checkpoint needs from
+  // this shard is durable in PMem. First-touch entries not yet linked into
+  // the LRU are invisible to the tail test and block the ack outright —
+  // their batch's maintenance chunk links (and, if gated, flushes) them.
+  if (shard.fresh_entries > 0) return false;
+  const CacheEntry* tail = shard.lru.Tail();
+  return tail == nullptr || tail->version > cp;
+}
+
+std::vector<uint64_t> PipelinedStore::PublishReadyLocked() {
+  std::vector<uint64_t> to_free;
+  while (!pending_ckpts_.empty()) {
+    const uint64_t cp = pending_ckpts_.front();
+    bool all_acked = true;
+    for (uint64_t acked : shard_acked_) {
+      if (acked < cp) {
+        all_acked = false;
+        break;
+      }
+    }
+    if (!all_acked) break;
+    // One failure-atomic 8-byte PMem store publishes the checkpoint
+    // (Algorithm 2: PMem.atomicUpdateCheckpointId).
+    pool_->RootSet(kRootCheckpointId, cp);
+    published_ckpt_.store(cp, std::memory_order_release);
+    pending_ckpts_.pop_front();
+    // Records superseded by versions <= cp are now unreachable by any
+    // current or future checkpoint: recycle their space.
+    auto end = deferred_free_.upper_bound(cp);
+    for (auto it = deferred_free_.begin(); it != end; ++it) {
+      to_free.insert(to_free.end(), it->second.begin(), it->second.end());
+    }
+    deferred_free_.erase(deferred_free_.begin(), end);
+    stats_.checkpoints_published.fetch_add(1, std::memory_order_relaxed);
+  }
+  return to_free;
+}
+
+void PipelinedStore::AckCheckpointsLocked(size_t shard) {
+  const Shard& sh = shards_[shard];
+  std::vector<uint64_t> to_free;
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mutex_);
+    if (pending_ckpts_.empty()) return;
+    uint64_t acked = shard_acked_[shard];
+    for (const uint64_t cp : pending_ckpts_) {
+      if (cp <= acked) continue;
+      if (!ShardDurableForLocked(sh, cp)) break;
+      acked = cp;
+    }
+    shard_acked_[shard] = acked;
+    to_free = PublishReadyLocked();
+  }
+  for (uint64_t offset : to_free) OE_CHECK_OK(pool_->Free(offset));
+}
+
+void PipelinedStore::ProcessChunkLocked(size_t shard, uint64_t batch,
+                                        std::vector<EntryId>& keys) {
+  Shard& sh = shards_[shard];
+  // Under Zipf skew a hot key appears many times per batch; one flush +
+  // LRU touch covers all its occurrences. Sorting off the hot path is
+  // cheaper than hashing per occurrence, and order inside the chunk is
+  // irrelevant: every key gets version = batch, so the LRU-order ==
+  // version-order invariant holds regardless.
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
   // Flush gate: an entry must be written back if any published-or-pending
   // checkpoint may still need its current (pre-reaccess) state.
   uint64_t flush_gate = 0;
@@ -271,8 +410,8 @@ void PipelinedStore::ProcessChunkLocked(uint64_t batch,
   }
 
   for (const EntryId key : keys) {
-    auto it = index_.find(key);
-    if (it == index_.end()) continue;  // evaporated (should not happen)
+    auto it = sh.index.find(key);
+    if (it == sh.index.end()) continue;  // evaporated (should not happen)
     const TaggedPtr ptr = it->second.load();
     if (ptr.is_dram()) {
       CacheEntry* entry = ptr.dram<CacheEntry>();
@@ -280,17 +419,29 @@ void PipelinedStore::ProcessChunkLocked(uint64_t batch,
         Status s = FlushEntryLocked(entry);
         if (!s.ok()) OE_LOG_ERROR << "flush failed: " << s.ToString();
       }
+      const bool inserted = !sh.lru.Contains(entry);
       entry->version = batch;
-      lru_.Touch(entry);
+      sh.lru.Touch(entry);
+      if (inserted) {
+        // First maintenance touch of a first-touch entry: it is now
+        // LRU-linked and visible to the durability test.
+        OE_CHECK(sh.fresh_entries > 0);
+        --sh.fresh_entries;
+        EvictIfNeededLocked(shard);
+      }
     } else {
-      LoadToDramLocked(key, ptr.pmem_offset(), batch);
+      LoadToDramLocked(shard, key, ptr.pmem_offset(), batch);
+      EvictIfNeededLocked(shard);
     }
-    EvictIfNeededLocked();
   }
+  // This chunk may have flushed or aged out every pre-checkpoint state the
+  // shard held; tell the cross-shard barrier.
+  AckCheckpointsLocked(shard);
 }
 
 PipelinedStore::CacheEntry* PipelinedStore::LoadToDramLocked(
-    EntryId key, uint64_t record_offset, uint64_t batch) {
+    size_t shard, EntryId key, uint64_t record_offset, uint64_t batch) {
+  Shard& sh = shards_[shard];
   auto entry = std::make_unique<CacheEntry>();
   entry->key = key;
   entry->version = batch;
@@ -306,9 +457,9 @@ PipelinedStore::CacheEntry* PipelinedStore::LoadToDramLocked(
   entry->dirty = false;
 
   CacheEntry* raw = entry.get();
-  cache_entries_[key] = std::move(entry);
-  index_[key] = TaggedPtr::FromDram(raw);
-  lru_.PushFront(raw);
+  sh.cache_entries[key] = std::move(entry);
+  sh.index[key] = TaggedPtr::FromDram(raw);
+  sh.lru.PushFront(raw);
   return raw;
 }
 
@@ -341,17 +492,15 @@ Status PipelinedStore::FlushEntryLocked(CacheEntry* entry) {
   return Status::OK();
 }
 
-void PipelinedStore::EvictIfNeededLocked() {
-  while (lru_.size() > cache_capacity_) {
-    CacheEntry* victim = lru_.Tail();
+void PipelinedStore::EvictIfNeededLocked(size_t shard) {
+  Shard& sh = shards_[shard];
+  while (sh.lru.size() > sh.capacity) {
+    CacheEntry* victim = sh.lru.Tail();
     OE_CHECK(victim != nullptr);
-    // Algorithm 2 lines 23-28: the LRU tail carries the minimum version in
-    // the cache; once it exceeds the pending checkpoint's batch id, every
-    // state that checkpoint needs is durable in PMem — publish.
-    uint64_t cp = 0;
-    while (PendingHead(&cp) && victim->version > cp) {
-      PublishLocked(cp);
-    }
+    // A victim whose version exceeds the pending checkpoint's batch means
+    // this shard holds no pre-checkpoint state anymore — acknowledge before
+    // the flush below defers the old record's free against the checkpoint.
+    AckCheckpointsLocked(shard);
     if (victim->dirty) {
       Status s = FlushEntryLocked(victim);
       if (!s.ok()) {
@@ -359,34 +508,11 @@ void PipelinedStore::EvictIfNeededLocked() {
         return;  // keep the victim cached rather than losing data
       }
     }
-    index_[victim->key] = TaggedPtr::FromPmem(victim->pmem_offset);
-    lru_.Remove(victim);
-    cache_entries_.erase(victim->key);
+    sh.index[victim->key] = TaggedPtr::FromPmem(victim->pmem_offset);
+    sh.lru.Remove(victim);
+    sh.cache_entries.erase(victim->key);
     stats_.evictions.fetch_add(1, std::memory_order_relaxed);
   }
-}
-
-void PipelinedStore::PublishLocked(uint64_t cp) {
-  // One failure-atomic 8-byte PMem store publishes the checkpoint
-  // (Algorithm 2: PMem.atomicUpdateCheckpointId).
-  pool_->RootSet(kRootCheckpointId, cp);
-  published_ckpt_.store(cp, std::memory_order_release);
-  std::vector<uint64_t> to_free;
-  {
-    std::lock_guard<std::mutex> lock(ckpt_mutex_);
-    if (!pending_ckpts_.empty() && pending_ckpts_.front() == cp) {
-      pending_ckpts_.pop_front();
-    }
-    // Records superseded by versions <= cp are now unreachable by any
-    // current or future checkpoint: recycle their space.
-    auto end = deferred_free_.upper_bound(cp);
-    for (auto it = deferred_free_.begin(); it != end; ++it) {
-      to_free.insert(to_free.end(), it->second.begin(), it->second.end());
-    }
-    deferred_free_.erase(deferred_free_.begin(), end);
-  }
-  for (uint64_t offset : to_free) OE_CHECK_OK(pool_->Free(offset));
-  stats_.checkpoints_published.fetch_add(1, std::memory_order_relaxed);
 }
 
 Status PipelinedStore::Push(const EntryId* keys, size_t n, const float* grads,
@@ -401,34 +527,46 @@ Status PipelinedStore::Push(const EntryId* keys, size_t n, const float* grads,
   }
   if (needs_seal) FinishPullPhase(batch);
   WaitMaintenance(batch);
+  if (n == 0) return Status::OK();
 
-  ReadGuard guard(lock_);
-  for (size_t i = 0; i < n; ++i) {
-    const EntryId key = keys[i];
-    auto it = index_.find(key);
-    if (it == index_.end()) {
-      return Status::NotFound("push to unknown key (pull must precede push)");
-    }
-    SpinLock& shard = push_locks_[key % kPushShards];
-    shard.lock();
-    // Load the slot only after taking the shard lock: a concurrent pusher
-    // of the same key may have COW-remapped the record, and applying this
-    // gradient to the superseded offset would silently lose its update.
-    const TaggedPtr ptr = it->second.load();
-    if (ptr.is_dram()) {
-      CacheEntry* entry = ptr.dram<CacheEntry>();
-      config_.optimizer.Apply(entry->data.get(),
-                              entry->data.get() + config_.dim,
-                              grads + i * config_.dim, config_.dim, batch);
-      entry->version = batch;
-      entry->dirty = true;
-      dram_stats_.AddWrite(layout_.data_bytes());
-      shard.unlock();
-    } else {
-      Status s = PushPmemRecord(&it->second, ptr.pmem_offset(),
-                                grads + i * config_.dim, batch);
-      shard.unlock();
-      OE_RETURN_IF_ERROR(s);
+  std::vector<size_t> order;
+  std::vector<size_t> begin;
+  GroupByShard(keys, n, &order, &begin);
+
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (begin[s] == begin[s + 1]) continue;
+    Shard& sh = shards_[s];
+    ReadGuard guard(sh.lock);
+    for (size_t j = begin[s]; j < begin[s + 1]; ++j) {
+      const size_t i = order[j];
+      const EntryId key = keys[i];
+      auto it = sh.index.find(key);
+      if (it == sh.index.end()) {
+        return Status::NotFound(
+            "push to unknown key (pull must precede push)");
+      }
+      SpinLock& stripe = push_locks_[key % kPushShards];
+      stripe.lock();
+      // Load the slot only after taking the stripe lock: a concurrent
+      // pusher of the same key may have COW-remapped the record, and
+      // applying this gradient to the superseded offset would silently
+      // lose its update.
+      const TaggedPtr ptr = it->second.load();
+      if (ptr.is_dram()) {
+        CacheEntry* entry = ptr.dram<CacheEntry>();
+        config_.optimizer.Apply(entry->data.get(),
+                                entry->data.get() + config_.dim,
+                                grads + i * config_.dim, config_.dim, batch);
+        entry->version = batch;
+        entry->dirty = true;
+        dram_stats_.AddWrite(layout_.data_bytes());
+        stripe.unlock();
+      } else {
+        Status status = PushPmemRecord(&it->second, ptr.pmem_offset(),
+                                       grads + i * config_.dim, batch);
+        stripe.unlock();
+        OE_RETURN_IF_ERROR(status);
+      }
     }
   }
   return Status::OK();
@@ -495,11 +633,24 @@ Status PipelinedStore::RequestCheckpoint(uint64_t batch) {
     pending_ckpts_.push_back(batch);
   }
   if (!config_.cache_enabled) {
-    // Without a cache every update is already durable in PMem; the request
-    // can publish immediately.
-    WriteGuard guard(lock_);
-    uint64_t cp = 0;
-    while (PendingHead(&cp)) PublishLocked(cp);
+    // Without a cache every update is already durable in PMem; each shard
+    // acknowledges immediately and the last one publishes.
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      WriteGuard guard(shards_[s].lock);
+      AckCheckpointsLocked(s);
+    }
+    return Status::OK();
+  }
+  // Ack sweep: shards that are already durable for `batch` — empty, or
+  // caching only newer state — acknowledge right away, so shards the
+  // workload never touches again cannot stall the publish barrier. The
+  // sweep moves no data (acks are pure metadata); busy shards are skipped
+  // and acknowledge at the end of their next maintenance chunk.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s].lock.TryAcquireWrite()) {
+      AckCheckpointsLocked(s);
+      shards_[s].lock.ReleaseWrite();
+    }
   }
   return Status::OK();
 }
@@ -507,19 +658,36 @@ Status PipelinedStore::RequestCheckpoint(uint64_t batch) {
 Status PipelinedStore::DrainCheckpoints() {
   {
     std::unique_lock<std::mutex> lock(maint_mutex_);
-    maint_cv_.wait(lock, [&] { return processed_chunks_ == appended_chunks_; });
+    maint_cv_.wait(lock,
+                   [&] { return processed_chunks_ == appended_chunks_; });
   }
-  WriteGuard guard(lock_);
+  // Ascending order, per the multi-shard lock protocol.
+  for (auto& shard : shards_) shard.lock.AcquireWrite();
+  Status status = Status::OK();
   uint64_t cp = 0;
-  while (PendingHead(&cp)) {
-    for (auto& [key, entry] : cache_entries_) {
-      if (entry->version <= cp && entry->dirty) {
-        OE_RETURN_IF_ERROR(FlushEntryLocked(entry.get()));
+  while (status.ok() && PendingHead(&cp)) {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      for (auto& [key, entry] : shards_[s].cache_entries) {
+        if (entry->version <= cp && entry->dirty) {
+          status = FlushEntryLocked(entry.get());
+          if (!status.ok()) break;
+        }
       }
+      if (!status.ok()) break;
     }
-    PublishLocked(cp);
+    if (!status.ok()) break;
+    std::vector<uint64_t> to_free;
+    {
+      std::lock_guard<std::mutex> lock(ckpt_mutex_);
+      for (auto& acked : shard_acked_) acked = std::max(acked, cp);
+      to_free = PublishReadyLocked();
+    }
+    for (uint64_t offset : to_free) OE_CHECK_OK(pool_->Free(offset));
   }
-  return Status::OK();
+  for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
+    it->lock.ReleaseWrite();
+  }
+  return status;
 }
 
 uint64_t PipelinedStore::PublishedCheckpoint() const {
@@ -530,30 +698,44 @@ Status PipelinedStore::RecoverFromCrash() {
   // Quiesce maintenance state.
   {
     std::unique_lock<std::mutex> lock(maint_mutex_);
-    maint_cv_.wait(lock, [&] { return processed_chunks_ == appended_chunks_; });
+    maint_cv_.wait(lock,
+                   [&] { return processed_chunks_ == appended_chunks_; });
   }
-  WriteGuard guard(lock_);
-  OE_ASSIGN_OR_RETURN(pool_, pmem::PmemPool::Open(device_));
+  for (auto& shard : shards_) shard.lock.AcquireWrite();
+  auto release_all = [&] {
+    for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
+      it->lock.ReleaseWrite();
+    }
+  };
+  auto pool = pmem::PmemPool::Open(device_);
+  if (!pool.ok()) {
+    release_all();
+    return pool.status();
+  }
+  pool_ = std::move(pool).ValueOrDie();
   const uint64_t cp = pool_->RootGet(kRootCheckpointId);
   published_ckpt_.store(cp, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(ckpt_mutex_);
     pending_ckpts_.clear();
     deferred_free_.clear();
+    std::fill(shard_acked_.begin(), shard_acked_.end(), cp);
   }
-  index_.clear();
-  cache_entries_.clear();
-  lru_.Clear();
-  {
-    std::lock_guard<std::mutex> lock(stage_mutex_);
-    staged_keys_.clear();
+  for (auto& shard : shards_) {
+    shard.index.clear();
+    // Unlink LRU nodes before the entries that embed them are freed.
+    shard.lru.Clear();
+    shard.cache_entries.clear();
+    shard.fresh_entries = 0;
+    std::lock_guard<std::mutex> lock(shard.stage_mutex);
+    shard.staged.clear();
   }
 
   // Recovery per Section V-C: scan every entry record in PMem, discard
   // those newer than the Checkpointed Batch ID, keep the newest survivor
-  // per key, and rebuild the DRAM hash index. The classification step is
+  // per key, and rebuild the DRAM hash indexes. The classification step is
   // partitioned across config.recovery_threads (the parallel recovery the
-  // paper proposes in Section VI-E).
+  // paper proposes in Section VI-E), as is the per-shard index rebuild.
   struct Best {
     uint64_t offset;
     uint64_t version;
@@ -633,19 +815,52 @@ Status PipelinedStore::RecoverFromCrash() {
   }
 
   for (uint64_t offset : discard) OE_CHECK_OK(pool_->Free(offset));
-  index_.reserve(best.size());
+
+  // Partition survivors by shard, then rebuild the per-shard indexes in
+  // parallel: each rebuild thread owns a disjoint set of shards, so the
+  // builds share nothing.
+  std::vector<std::vector<std::pair<EntryId, uint64_t>>> per_shard(
+      shards_.size());
   for (const auto& [key, b] : best) {
-    index_[key] = TaggedPtr::FromPmem(b.offset);
-    dram_stats_.AddWrite(sizeof(EntryId) + sizeof(TaggedPtr));
+    per_shard[ShardOf(key)].emplace_back(key, b.offset);
   }
+  auto build = [&](size_t t, size_t stride) {
+    for (size_t s = t; s < shards_.size(); s += stride) {
+      Shard& sh = shards_[s];
+      sh.index.reserve(per_shard[s].size());
+      for (const auto& [key, offset] : per_shard[s]) {
+        sh.index[key] = TaggedPtr::FromPmem(offset);
+        dram_stats_.AddWrite(sizeof(EntryId) + sizeof(TaggedPtr));
+      }
+    }
+  };
+  const size_t build_threads = std::min<size_t>(
+      static_cast<size_t>(threads), shards_.size());
+  if (build_threads <= 1) {
+    build(0, 1);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(build_threads);
+    for (size_t t = 0; t < build_threads; ++t) {
+      workers.emplace_back(build, t, build_threads);
+    }
+    for (auto& w : workers) w.join();
+  }
+  release_all();
   return Status::OK();
 }
 
 Status PipelinedStore::ExportCheckpoint(ckpt::CheckpointLog* log) {
   if (log == nullptr) return Status::InvalidArgument("null backup log");
-  WriteGuard guard(lock_);
+  for (auto& shard : shards_) shard.lock.AcquireWrite();
+  auto release_all = [&] {
+    for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
+      it->lock.ReleaseWrite();
+    }
+  };
   const uint64_t cp = published_ckpt_.load(std::memory_order_acquire);
   if (cp == 0) {
+    release_all();
     return Status::FailedPrecondition("no published checkpoint to export");
   }
   // The backup is the same record set recovery would choose: per key, the
@@ -671,32 +886,46 @@ Status PipelinedStore::ExportCheckpoint(ckpt::CheckpointLog* log) {
   constexpr size_t kChunkRecords = 4096;
   std::vector<uint8_t> buffer(kChunkRecords * layout_.record_bytes());
   size_t in_chunk = 0;
+  Status status = Status::OK();
   for (const auto& [key, b] : best) {
     device_->Read(b.offset, buffer.data() + in_chunk * layout_.record_bytes(),
                   layout_.record_bytes());
     if (++in_chunk == kChunkRecords) {
-      OE_RETURN_IF_ERROR(log->AppendChunk(cp, buffer.data(), in_chunk));
+      status = log->AppendChunk(cp, buffer.data(), in_chunk);
+      if (!status.ok()) break;
       in_chunk = 0;
     }
   }
-  if (in_chunk > 0) {
-    OE_RETURN_IF_ERROR(log->AppendChunk(cp, buffer.data(), in_chunk));
+  if (status.ok() && in_chunk > 0) {
+    status = log->AppendChunk(cp, buffer.data(), in_chunk);
   }
-  return Status::OK();
+  release_all();
+  return status;
 }
 
 Status PipelinedStore::ImportCheckpoint(const ckpt::CheckpointLog& log) {
-  WriteGuard guard(lock_);
-  if (!index_.empty()) {
-    return Status::FailedPrecondition(
-        "import requires a freshly created (empty) store");
+  for (auto& shard : shards_) shard.lock.AcquireWrite();
+  auto release_all = [&] {
+    for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
+      it->lock.ReleaseWrite();
+    }
+  };
+  for (const auto& shard : shards_) {
+    if (!shard.index.empty()) {
+      release_all();
+      return Status::FailedPrecondition(
+          "import requires a freshly created (empty) store");
+    }
   }
   const uint64_t cp = log.LatestBatch();
-  if (cp == 0) return Status::FailedPrecondition("backup holds no checkpoint");
+  if (cp == 0) {
+    release_all();
+    return Status::FailedPrecondition("backup holds no checkpoint");
+  }
 
   std::vector<uint8_t> record(layout_.record_bytes());
   Status status = Status::OK();
-  OE_RETURN_IF_ERROR(log.Replay(
+  Status replay = log.Replay(
       cp, [&](EntryId key, uint64_t version, const float* data) {
         if (!status.ok()) return;
         EntryLayout::SetRecordHeader(record.data(), key, version);
@@ -708,35 +937,50 @@ Status PipelinedStore::ImportCheckpoint(const ckpt::CheckpointLog& log) {
           return;
         }
         const uint64_t offset = std::move(r).ValueOrDie();
-        auto it = index_.find(key);
-        if (it != index_.end()) {
+        auto& index = shards_[ShardOf(key)].index;
+        auto it = index.find(key);
+        if (it != index.end()) {
           // Later chunks override earlier ones.
           OE_CHECK_OK(pool_->Free(it->second.load().pmem_offset()));
           it->second = TaggedPtr::FromPmem(offset);
         } else {
-          index_[key] = TaggedPtr::FromPmem(offset);
+          index[key] = TaggedPtr::FromPmem(offset);
         }
-      }));
-  OE_RETURN_IF_ERROR(status);
-  pool_->RootSet(kRootCheckpointId, cp);
-  published_ckpt_.store(cp, std::memory_order_release);
-  return Status::OK();
+      });
+  if (status.ok()) status = replay;
+  if (status.ok()) {
+    pool_->RootSet(kRootCheckpointId, cp);
+    published_ckpt_.store(cp, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(ckpt_mutex_);
+    std::fill(shard_acked_.begin(), shard_acked_.end(), cp);
+  }
+  release_all();
+  return status;
 }
 
 size_t PipelinedStore::EntryCount() const {
-  ReadGuard guard(lock_);
-  return index_.size();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    ReadGuard guard(shard.lock);
+    total += shard.index.size();
+  }
+  return total;
 }
 
 size_t PipelinedStore::CachedEntries() const {
-  ReadGuard guard(lock_);
-  return cache_entries_.size();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    ReadGuard guard(shard.lock);
+    total += shard.cache_entries.size();
+  }
+  return total;
 }
 
 Result<std::vector<float>> PipelinedStore::Peek(EntryId key) const {
-  ReadGuard guard(lock_);
-  auto it = index_.find(key);
-  if (it == index_.end()) return Status::NotFound("no such key");
+  const Shard& sh = shards_[ShardOf(key)];
+  ReadGuard guard(sh.lock);
+  auto it = sh.index.find(key);
+  if (it == sh.index.end()) return Status::NotFound("no such key");
   std::vector<float> out(config_.dim);
   const TaggedPtr ptr = it->second.load();
   if (ptr.is_dram()) {

@@ -25,22 +25,35 @@ namespace oe::storage {
 /// pipelined cache maintenance (Algorithm 1 + Algorithm 2) and co-designed
 /// batch-aware checkpointing.
 ///
-/// Pull path (Algorithm 1): under a read lock, weights are copied from the
-/// DRAM cache (hit) or directly from the PMem record (miss). First-touch
-/// keys are initialized in DRAM under a brief write lock. Accessed keys are
-/// staged and become a cache-maintenance task when FinishPullPhase() seals
-/// the batch — maintenance then runs on dedicated threads, overlapping the
-/// GPU compute phase.
+/// The store is lock-striped into config.store_shards shards keyed by a
+/// hash of the entry id. Each shard owns its RW lock, hash index, cache
+/// map, LRU list, pull-phase staging buffer, and a slice of the DRAM cache
+/// budget; maintainer threads drain chunks for *different* shards
+/// concurrently (per-shard chunks stay FIFO), so maintenance throughput
+/// scales with maintainer_threads and a pull-miss write-locks one shard
+/// instead of the whole engine.
 ///
-/// Maintenance (Algorithm 2): under the write lock, per accessed entry:
+/// Pull path (Algorithm 1): under a shard's read lock, weights are copied
+/// from the DRAM cache (hit) or directly from the PMem record (miss).
+/// First-touch keys are initialized in DRAM under a brief per-shard write
+/// lock. Accessed keys are staged per shard and become per-shard cache-
+/// maintenance chunks when FinishPullPhase() seals the batch — maintenance
+/// then runs on dedicated threads, overlapping the GPU compute phase.
+///
+/// Maintenance (Algorithm 2): under the shard's write lock, per accessed
+/// entry:
 ///   - cached & version <= pending-checkpoint batch: write back to PMem so
 ///     the checkpoint state is durable, then stamp the current batch and
-///     move to the LRU head;
-///   - not cached: load into DRAM; if the cache is over capacity, evict the
-///     LRU tail — and if the victim's version already exceeds the pending
-///     checkpoint's batch, every entry the checkpoint needs is durable, so
-///     the Checkpointed Batch ID is published with one failure-atomic PMem
-///     store.
+///     move to the shard's LRU head;
+///   - not cached: load into DRAM; if the shard is over capacity, evict its
+///     LRU tail.
+///
+/// Checkpoint publication is a cross-shard barrier: a shard acknowledges a
+/// pending checkpoint once every pre-checkpoint state it caches is durable
+/// (its LRU tail's version exceeds the checkpoint batch and it holds no
+/// never-maintained first-touch entries), and the Checkpointed Batch ID is
+/// published with one failure-atomic PMem root store only when *all* shards
+/// have acknowledged.
 ///
 /// Write-backs copy-on-write: a record still needed by a published or
 /// pending checkpoint is never overwritten; superseded records are freed
@@ -93,11 +106,19 @@ class PipelinedStore final : public EmbeddingStore {
   /// driver also calls it to measure the maintenance phase.
   void WaitMaintenance(uint64_t batch);
 
-  /// Entries currently resident in the DRAM cache.
+  /// Entries currently resident in the DRAM cache (summed over shards).
   size_t CachedEntries() const;
 
   /// DRAM cache capacity in entries (config.cache_bytes / entry footprint).
+  /// Per-shard capacities always sum to exactly this.
   size_t CacheCapacityEntries() const { return cache_capacity_; }
+
+  /// Number of lock stripes (config.store_shards clamped to >= 1).
+  size_t NumShards() const { return shards_.size(); }
+
+  /// The shard stripe `key` hashes to; exposed for tests and benches that
+  /// need to construct shard-local or cross-shard key sets.
+  size_t ShardOfKey(EntryId key) const { return ShardOf(key); }
 
   pmem::PmemPool* pool() { return pool_.get(); }
 
@@ -112,29 +133,80 @@ class PipelinedStore final : public EmbeddingStore {
     std::unique_ptr<float[]> data;  // weights + optimizer state
   };
 
+  /// One lock stripe. All mutable shard state is guarded by `lock` except
+  /// `staged`, which has its own leaf mutex so pullers staging accesses
+  /// under the shard read lock do not race FinishPullPhase's seal.
+  struct Shard {
+    mutable InstrumentedRwLock lock;
+    std::unordered_map<EntryId, cache::AtomicTaggedPtr> index;
+    std::unordered_map<EntryId, std::unique_ptr<CacheEntry>> cache_entries;
+    cache::LruList<CacheEntry, &CacheEntry::lru> lru;
+    size_t capacity = 0;  // this shard's slice of the cache budget
+
+    // First-touch entries created by Pull that no maintenance chunk has
+    // linked into the LRU yet. While > 0 the shard cannot acknowledge a
+    // pending checkpoint: such an entry is dirty, invisible to the LRU-tail
+    // durability test, and may carry a version the checkpoint still needs.
+    size_t fresh_entries = 0;
+
+    std::mutex stage_mutex;
+    std::vector<EntryId> staged;
+  };
+
   static constexpr int kRootCheckpointId = 0;
   static constexpr uint64_t kEntryTag = 0xE5;
 
   PipelinedStore(const StoreConfig& config, pmem::PmemDevice* device);
 
+  static size_t ShardCount(const StoreConfig& config);
+  size_t ShardOf(EntryId key) const {
+    // Multiplicative hash: entry ids are often dense integers, and modulo
+    // alone would stripe consecutive ids onto consecutive shards batch after
+    // batch in lockstep.
+    uint64_t h = key * 0x9E3779B97F4A7C15ULL;
+    h ^= h >> 32;
+    return static_cast<size_t>(h % shards_.size());
+  }
+
+  /// Groups `keys` by shard: on return `order` holds key positions
+  /// [0, n) permuted so each shard's positions are contiguous, and
+  /// `begin[s]..begin[s + 1]` delimits shard s's range.
+  void GroupByShard(const EntryId* keys, size_t n, std::vector<size_t>* order,
+                    std::vector<size_t>* begin) const;
+
   Status Init();
   void MaintainerLoop();
 
-  // --- All *Locked methods require the write lock. ---
-  CacheEntry* CreateCachedEntryLocked(EntryId key, uint64_t batch);
-  void ProcessChunkLocked(uint64_t batch, const std::vector<EntryId>& keys);
+  // --- All *Locked methods require the write lock of shards_[shard]. ---
+  CacheEntry* CreateCachedEntryLocked(size_t shard, EntryId key,
+                                      uint64_t batch);
+  void ProcessChunkLocked(size_t shard, uint64_t batch,
+                          std::vector<EntryId>& keys);
   Status FlushEntryLocked(CacheEntry* entry);
-  void EvictIfNeededLocked();
-  void PublishLocked(uint64_t cp);
-  CacheEntry* LoadToDramLocked(EntryId key, uint64_t record_offset,
-                               uint64_t batch);
-  /// Applies one gradient to a PMem-resident record. Runs under the shared
-  /// (read) lock plus the key's push_locks_ shard; a COW remap publishes
-  /// the new record through the atomic index slot so concurrent readers
-  /// never observe a torn pointer.
+  void EvictIfNeededLocked(size_t shard);
+  CacheEntry* LoadToDramLocked(size_t shard, EntryId key,
+                               uint64_t record_offset, uint64_t batch);
+  Status PullPmemDirect(size_t shard, EntryId key, uint64_t batch, float* out);
+
+  /// Advances this shard's checkpoint acknowledgements as far as its cache
+  /// state allows and publishes any checkpoint all shards have acked.
+  /// Requires the shard's write lock; takes ckpt_mutex_ internally.
+  void AckCheckpointsLocked(size_t shard);
+
+  /// True if every pre-`cp` state this shard caches is already durable.
+  bool ShardDurableForLocked(const Shard& shard, uint64_t cp) const;
+
+  /// Publishes every pending checkpoint acknowledged by all shards, in
+  /// order, with one failure-atomic root store each. Requires ckpt_mutex_;
+  /// returns superseded record offsets to free outside the mutex.
+  std::vector<uint64_t> PublishReadyLocked();
+
+  /// Applies one gradient to a PMem-resident record. Runs under the shard's
+  /// shared (read) lock plus the key's push_locks_ stripe; a COW remap
+  /// publishes the new record through the atomic index slot so concurrent
+  /// readers never observe a torn pointer.
   Status PushPmemRecord(cache::AtomicTaggedPtr* slot, uint64_t record_offset,
                         const float* grad, uint64_t batch);
-  Status PullPmemDirect(EntryId key, uint64_t batch, float* out);
 
   /// Head of the checkpoint request queue; false if empty.
   bool PendingHead(uint64_t* cp) const;
@@ -145,22 +217,16 @@ class PipelinedStore final : public EmbeddingStore {
   std::unique_ptr<pmem::PmemPool> pool_;
   size_t cache_capacity_ = 0;
 
-  // Locking protocol (see DESIGN.md §8): lock_ (shared for Pull/Push,
-  // exclusive for maintenance/insertions) -> push_locks_ shard (serializes
-  // writers of one key) -> ckpt_mutex_ / stage_mutex_ (leaf locks, never
-  // held while acquiring the others). Index slots are atomic so Pull may
-  // read them under the shared lock while a pusher swaps a slot.
-  mutable InstrumentedRwLock lock_;
-  std::unordered_map<EntryId, cache::AtomicTaggedPtr> index_;
-  std::unordered_map<EntryId, std::unique_ptr<CacheEntry>> cache_entries_;
-  cache::LruList<CacheEntry, &CacheEntry::lru> lru_;
+  // Locking protocol (see DESIGN.md §8): shards_[s].lock (shared for
+  // Pull/Push, exclusive for maintenance/insertions; multi-shard operations
+  // acquire shard locks in ascending index order) -> push_locks_ stripe
+  // (serializes writers of one key) -> ckpt_mutex_ / stage_mutex / maint
+  // leaf locks, never held while acquiring the others. Index slots are
+  // atomic so Pull may read them under the shared lock while a pusher swaps
+  // a slot.
+  std::vector<Shard> shards_;
 
-  // Pull-phase staging: keys accessed in the in-flight batch, moved to the
-  // access queue when FinishPullPhase seals the batch.
-  std::mutex stage_mutex_;
-  std::vector<EntryId> staged_keys_;
-
-  cache::AccessQueue<EntryId> access_queue_;
+  cache::ShardedAccessQueue<EntryId> access_queue_;
   std::vector<std::thread> maintainers_;
 
   // Maintenance progress (Push ordering + phase measurement).
@@ -170,9 +236,13 @@ class PipelinedStore final : public EmbeddingStore {
   uint64_t appended_chunks_ = 0;
   uint64_t processed_chunks_ = 0;
 
-  // Checkpoint queue + deferred frees (guarded by ckpt_mutex_).
+  // Checkpoint queue, per-shard acknowledgements and deferred frees
+  // (guarded by ckpt_mutex_). shard_acked_[s] is the highest pending
+  // checkpoint batch shard s has reported durable; a pending checkpoint
+  // publishes only when min(shard_acked_) reaches it.
   mutable std::mutex ckpt_mutex_;
   std::deque<uint64_t> pending_ckpts_;
+  std::vector<uint64_t> shard_acked_;
   std::map<uint64_t, std::vector<uint64_t>> deferred_free_;
   std::atomic<uint64_t> published_ckpt_{0};
 

@@ -229,5 +229,61 @@ TEST(AccessQueueTest, ConcurrentProducersConsumers) {
   EXPECT_EQ(consumed.load(), 400);
 }
 
+TEST(ShardedAccessQueueTest, ExcludesBusyShardsAndKeepsPerShardFifo) {
+  ShardedAccessQueue<int> queue(2);
+  queue.Append(0, 1, {10});
+  queue.Append(0, 2, {11});
+  queue.Append(1, 1, {20});
+
+  size_t shard = ~0ull;
+  uint64_t batch = 0;
+  std::vector<int> items;
+  // First pop claims shard 0's oldest chunk and marks the shard busy.
+  ASSERT_TRUE(queue.Pop(&shard, &batch, &items));
+  EXPECT_EQ(shard, 0u);
+  EXPECT_EQ(batch, 1u);
+  EXPECT_EQ(items, std::vector<int>({10}));
+
+  // Shard 0 is busy, so the next pop must skip its queued batch-2 chunk
+  // and hand out shard 1 instead.
+  size_t shard2 = ~0ull;
+  ASSERT_TRUE(queue.Pop(&shard2, &batch, &items));
+  EXPECT_EQ(shard2, 1u);
+  EXPECT_EQ(items, std::vector<int>({20}));
+
+  // Releasing shard 0 makes its next chunk (FIFO) eligible again.
+  queue.Done(0);
+  ASSERT_TRUE(queue.Pop(&shard, &batch, &items));
+  EXPECT_EQ(shard, 0u);
+  EXPECT_EQ(batch, 2u);
+  EXPECT_EQ(items, std::vector<int>({11}));
+
+  queue.Done(0);
+  queue.Done(1);
+  queue.Close();
+  EXPECT_FALSE(queue.Pop(&shard, &batch, &items));
+}
+
+TEST(ShardedAccessQueueTest, CloseWakesPopBlockedOnBusyShard) {
+  ShardedAccessQueue<int> queue(1);
+  queue.Append(0, 1, {1});
+  size_t shard = 0;
+  uint64_t batch = 0;
+  std::vector<int> items;
+  ASSERT_TRUE(queue.Pop(&shard, &batch, &items));
+
+  // A second consumer blocks: the only shard is busy. Finishing the chunk
+  // after Close must let it drain to the closed-and-empty return.
+  std::thread consumer([&] {
+    size_t s;
+    uint64_t b;
+    std::vector<int> i;
+    EXPECT_FALSE(queue.Pop(&s, &b, &i));
+  });
+  queue.Close();
+  queue.Done(0);
+  consumer.join();
+}
+
 }  // namespace
 }  // namespace oe::cache

@@ -186,6 +186,146 @@ TEST(PipelinedStoreConcurrencyTest, ParallelPullPushCheckpointConverges) {
   EXPECT_EQ(store->EntryCount(), touched);
 }
 
+// The sharded-store stress test: concurrent pullers + pushers + checkpoint
+// requests across many shards with several maintainer threads draining
+// disjoint shards in parallel, verified against a serial replay; then a
+// restart_test-style crash + recovery back to the mid-stream published
+// checkpoint, and one more training batch on the recovered store.
+TEST(PipelinedStoreConcurrencyTest, ShardedStoreStressAndMidStreamRecovery) {
+  constexpr int kThreads = 4;
+  constexpr int kBatches = 15;
+  constexpr uint64_t kUniverse = 256;
+  constexpr uint64_t kHot = 8;
+  constexpr int kCold = 24;
+
+  auto device = MakeDevice();
+  StoreConfig config = StressConfig();
+  config.store_shards = 8;
+  config.maintainer_threads = 4;
+  auto store = PipelinedStore::Create(config, device.get()).ValueOrDie();
+  const InitializerSpec init = store->config().initializer;
+
+  std::vector<std::vector<std::vector<EntryId>>> keysets(kBatches + 1);
+  std::vector<std::vector<int>> count_before(kBatches + 2,
+                                             std::vector<int>(kUniverse, 0));
+  for (int b = 1; b <= kBatches; ++b) {
+    keysets[b].resize(kThreads);
+    count_before[b + 1] = count_before[b];
+    for (int t = 0; t < kThreads; ++t) {
+      keysets[b][t] = KeysFor(t, b, kUniverse, kHot, kCold);
+      for (EntryId key : keysets[b][t]) count_before[b + 1][key]++;
+    }
+  }
+
+  Barrier barrier(kThreads);
+  std::atomic<int> pull_mismatches{0};
+  std::atomic<int> op_failures{0};
+
+  auto worker = [&](int t) {
+    std::vector<float> weights;
+    std::vector<float> grads;
+    for (int b = 1; b <= kBatches; ++b) {
+      const auto& keys = keysets[b][t];
+      weights.resize(keys.size() * kDim);
+
+      barrier.ArriveAndWait();
+      if (!store->Pull(keys.data(), keys.size(), b, weights.data()).ok()) {
+        op_failures.fetch_add(1);
+      }
+      for (size_t j = 0; j < keys.size(); ++j) {
+        const auto want =
+            ExpectedWeights(init, keys[j], count_before[b][keys[j]]);
+        if (!SameWeights(weights.data() + j * kDim, want)) {
+          pull_mismatches.fetch_add(1);
+        }
+      }
+
+      if (barrier.ArriveAndWait()) store->FinishPullPhase(b);
+      barrier.ArriveAndWait();
+
+      // The leader races checkpoint requests against the push phase and
+      // the maintainers' cross-shard acknowledgement sweeps.
+      if (t == 0 && b % 3 == 0) {
+        if (!store->RequestCheckpoint(b).ok()) op_failures.fetch_add(1);
+      }
+      grads.assign(keys.size() * kDim, kGrad);
+      if (!store->Push(keys.data(), keys.size(), grads.data(), b).ok()) {
+        op_failures.fetch_add(1);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(worker, t);
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(op_failures.load(), 0);
+  EXPECT_EQ(pull_mismatches.load(), 0);
+  store->WaitMaintenance(kBatches);
+
+  // Every touched key must hold exactly init - lr * total_pushes even with
+  // maintainers flushing/evicting concurrently across shards.
+  const auto& final_count = count_before[kBatches + 1];
+  size_t touched = 0;
+  for (EntryId key = 0; key < kUniverse; ++key) {
+    if (final_count[key] == 0) continue;
+    ++touched;
+    auto got = store->Peek(key);
+    ASSERT_TRUE(got.ok()) << "key " << key;
+    const std::vector<float> values = std::move(got).ValueOrDie();
+    const auto want = ExpectedWeights(init, key, final_count[key]);
+    EXPECT_TRUE(SameWeights(values.data(), want))
+        << "key " << key << " after " << final_count[key] << " pushes";
+  }
+  EXPECT_EQ(store->EntryCount(), touched);
+
+  // Some checkpoint must have published mid-stream via eviction pressure
+  // (4 KiB cache, 200+ distinct keys per batch) — no DrainCheckpoints here.
+  const uint64_t cp = store->PublishedCheckpoint();
+  ASSERT_GT(cp, 0u);
+  ASSERT_EQ(cp % 3, 0u);
+  ASSERT_LE(cp, static_cast<uint64_t>(kBatches));
+
+  // Crash and recover: the store must land exactly on the published
+  // checkpoint's state — batch `cp` applied in full, nothing newer.
+  device->SimulateCrash();
+  ASSERT_TRUE(store->RecoverFromCrash().ok());
+  EXPECT_EQ(store->PublishedCheckpoint(), cp);
+  const auto& count_at_cp = count_before[cp + 1];
+  size_t expected_entries = 0;
+  for (EntryId key = 0; key < kUniverse; ++key) {
+    if (count_at_cp[key] == 0) {
+      EXPECT_FALSE(store->Peek(key).ok()) << "key " << key;
+      continue;
+    }
+    ++expected_entries;
+    auto got = store->Peek(key);
+    ASSERT_TRUE(got.ok()) << "key " << key;
+    const std::vector<float> values = std::move(got).ValueOrDie();
+    const auto want = ExpectedWeights(init, key, count_at_cp[key]);
+    EXPECT_TRUE(SameWeights(values.data(), want))
+        << "key " << key << " after " << count_at_cp[key] << " pushes";
+  }
+  EXPECT_EQ(store->EntryCount(), expected_entries);
+
+  // Training continues on the recovered store.
+  const uint64_t next = kBatches + 1;
+  std::vector<EntryId> keys(kHot);
+  for (EntryId k = 0; k < kHot; ++k) keys[k] = k;
+  std::vector<float> weights(keys.size() * kDim);
+  ASSERT_TRUE(
+      store->Pull(keys.data(), keys.size(), next, weights.data()).ok());
+  store->FinishPullPhase(next);
+  std::vector<float> grads(keys.size() * kDim, kGrad);
+  ASSERT_TRUE(
+      store->Push(keys.data(), keys.size(), grads.data(), next).ok());
+  for (EntryId key : keys) {
+    const auto got = store->Peek(key).ValueOrDie();
+    const auto want = ExpectedWeights(init, key, count_at_cp[key] + 1);
+    EXPECT_TRUE(SameWeights(got.data(), want)) << "key " << key;
+  }
+}
+
 TEST(TcpClusterConcurrencyTest, MultiClientFanOutConverges) {
   constexpr int kNodes = 4;
   constexpr int kThreads = 4;

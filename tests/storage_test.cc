@@ -576,6 +576,146 @@ TEST_F(PipelinedStoreTest, SpaceReclaimedAfterPublish) {
   EXPECT_LE(store_->pool()->AllocatedBytes(), baseline * 3);
 }
 
+// ---------- Lock-striped sharding ----------
+
+TEST(ShardedPipelinedStoreTest, ShardCountIsConfigurableAndClamped) {
+  auto device = MakeDevice();
+  StoreConfig config = SmallConfig();
+  config.store_shards = 4;
+  auto store = PipelinedStore::Create(config, device.get()).ValueOrDie();
+  EXPECT_EQ(store->NumShards(), 4u);
+
+  auto device1 = MakeDevice();
+  config.store_shards = 0;  // clamped to the single-lock layout
+  auto single = PipelinedStore::Create(config, device1.get()).ValueOrDie();
+  EXPECT_EQ(single->NumShards(), 1u);
+
+  // Per-shard capacity slices must sum to exactly the budget.
+  EntryLayout layout(kDim, 0);
+  EXPECT_EQ(store->CacheCapacityEntries(),
+            config.cache_bytes / layout.record_bytes());
+}
+
+TEST(ShardedPipelinedStoreTest, ShardedAndSingleShardStoresAgree) {
+  StoreConfig sharded_config = SmallConfig();
+  sharded_config.store_shards = 16;
+  sharded_config.maintainer_threads = 4;
+  StoreConfig single_config = SmallConfig();
+  single_config.store_shards = 1;
+
+  auto sharded_device = MakeDevice();
+  auto single_device = MakeDevice();
+  auto sharded =
+      PipelinedStore::Create(sharded_config, sharded_device.get())
+          .ValueOrDie();
+  auto single =
+      PipelinedStore::Create(single_config, single_device.get()).ValueOrDie();
+
+  const size_t capacity = sharded->CacheCapacityEntries();
+  std::vector<float> w;
+  std::vector<float> grads;
+  for (uint64_t batch = 1; batch <= 8; ++batch) {
+    // Overlapping hot set + rotating cold slice, sized to force evictions.
+    std::vector<EntryId> keys;
+    for (EntryId k = 0; k < 16; ++k) keys.push_back(k);
+    for (size_t j = 0; j < capacity; ++j) {
+      keys.push_back(100 + batch * 37 + j);
+    }
+    w.resize(keys.size() * kDim);
+    grads.assign(keys.size() * kDim, 0.25f);
+    for (PipelinedStore* store : {sharded.get(), single.get()}) {
+      ASSERT_TRUE(
+          store->Pull(keys.data(), keys.size(), batch, w.data()).ok());
+      store->FinishPullPhase(batch);
+      ASSERT_TRUE(
+          store->Push(keys.data(), keys.size(), grads.data(), batch).ok());
+    }
+    if (batch == 4) {
+      ASSERT_TRUE(sharded->RequestCheckpoint(batch).ok());
+      ASSERT_TRUE(single->RequestCheckpoint(batch).ok());
+    }
+  }
+  sharded->WaitMaintenance(8);
+  single->WaitMaintenance(8);
+
+  ASSERT_EQ(sharded->EntryCount(), single->EntryCount());
+  for (EntryId k = 0; k < 16; ++k) {
+    const auto got = sharded->Peek(k).ValueOrDie();
+    const auto want = single->Peek(k).ValueOrDie();
+    for (uint32_t d = 0; d < kDim; ++d) EXPECT_EQ(got[d], want[d]) << k;
+  }
+}
+
+/// Keys that hash into `shard`, starting the probe at `probe`.
+std::vector<EntryId> KeysInShard(const PipelinedStore& store, size_t shard,
+                                 size_t count, EntryId probe) {
+  std::vector<EntryId> keys;
+  while (keys.size() < count) {
+    if (store.ShardOfKey(probe) == shard) keys.push_back(probe);
+    ++probe;
+  }
+  return keys;
+}
+
+TEST(ShardedPipelinedStoreTest, CheckpointBarrierWaitsForEveryShard) {
+  auto device = MakeDevice();
+  StoreConfig config = SmallConfig();
+  config.store_shards = 4;
+  auto store = PipelinedStore::Create(config, device.get()).ValueOrDie();
+  const size_t per_shard = store->CacheCapacityEntries() / 4;
+
+  auto run_batch = [&](uint64_t batch, const std::vector<EntryId>& keys) {
+    std::vector<float> w(keys.size() * kDim);
+    ASSERT_TRUE(
+        store->Pull(keys.data(), keys.size(), batch, w.data()).ok());
+    store->FinishPullPhase(batch);
+    std::vector<float> grads(keys.size() * kDim, 0.1f);
+    ASSERT_TRUE(
+        store->Push(keys.data(), keys.size(), grads.data(), batch).ok());
+  };
+
+  // Batch 1 leaves dirty version-1 state in shards 0 and 1.
+  const auto shard0_hot = KeysInShard(*store, 0, 4, 0);
+  const auto shard1_hot = KeysInShard(*store, 1, 4, 0);
+  std::vector<EntryId> both(shard0_hot);
+  both.insert(both.end(), shard1_hot.begin(), shard1_hot.end());
+  run_batch(1, both);
+  ASSERT_TRUE(store->RequestCheckpoint(1).ok());
+
+  // Churning only shard 0 makes *it* durable for checkpoint 1, but the
+  // publish barrier must keep waiting on shard 1's stale dirty entries.
+  EntryId probe = 1000;
+  for (uint64_t batch = 2; batch <= 5; ++batch) {
+    const auto churn = KeysInShard(*store, 0, per_shard * 2, probe);
+    probe = churn.back() + 1;
+    run_batch(batch, churn);
+  }
+  store->WaitMaintenance(5);
+  EXPECT_EQ(store->PublishedCheckpoint(), 0u);
+
+  // Churning shard 1 flushes its version-1 state; the last shard to
+  // acknowledge publishes the checkpoint.
+  for (uint64_t batch = 6; batch <= 9; ++batch) {
+    const auto churn = KeysInShard(*store, 1, per_shard * 2, probe);
+    probe = churn.back() + 1;
+    run_batch(batch, churn);
+  }
+  store->WaitMaintenance(9);
+  EXPECT_EQ(store->PublishedCheckpoint(), 1u);
+
+  // The published state must round-trip through recovery.
+  device->SimulateCrash();
+  ASSERT_TRUE(store->RecoverFromCrash().ok());
+  for (EntryId key : both) {
+    std::vector<float> init(kDim);
+    config.initializer.Fill(key, init.data(), kDim);
+    const auto got = store->Peek(key).ValueOrDie();
+    for (uint32_t d = 0; d < kDim; ++d) {
+      EXPECT_NEAR(got[d], init[d] - 0.5f * 0.1f, 1e-5) << key;
+    }
+  }
+}
+
 // Property sweep: random workloads with checkpoints and adversarial
 // crashes must always recover the exact checkpoint state.
 class PipelinedCrashPropertyTest : public ::testing::TestWithParam<uint64_t> {
