@@ -12,6 +12,27 @@
 
 namespace oe::pmem {
 
+namespace {
+// Thread-local stack of live PersistSiteGuard names; joined with '/' when
+// a fault record captures the current site path.
+thread_local std::vector<const char*> g_site_stack;
+}  // namespace
+
+PersistSiteGuard::PersistSiteGuard(const char* name) {
+  g_site_stack.push_back(name);
+}
+
+PersistSiteGuard::~PersistSiteGuard() { g_site_stack.pop_back(); }
+
+std::string PersistSiteGuard::Current() {
+  std::string path;
+  for (const char* name : g_site_stack) {
+    if (!path.empty()) path += '/';
+    path += name;
+  }
+  return path;
+}
+
 std::string_view DeviceKindToString(DeviceKind kind) {
   switch (kind) {
     case DeviceKind::kDram:
@@ -123,6 +144,7 @@ void PmemDevice::MarkDirty(uint64_t offset, size_t len) {
 
 void PmemDevice::Write(uint64_t offset, const void* src, size_t len) {
   OE_DCHECK(offset + len <= size());
+  if (crashed_.load(std::memory_order_acquire)) return;
   std::memcpy(base_ + offset, src, len);
   stats_.AddWrite(len);
   MarkDirty(offset, len);
@@ -130,6 +152,7 @@ void PmemDevice::Write(uint64_t offset, const void* src, size_t len) {
 
 void PmemDevice::Memset(uint64_t offset, int value, size_t len) {
   OE_DCHECK(offset + len <= size());
+  if (crashed_.load(std::memory_order_acquire)) return;
   std::memset(base_ + offset, value, len);
   stats_.AddWrite(len);
   MarkDirty(offset, len);
@@ -142,6 +165,7 @@ void PmemDevice::Read(uint64_t offset, void* dst, size_t len) const {
 }
 
 void PmemDevice::Flush(uint64_t offset, size_t len) {
+  if (crashed_.load(std::memory_order_acquire)) return;
   if (line_state_.empty() || len == 0) return;
   const uint64_t first = offset / kLineSize;
   const uint64_t last = (offset + len - 1) / kLineSize;
@@ -158,40 +182,123 @@ void PmemDevice::Flush(uint64_t offset, size_t len) {
   }
 }
 
+PmemDevice::FaultAction PmemDevice::OnPersistEvent(uint64_t offset,
+                                                   size_t len,
+                                                   uint64_t* tear_lines) {
+  const uint64_t ev =
+      persist_events_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (trace_enabled_) trace_.push_back(PersistSiteGuard::Current());
+  if (!plan_armed_) return FaultAction::kNone;
+  const uint64_t rel = ev - plan_base_;
+  FaultAction action = FaultAction::kNone;
+  char kind = 0;
+  if (plan_.crash_at != 0 && rel == plan_.crash_at) {
+    action = FaultAction::kCrash;
+    kind = 'c';
+  } else if (plan_.tear_at != 0 && rel == plan_.tear_at) {
+    action = FaultAction::kTear;
+    kind = 't';
+    *tear_lines = plan_.tear_lines;
+  } else if (plan_.drop_at != 0 && rel == plan_.drop_at) {
+    action = FaultAction::kDrop;
+    kind = 'd';
+  }
+  if (action == FaultAction::kNone) return action;
+  record_.triggered = true;
+  record_.kind = kind;
+  record_.event = rel;
+  record_.offset = offset;
+  record_.len = len;
+  record_.site = PersistSiteGuard::Current();
+  plan_armed_ = false;  // every fault is one-shot
+  if (action != FaultAction::kDrop) {
+    crashed_.store(true, std::memory_order_release);
+  }
+  return action;
+}
+
 void PmemDevice::Drain() {
+  if (crashed_.load(std::memory_order_acquire)) return;
   stats_.AddPersist();
-  if (line_state_.empty()) return;
+  if (line_state_.empty() && !hooks_active_.load(std::memory_order_acquire)) {
+    persist_events_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   std::lock_guard<std::mutex> lock(crash_mutex_);
-  for (uint64_t line : flush_queue_) {
-    if (line_state_[line].load(std::memory_order_acquire) == 2) {
-      const uint64_t off = line * kLineSize;
-      const uint64_t n = std::min(kLineSize, size() - off);
-      std::memcpy(shadow_.data() + off, base_ + off, n);
-      line_state_[line].store(0, std::memory_order_release);
+  uint64_t tear_lines = 0;
+  const FaultAction action = OnPersistEvent(0, 0, &tear_lines);
+  if (action == FaultAction::kCrash) return;
+  if (action == FaultAction::kDrop) {
+    // The fence is dropped: queued lines go back to dirty, so the data
+    // stays visible in the working image but vanishes at SimulateCrash().
+    for (uint64_t line : flush_queue_) {
+      uint8_t expected = 2;
+      line_state_[line].compare_exchange_strong(expected, 1,
+                                                std::memory_order_acq_rel);
     }
+    flush_queue_.clear();
+    return;
+  }
+  uint64_t persisted = 0;
+  for (uint64_t line : flush_queue_) {
+    if (line_state_[line].load(std::memory_order_acquire) != 2) continue;
+    if (action == FaultAction::kTear && persisted >= tear_lines) {
+      line_state_[line].store(1, std::memory_order_release);  // lost line
+      continue;
+    }
+    const uint64_t off = line * kLineSize;
+    const uint64_t n = std::min(kLineSize, size() - off);
+    std::memcpy(shadow_.data() + off, base_ + off, n);
+    line_state_[line].store(0, std::memory_order_release);
+    ++persisted;
   }
   flush_queue_.clear();
 }
 
 void PmemDevice::Persist(uint64_t offset, size_t len) {
+  if (crashed_.load(std::memory_order_acquire)) return;
   stats_.AddPersist();
+  if (line_state_.empty() && !hooks_active_.load(std::memory_order_acquire)) {
+    persist_events_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(crash_mutex_);
+  uint64_t tear_lines = 0;
+  const FaultAction action = OnPersistEvent(offset, len, &tear_lines);
+  if (action == FaultAction::kCrash) return;
   if (line_state_.empty() || len == 0) return;
   const uint64_t first = offset / kLineSize;
   const uint64_t last = (offset + len - 1) / kLineSize;
-  std::lock_guard<std::mutex> lock(crash_mutex_);
+  if (action == FaultAction::kDrop) {
+    // Leave the range unpersisted but visible; mark it dirty so even data
+    // stored through raw base() pointers rolls back at SimulateCrash().
+    for (uint64_t line = first; line <= last; ++line) {
+      line_state_[line].store(1, std::memory_order_release);
+    }
+    return;
+  }
+  uint64_t persisted = 0;
   for (uint64_t line = first; line <= last; ++line) {
+    if (action == FaultAction::kTear && persisted >= tear_lines) {
+      // Torn off: this line never reaches the media. Mark dirty so raw
+      // stores into it roll back too.
+      line_state_[line].store(1, std::memory_order_release);
+      continue;
+    }
     // Copy unconditionally: callers may store through the raw base()
     // pointer (PMDK style), which leaves no dirty mark.
     const uint64_t off = line * kLineSize;
     const uint64_t n = std::min(kLineSize, size() - off);
     std::memcpy(shadow_.data() + off, base_ + off, n);
     line_state_[line].store(0, std::memory_order_release);
+    ++persisted;
   }
 }
 
 void PmemDevice::AtomicStore64(uint64_t offset, uint64_t value) {
   OE_DCHECK(offset % 8 == 0);
   OE_DCHECK(offset + 8 <= size());
+  if (crashed_.load(std::memory_order_acquire)) return;
   reinterpret_cast<std::atomic<uint64_t>*>(base_ + offset)
       ->store(value, std::memory_order_release);
   stats_.AddWrite(8);
@@ -212,21 +319,60 @@ void PmemDevice::SimulateCrash() {
   Random rng(options_.crash_seed ^ 0xc3a5c85c97cb3127ULL);
   const uint64_t lines = line_state_.size();
   for (uint64_t line = 0; line < lines; ++line) {
-    const uint8_t state = line_state_[line].load(std::memory_order_acquire);
-    if (state == 0) continue;
-    const uint64_t off = line * kLineSize;
-    const uint64_t n = std::min(kLineSize, size() - off);
-    const bool survives =
-        options_.crash_fidelity == CrashFidelity::kAdversarial &&
-        rng.Bernoulli(0.5);
-    if (survives) {
-      std::memcpy(shadow_.data() + off, base_ + off, n);  // line made it out
-    } else {
-      std::memcpy(base_ + off, shadow_.data() + off, n);  // line was lost
+    if (line_state_[line].load(std::memory_order_acquire) == 0) continue;
+    if (options_.crash_fidelity == CrashFidelity::kAdversarial &&
+        rng.Bernoulli(0.5)) {
+      // This dirty line happened to be evicted to media before the
+      // failure: promote its working contents into the persistent image.
+      const uint64_t off = line * kLineSize;
+      const uint64_t n = std::min(kLineSize, size() - off);
+      std::memcpy(shadow_.data() + off, base_ + off, n);
     }
     line_state_[line].store(0, std::memory_order_release);
   }
+  // Restore the whole working image from the persistent one. Doing it
+  // wholesale (not just for dirty lines) also rolls back stores made
+  // through raw base() pointers that were never persisted and thus never
+  // marked a line dirty — after a crash the working image must equal the
+  // persistent image exactly.
+  std::memcpy(base_, shadow_.data(), size());
   flush_queue_.clear();
+}
+
+void PmemDevice::InstallFaultPlan(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(crash_mutex_);
+  plan_ = plan;
+  plan_armed_ = plan.Armed();
+  plan_base_ = persist_events_.load(std::memory_order_acquire);
+  record_ = FaultRecord{};
+  trace_.clear();
+  crashed_.store(false, std::memory_order_release);
+  hooks_active_.store(plan_armed_ || trace_enabled_,
+                      std::memory_order_release);
+}
+
+void PmemDevice::EnableEventTrace(bool on) {
+  std::lock_guard<std::mutex> lock(crash_mutex_);
+  trace_enabled_ = on;
+  hooks_active_.store(plan_armed_ || trace_enabled_,
+                      std::memory_order_release);
+}
+
+std::vector<std::string> PmemDevice::TakeEventTrace() const {
+  std::lock_guard<std::mutex> lock(crash_mutex_);
+  return trace_;
+}
+
+void PmemDevice::ClearFault() {
+  std::lock_guard<std::mutex> lock(crash_mutex_);
+  plan_armed_ = false;
+  crashed_.store(false, std::memory_order_release);
+  hooks_active_.store(trace_enabled_, std::memory_order_release);
+}
+
+FaultRecord PmemDevice::fault_record() const {
+  std::lock_guard<std::mutex> lock(crash_mutex_);
+  return record_;
 }
 
 bool PmemDevice::IsPersisted(uint64_t offset, size_t len) const {

@@ -11,6 +11,7 @@
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "pmem/fault_plan.h"
 
 namespace oe::pmem {
 
@@ -176,6 +177,35 @@ class PmemDevice {
   /// persistent image. No-op under CrashFidelity::kNone.
   void SimulateCrash();
 
+  // --- Deterministic fault injection (see fault_plan.h) ---------------
+
+  /// Arms `plan`; persist-event ordinals restart at 1 from this call.
+  /// Replaces any previous plan and clears the crashed state and record.
+  void InstallFaultPlan(const FaultPlan& plan);
+
+  /// Disarms the plan and clears the crashed state so recovery code can
+  /// write again. The fault record is preserved for inspection.
+  void ClearFault();
+
+  /// True once a crash/tear fault fired: all mutations are suppressed.
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+
+  /// Details of the fault that fired (triggered == false if none yet).
+  FaultRecord fault_record() const;
+
+  /// Total persist events (Persist() + Drain() calls) since creation.
+  /// Events suppressed by the crashed state are not counted.
+  uint64_t persist_events() const {
+    return persist_events_.load(std::memory_order_acquire);
+  }
+
+  /// While enabled, records the PersistSiteGuard path of every persist
+  /// event (one string per event, in order). InstallFaultPlan() clears the
+  /// trace, so trace index i names relative event i + 1. CrashSim uses
+  /// this to label crash points and target specific sites.
+  void EnableEventTrace(bool on);
+  std::vector<std::string> TakeEventTrace() const;
+
   /// True when every byte of [offset, offset+len) is persistent (test hook;
   /// only meaningful under kStrict/kAdversarial).
   bool IsPersisted(uint64_t offset, size_t len) const;
@@ -193,6 +223,15 @@ class PmemDevice {
 
   void MarkDirty(uint64_t offset, size_t len);
 
+  /// Fault to apply to the persist event covering [offset, offset+len).
+  enum class FaultAction : uint8_t { kNone, kCrash, kTear, kDrop };
+
+  /// Counts the persist event and checks the armed plan. Requires
+  /// crash_mutex_. On kTear, *tear_lines is the number of leading lines
+  /// that still persist.
+  FaultAction OnPersistEvent(uint64_t offset, size_t len,
+                             uint64_t* tear_lines);
+
   PmemDeviceOptions options_;
   DeviceTimingSpec timing_;
   uint8_t* base_ = nullptr;          // working image (mmap or malloc)
@@ -204,6 +243,19 @@ class PmemDevice {
   std::vector<uint64_t> flush_queue_;  // lines awaiting Drain()
   mutable DeviceStats stats_;
   mutable std::mutex crash_mutex_;
+
+  // Fault injection (plan/record guarded by crash_mutex_).
+  std::atomic<uint64_t> persist_events_{0};
+  std::atomic<bool> crashed_{false};
+  // True while a plan is armed or tracing is on: lets kNone-fidelity
+  // devices (no line tracking) skip crash_mutex_ on the persist hot path.
+  std::atomic<bool> hooks_active_{false};
+  FaultPlan plan_;
+  bool plan_armed_ = false;
+  uint64_t plan_base_ = 0;  // persist_events_ at InstallFaultPlan()
+  FaultRecord record_;
+  bool trace_enabled_ = false;
+  std::vector<std::string> trace_;
 };
 
 }  // namespace oe::pmem

@@ -1,0 +1,71 @@
+#ifndef OE_PMEM_FAULT_PLAN_H_
+#define OE_PMEM_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace oe::pmem {
+
+/// Deterministic fault-injection plan for a PmemDevice. Persist events
+/// (every Persist() and Drain() call, matching DeviceStats::persist_ops)
+/// are numbered 1, 2, 3, ... starting from InstallFaultPlan(); the plan
+/// fires on the event whose ordinal matches one of the fields below.
+///
+/// A zero ordinal disables that fault. At most one fault fires per plan
+/// (the record notes which); crash and tear leave the device in the
+/// crashed() state, where every subsequent write, flush, drain, persist,
+/// and atomic store is suppressed — modeling the doomed post-crash
+/// execution whose stores never reach the media. Call SimulateCrash() and
+/// then ClearFault() before recovering.
+struct FaultPlan {
+  /// Fail this persist event entirely: nothing it covers reaches the
+  /// persistent image, and the device enters the crashed state.
+  uint64_t crash_at = 0;
+
+  /// Tear this persist event: only the first `tear_lines` 64-byte cache
+  /// lines of its range become persistent, then the device crashes. With
+  /// tear_lines = 0 this is equivalent to crash_at.
+  uint64_t tear_at = 0;
+  uint64_t tear_lines = 0;
+
+  /// Drop this persist event: the data stays visible in the working image
+  /// (the program keeps running as if the flush succeeded) but is not
+  /// copied to the persistent image, so it vanishes at SimulateCrash().
+  /// The device does NOT enter the crashed state.
+  uint64_t drop_at = 0;
+
+  bool Armed() const { return crash_at || tear_at || drop_at; }
+};
+
+/// What actually fired, for logging and assertions.
+struct FaultRecord {
+  bool triggered = false;
+  char kind = 0;        // 'c' crash, 't' tear, 'd' drop
+  uint64_t event = 0;   // ordinal relative to InstallFaultPlan()
+  uint64_t offset = 0;  // range of the affected persist event (0/0 = Drain)
+  uint64_t len = 0;
+  std::string site;     // persist-site annotation active at the event
+};
+
+/// RAII annotation naming the logical persist site about to execute, e.g.
+/// "ckpt-publish" or "write-back/alloc". Guards nest: an inner guard
+/// appends "/<name>" to the outer one's path. The current path is captured
+/// into FaultRecord::site when a fault fires, giving crash reports a
+/// stable name per injection point (see DESIGN.md "Fault-injection
+/// points"). Thread-local, so concurrent maintainers do not mix paths.
+class PersistSiteGuard {
+ public:
+  explicit PersistSiteGuard(const char* name);
+  ~PersistSiteGuard();
+
+  PersistSiteGuard(const PersistSiteGuard&) = delete;
+  PersistSiteGuard& operator=(const PersistSiteGuard&) = delete;
+
+  /// The calling thread's current "outer/inner" site path ("" when no
+  /// guard is live).
+  static std::string Current();
+};
+
+}  // namespace oe::pmem
+
+#endif  // OE_PMEM_FAULT_PLAN_H_

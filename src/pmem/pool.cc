@@ -26,6 +26,7 @@ Result<std::unique_ptr<PmemPool>> PmemPool::Open(PmemDevice* device) {
 }
 
 Status PmemPool::Format() {
+  PersistSiteGuard site("pool-format");
   PoolHeader header{};
   header.magic = kPoolMagic;
   header.version = 1;
@@ -72,9 +73,8 @@ Status PmemPool::Recover() {
         break;
       case kAllocating: {
         // Uncommitted allocation: roll it back to free.
-        block->state = kFree;
-        device_->stats().AddWrite(sizeof(uint32_t));
-        device_->Persist(pos, sizeof(BlockHeader));
+        PersistSiteGuard site("pool-recover-rollback");
+        SetBlockState(pos, kFree);
         free_lists_[block->size].push_back(pos);
         break;
       }
@@ -91,6 +91,14 @@ Status PmemPool::Recover() {
   }
   heap_tail_ = pos;
   return Status::OK();
+}
+
+void PmemPool::SetBlockState(uint64_t header_offset, uint32_t state) {
+  // Route through device_->Write so the store is dirty-tracked: a crash
+  // before the Persist below must be able to roll the state flip back.
+  device_->Write(header_offset + offsetof(BlockHeader, state), &state,
+                 sizeof(state));
+  device_->Persist(header_offset, sizeof(BlockHeader));
 }
 
 PmemPool::BlockHeader* PmemPool::HeaderAt(uint64_t header_offset) {
@@ -122,6 +130,7 @@ Result<uint64_t> PmemPool::Alloc(uint64_t size, uint64_t type_tag) {
     heap_tail_ = aligned_end;
   }
 
+  PersistSiteGuard site("alloc-header");
   BlockHeader header{};
   header.magic = kBlockMagic;
   header.state = kAllocating;
@@ -139,10 +148,14 @@ Status PmemPool::CommitAlloc(uint64_t payload_offset) {
     return Status::FailedPrecondition("CommitAlloc on non-pending block");
   }
   // Make the payload durable before publishing the allocation.
-  device_->Persist(payload_offset, block->size);
-  block->state = kAllocated;
-  device_->stats().AddWrite(sizeof(uint32_t));
-  device_->Persist(header_offset, sizeof(BlockHeader));
+  {
+    PersistSiteGuard site("commit-payload");
+    device_->Persist(payload_offset, block->size);
+  }
+  {
+    PersistSiteGuard site("commit-header");
+    SetBlockState(header_offset, kAllocated);
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     allocated_bytes_ += block->size;
@@ -164,9 +177,10 @@ Status PmemPool::Free(uint64_t payload_offset) {
   if (block->magic != kBlockMagic || block->state != kAllocated) {
     return Status::FailedPrecondition("Free on non-allocated block");
   }
-  block->state = kFree;
-  device_->stats().AddWrite(sizeof(uint32_t));
-  device_->Persist(header_offset, sizeof(BlockHeader));
+  {
+    PersistSiteGuard site("free-header");
+    SetBlockState(header_offset, kFree);
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   allocated_bytes_ -= block->size;
   free_lists_[block->size].push_back(header_offset);

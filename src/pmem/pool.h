@@ -118,6 +118,10 @@ class PmemPool {
   Status Format();
   Status Recover();
 
+  /// Flips a block header's state through the device write path (so the
+  /// store is dirty-tracked for crash simulation) and persists the header.
+  void SetBlockState(uint64_t header_offset, uint32_t state);
+
   BlockHeader* HeaderAt(uint64_t header_offset);
   const BlockHeader* HeaderAt(uint64_t header_offset) const;
 

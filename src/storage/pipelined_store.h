@@ -61,6 +61,12 @@ namespace oe::storage {
 /// space of these entries once the new checkpoint is done").
 class PipelinedStore final : public EmbeddingStore {
  public:
+  /// Pool root slot holding the Checkpointed Batch ID and the type tag of
+  /// entry records; public so crash-consistency harnesses can rescan the
+  /// pool independently of the DRAM index (see src/testing/crash_sim.h).
+  static constexpr int kRootCheckpointId = 0;
+  static constexpr uint64_t kEntryTag = 0xE5;
+
   /// Formats `device` with a fresh pool and starts the maintainer threads.
   static Result<std::unique_ptr<PipelinedStore>> Create(
       const StoreConfig& config, pmem::PmemDevice* device);
@@ -152,9 +158,6 @@ class PipelinedStore final : public EmbeddingStore {
     std::mutex stage_mutex;
     std::vector<EntryId> staged;
   };
-
-  static constexpr int kRootCheckpointId = 0;
-  static constexpr uint64_t kEntryTag = 0xE5;
 
   PipelinedStore(const StoreConfig& config, pmem::PmemDevice* device);
 

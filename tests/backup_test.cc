@@ -10,6 +10,7 @@
 #include "ckpt/checkpoint_log.h"
 #include "common/random.h"
 #include "storage/pipelined_store.h"
+#include "test_util.h"
 
 namespace oe::storage {
 namespace {
@@ -20,24 +21,15 @@ using pmem::DeviceKind;
 using pmem::PmemDevice;
 using pmem::PmemDeviceOptions;
 
-constexpr uint32_t kDim = 8;
+constexpr uint32_t kDim = oe::test::kSmallDim;
 
-StoreConfig SmallConfig() {
-  StoreConfig config;
-  config.dim = kDim;
-  config.optimizer.learning_rate = 0.5f;
-  config.cache_bytes = 8 * 1024;
-  return config;
-}
+using oe::test::SmallConfig;
 
 std::unique_ptr<PmemDevice> MakeDevice(
     DeviceKind kind = DeviceKind::kPmem,
     CrashFidelity fidelity = CrashFidelity::kStrict) {
-  PmemDeviceOptions options;
-  options.size_bytes = 32 << 20;
-  options.kind = kind;
-  options.crash_fidelity = fidelity;
-  return PmemDevice::Create(options).ValueOrDie();
+  return oe::test::MakeDevice(
+      {.size_bytes = 32 << 20, .kind = kind, .fidelity = fidelity});
 }
 
 void TrainBatch(PipelinedStore* store, uint64_t batch,

@@ -10,6 +10,7 @@
 #include "common/random.h"
 #include "pmem/device.h"
 #include "storage/ori_cache_store.h"
+#include "test_util.h"
 
 namespace oe::ckpt {
 namespace {
@@ -19,15 +20,7 @@ using pmem::PmemDevice;
 using pmem::PmemDeviceOptions;
 using storage::EntryLayout;
 
-std::unique_ptr<PmemDevice> MakeDevice(
-    pmem::DeviceKind kind = pmem::DeviceKind::kPmem,
-    uint64_t size = 8 << 20) {
-  PmemDeviceOptions options;
-  options.size_bytes = size;
-  options.kind = kind;
-  options.crash_fidelity = CrashFidelity::kStrict;
-  return PmemDevice::Create(options).ValueOrDie();
-}
+using oe::test::MakeDevice;
 
 std::vector<uint8_t> MakeRecords(const EntryLayout& layout,
                                  const std::vector<uint64_t>& keys,
@@ -109,7 +102,7 @@ TEST(CheckpointLogTest, UncommittedChunkInvisibleAfterCrash) {
 }
 
 TEST(CheckpointLogTest, OutOfSpaceReported) {
-  auto device = MakeDevice(pmem::DeviceKind::kPmem, 1 << 12);
+  auto device = MakeDevice({.size_bytes = 1 << 12});
   EntryLayout layout(16, 0);
   auto log = CheckpointLog::Create(device.get(), layout).ValueOrDie();
   std::vector<uint64_t> keys(200);
@@ -148,9 +141,7 @@ TEST(CheckpointLogTest, CorruptionDetectedByCrc) {
 // ---------- Ori-Cache specific behaviour ----------
 
 storage::StoreConfig OriConfig() {
-  storage::StoreConfig config;
-  config.dim = 8;
-  config.optimizer.learning_rate = 0.5f;
+  storage::StoreConfig config = oe::test::SmallConfig();
   config.cache_bytes = 4 * 1024;
   return config;
 }

@@ -203,6 +203,149 @@ TEST(DeviceTest, CostOfChargesBothDirections) {
   EXPECT_GT(device->CostOf(snap), read_only);
 }
 
+// ---------- Fault-injection hooks (fault_plan.h) ----------
+
+TEST(FaultPlanTest, CrashAtNthPersistSuppressesLaterWrites) {
+  auto device = PmemDevice::Create(SmallDevice()).ValueOrDie();
+  uint64_t value = 1;
+  device->Write(0, &value, sizeof(value));
+  device->Persist(0, sizeof(value));  // pre-plan persist: not counted
+
+  FaultPlan plan;
+  plan.crash_at = 2;  // ordinals are relative to InstallFaultPlan
+  device->InstallFaultPlan(plan);
+
+  value = 2;
+  device->Write(64, &value, sizeof(value));
+  device->Persist(64, sizeof(value));  // event 1: persists normally
+  EXPECT_FALSE(device->crashed());
+
+  value = 3;
+  device->Write(128, &value, sizeof(value));
+  {
+    PersistSiteGuard outer("unit");
+    PersistSiteGuard inner("crash-here");
+    device->Persist(128, sizeof(value));  // event 2: the crash point
+  }
+  EXPECT_TRUE(device->crashed());
+  const FaultRecord record = device->fault_record();
+  EXPECT_TRUE(record.triggered);
+  EXPECT_EQ(record.kind, 'c');
+  EXPECT_EQ(record.event, 2u);
+  EXPECT_EQ(record.site, "unit/crash-here");
+
+  // Doomed execution: every subsequent write is suppressed.
+  value = 4;
+  device->Write(64, &value, sizeof(value));
+  device->Persist(64, sizeof(value));
+  device->AtomicStore64(256, 99);
+
+  device->SimulateCrash();
+  device->ClearFault();
+  uint64_t out = 0;
+  device->Read(0, &out, sizeof(out));
+  EXPECT_EQ(out, 1u);  // pre-plan persist survives
+  device->Read(64, &out, sizeof(out));
+  EXPECT_EQ(out, 2u);  // event 1 survives; the doomed overwrite does not
+  device->Read(128, &out, sizeof(out));
+  EXPECT_EQ(out, 0u);  // the crash-point persist itself was suppressed
+  EXPECT_EQ(device->AtomicLoad64(256), 0u);
+}
+
+TEST(FaultPlanTest, TearPersistsOnlyALinePrefix) {
+  auto device = PmemDevice::Create(SmallDevice()).ValueOrDie();
+  FaultPlan plan;
+  plan.tear_at = 1;
+  plan.tear_lines = 1;
+  device->InstallFaultPlan(plan);
+
+  std::vector<uint64_t> values = {11, 22, 33};
+  for (size_t i = 0; i < values.size(); ++i) {
+    device->Write(i * 64, &values[i], sizeof(uint64_t));
+  }
+  device->Persist(0, 3 * 64);  // torn: only the first line reaches PMem
+  EXPECT_TRUE(device->crashed());
+  EXPECT_EQ(device->fault_record().kind, 't');
+
+  device->SimulateCrash();
+  device->ClearFault();
+  uint64_t out = 0;
+  device->Read(0, &out, sizeof(out));
+  EXPECT_EQ(out, 11u);
+  device->Read(64, &out, sizeof(out));
+  EXPECT_EQ(out, 0u);
+  device->Read(128, &out, sizeof(out));
+  EXPECT_EQ(out, 0u);
+}
+
+TEST(FaultPlanTest, DroppedFlushIsVisibleUntilCrash) {
+  auto device = PmemDevice::Create(SmallDevice()).ValueOrDie();
+  FaultPlan plan;
+  plan.drop_at = 1;
+  device->InstallFaultPlan(plan);
+
+  uint64_t value = 7;
+  device->Write(0, &value, sizeof(value));
+  device->Persist(0, sizeof(value));  // dropped
+  EXPECT_FALSE(device->crashed());    // a drop is silent, not a crash
+  EXPECT_EQ(device->fault_record().kind, 'd');
+
+  // Pre-crash the write is still visible, and later persists still work.
+  uint64_t out = 0;
+  device->Read(0, &out, sizeof(out));
+  EXPECT_EQ(out, 7u);
+  value = 8;
+  device->Write(64, &value, sizeof(value));
+  device->Persist(64, sizeof(value));
+
+  device->SimulateCrash();
+  device->Read(0, &out, sizeof(out));
+  EXPECT_EQ(out, 0u);  // the dropped flush never reached PMem
+  device->Read(64, &out, sizeof(out));
+  EXPECT_EQ(out, 8u);  // the one-shot plan did not affect later persists
+}
+
+TEST(FaultPlanTest, ClearFaultReenablesWrites) {
+  auto device = PmemDevice::Create(SmallDevice()).ValueOrDie();
+  FaultPlan plan;
+  plan.crash_at = 1;
+  device->InstallFaultPlan(plan);
+  uint64_t value = 5;
+  device->Write(0, &value, sizeof(value));
+  device->Persist(0, sizeof(value));
+  ASSERT_TRUE(device->crashed());
+
+  device->SimulateCrash();
+  device->ClearFault();
+  EXPECT_FALSE(device->crashed());
+  value = 6;
+  device->Write(0, &value, sizeof(value));
+  device->Persist(0, sizeof(value));
+  device->SimulateCrash();
+  uint64_t out = 0;
+  device->Read(0, &out, sizeof(out));
+  EXPECT_EQ(out, 6u);
+}
+
+TEST(FaultPlanTest, EventTraceNamesEveryPersist) {
+  auto device = PmemDevice::Create(SmallDevice()).ValueOrDie();
+  device->EnableEventTrace(true);
+  device->InstallFaultPlan(FaultPlan{});
+  {
+    PersistSiteGuard site("alpha");
+    device->Persist(0, 8);
+  }
+  device->Flush(64, 8);
+  {
+    PersistSiteGuard site("beta");
+    device->Drain();
+  }
+  const auto trace = device->TakeEventTrace();
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0], "alpha");
+  EXPECT_EQ(trace[1], "beta");
+}
+
 class PoolTest : public ::testing::Test {
  protected:
   void SetUp() override {

@@ -15,6 +15,7 @@
 #include "sim/training_sim.h"
 #include "storage/dram_store.h"
 #include "storage/pipelined_store.h"
+#include "test_util.h"
 
 namespace oe {
 namespace {
@@ -28,10 +29,7 @@ using storage::StoreConfig;
 constexpr uint32_t kDim = 8;
 
 std::unique_ptr<pmem::PmemDevice> MakeDevice(uint64_t size = 32 << 20) {
-  pmem::PmemDeviceOptions options;
-  options.size_bytes = size;
-  options.crash_fidelity = pmem::CrashFidelity::kStrict;
-  return pmem::PmemDevice::Create(options).ValueOrDie();
+  return oe::test::MakeDevice({.size_bytes = size});
 }
 
 // ---------- Optimizer state durability ----------
@@ -57,7 +55,9 @@ TEST_P(OptimizerDurabilityTest, StateSurvivesEvictionRoundTrips) {
   dram_config.cache_bytes = 64 << 20;
   auto dram_store = DramStore::Create(dram_config, nullptr).ValueOrDie();
 
-  Random rng(55);
+  const uint64_t seed = oe::test::TestSeed(55);
+  SCOPED_TRACE("OE_TEST_SEED=" + std::to_string(seed));
+  Random rng(seed);
   std::vector<EntryId> keys = {1, 2, 3, 4, 5, 6, 7, 8};
   for (uint64_t batch = 1; batch <= 15; ++batch) {
     std::vector<float> w(keys.size() * kDim);
@@ -95,7 +95,9 @@ TEST_P(OptimizerDurabilityTest, StateSurvivesCrashRecovery) {
   auto device = MakeDevice();
   auto store = PipelinedStore::Create(config, device.get()).ValueOrDie();
   std::vector<EntryId> keys = {10, 20};
-  Random rng(7);
+  const uint64_t seed = oe::test::TestSeed(7);
+  SCOPED_TRACE("OE_TEST_SEED=" + std::to_string(seed));
+  Random rng(seed);
 
   auto run_batch = [&](uint64_t batch) {
     std::vector<float> w(keys.size() * kDim);
@@ -150,7 +152,9 @@ TEST(PsServiceFuzzTest, MalformedRequestsNeverCrash) {
   auto store = PipelinedStore::Create(config, device.get()).ValueOrDie();
   ps::PsService service(store.get());
 
-  Random rng(1234);
+  const uint64_t seed = oe::test::TestSeed(1234);
+  SCOPED_TRACE("OE_TEST_SEED=" + std::to_string(seed));
+  Random rng(seed);
   net::Buffer request;
   net::Buffer response;
   int rejected = 0;

@@ -1,6 +1,9 @@
-// Process-restart and concurrency tests for the pipelined store: the
-// file-backed PMem image survives a store teardown + reopen (the paper's
-// deployment restarts), and the store is safe under concurrent workers.
+// Process-restart, crash-recovery and concurrency tests for the embedding
+// stores: the file-backed PMem image survives a store teardown + reopen
+// (the paper's deployment restarts), the store is safe under concurrent
+// workers, and the two baseline stores recover exactly as the paper says
+// they do — Ori-Cache batch-consistently via its checkpoint log, PMem-Hash
+// to whatever torn mix of batches was in PMem (Observation 2).
 
 #include <gtest/gtest.h>
 
@@ -9,30 +12,36 @@
 #include <thread>
 #include <vector>
 
+#include "ckpt/checkpoint_log.h"
 #include "common/random.h"
+#include "storage/ori_cache_store.h"
 #include "storage/pipelined_store.h"
+#include "storage/pmem_hash_store.h"
+#include "test_util.h"
 
 namespace oe::storage {
 namespace {
 
+using oe::test::MakeDevice;
+using oe::test::SmallConfig;
+using oe::test::kSmallDim;
 using pmem::CrashFidelity;
 using pmem::PmemDevice;
-using pmem::PmemDeviceOptions;
 
-constexpr uint32_t kDim = 8;
+constexpr uint32_t kDim = kSmallDim;
 
-StoreConfig SmallConfig() {
-  StoreConfig config;
-  config.dim = kDim;
-  config.optimizer.learning_rate = 0.5f;
-  config.cache_bytes = 8 * 1024;
-  return config;
+// Pull/FinishPullPhase/Push one batch with a constant gradient.
+void TrainBatch(EmbeddingStore* store, uint64_t batch,
+                const std::vector<EntryId>& keys, float g) {
+  std::vector<float> w(keys.size() * kDim);
+  ASSERT_TRUE(store->Pull(keys.data(), keys.size(), batch, w.data()).ok());
+  store->FinishPullPhase(batch);
+  std::vector<float> grads(keys.size() * kDim, g);
+  ASSERT_TRUE(store->Push(keys.data(), keys.size(), grads.data(), batch).ok());
 }
 
 TEST(PipelinedRestartTest, OpenRejectsUnformattedDevice) {
-  PmemDeviceOptions options;
-  options.size_bytes = 8 << 20;
-  auto device = PmemDevice::Create(options).ValueOrDie();
+  auto device = MakeDevice({.size_bytes = 8 << 20});
   EXPECT_FALSE(PipelinedStore::Open(SmallConfig(), device.get()).ok());
 }
 
@@ -43,17 +52,11 @@ TEST(PipelinedRestartTest, FileBackedRestartRestoresCheckpoint) {
   std::vector<float> expected;
 
   {
-    PmemDeviceOptions device_options;
-    device_options.size_bytes = 16 << 20;
-    device_options.backing_file = path;
-    device_options.crash_fidelity = CrashFidelity::kNone;
-    auto device = PmemDevice::Create(device_options).ValueOrDie();
+    auto device = MakeDevice({.fidelity = CrashFidelity::kNone,
+                              .backing_file = path});
     auto store = PipelinedStore::Create(SmallConfig(), device.get())
                      .ValueOrDie();
-    std::vector<float> w(keys.size() * kDim);
-    ASSERT_TRUE(store->Pull(keys.data(), keys.size(), 1, w.data()).ok());
-    std::vector<float> g(keys.size() * kDim, 0.25f);
-    ASSERT_TRUE(store->Push(keys.data(), keys.size(), g.data(), 1).ok());
+    TrainBatch(store.get(), 1, keys, 0.25f);
     ASSERT_TRUE(store->RequestCheckpoint(1).ok());
     ASSERT_TRUE(store->DrainCheckpoints().ok());
     expected = store->Peek(2).ValueOrDie();
@@ -61,11 +64,8 @@ TEST(PipelinedRestartTest, FileBackedRestartRestoresCheckpoint) {
   }
 
   {
-    PmemDeviceOptions device_options;
-    device_options.size_bytes = 16 << 20;
-    device_options.backing_file = path;
-    device_options.crash_fidelity = CrashFidelity::kNone;
-    auto device = PmemDevice::Create(device_options).ValueOrDie();
+    auto device = MakeDevice({.fidelity = CrashFidelity::kNone,
+                              .backing_file = path});
     auto store =
         PipelinedStore::Open(SmallConfig(), device.get()).ValueOrDie();
     EXPECT_EQ(store->PublishedCheckpoint(), 1u);
@@ -73,19 +73,14 @@ TEST(PipelinedRestartTest, FileBackedRestartRestoresCheckpoint) {
     EXPECT_EQ(store->Peek(2).ValueOrDie(), expected);
 
     // Training continues after the restart.
-    std::vector<float> w(keys.size() * kDim);
-    ASSERT_TRUE(store->Pull(keys.data(), keys.size(), 2, w.data()).ok());
-    std::vector<float> g(keys.size() * kDim, 0.1f);
-    ASSERT_TRUE(store->Push(keys.data(), keys.size(), g.data(), 2).ok());
+    TrainBatch(store.get(), 2, keys, 0.1f);
   }
   std::filesystem::remove(path);
 }
 
 TEST(PipelinedConcurrencyTest, ParallelWorkersPullAndPush) {
-  PmemDeviceOptions device_options;
-  device_options.size_bytes = 64 << 20;
-  device_options.crash_fidelity = CrashFidelity::kNone;
-  auto device = PmemDevice::Create(device_options).ValueOrDie();
+  auto device = MakeDevice(
+      {.size_bytes = 64 << 20, .fidelity = CrashFidelity::kNone});
   StoreConfig config = SmallConfig();
   config.cache_bytes = 64 * 1024;
   auto store = PipelinedStore::Create(config, device.get()).ValueOrDie();
@@ -144,21 +139,14 @@ TEST(PipelinedConcurrencyTest, ParallelWorkersPullAndPush) {
 }
 
 TEST(PipelinedConcurrencyTest, CheckpointsDuringConcurrentTraining) {
-  PmemDeviceOptions device_options;
-  device_options.size_bytes = 64 << 20;
-  device_options.crash_fidelity = CrashFidelity::kStrict;
-  auto device = PmemDevice::Create(device_options).ValueOrDie();
+  auto device = MakeDevice({.size_bytes = 64 << 20});
   auto store = PipelinedStore::Create(SmallConfig(), device.get())
                    .ValueOrDie();
 
   std::vector<EntryId> keys(128);
   std::iota(keys.begin(), keys.end(), 0);
   for (uint64_t batch = 1; batch <= 30; ++batch) {
-    std::vector<float> w(keys.size() * kDim);
-    ASSERT_TRUE(store->Pull(keys.data(), keys.size(), batch, w.data()).ok());
-    store->FinishPullPhase(batch);
-    std::vector<float> g(keys.size() * kDim, 0.05f);
-    ASSERT_TRUE(store->Push(keys.data(), keys.size(), g.data(), batch).ok());
+    TrainBatch(store.get(), batch, keys, 0.05f);
     if (batch % 5 == 0) {
       ASSERT_TRUE(store->RequestCheckpoint(batch).ok());
     }
@@ -169,6 +157,77 @@ TEST(PipelinedConcurrencyTest, CheckpointsDuringConcurrentTraining) {
   device->SimulateCrash();
   ASSERT_TRUE(store->RecoverFromCrash().ok());
   EXPECT_EQ(store->EntryCount(), keys.size());
+}
+
+// Ori-Cache recovers batch-consistently, but only to its incremental
+// checkpoint log's last batch: everything trained after the checkpoint is
+// rolled back, including in-place PMem records the cache wrote back since.
+TEST(OriCacheRecoveryTest, RecoversToLastLoggedCheckpoint) {
+  auto store_device = MakeDevice();
+  auto log_device = MakeDevice();
+  StoreConfig config = SmallConfig();
+  EntryLayout layout(config.dim, config.optimizer.Slots());
+  auto log =
+      ckpt::CheckpointLog::Create(log_device.get(), layout).ValueOrDie();
+  auto store =
+      OriCacheStore::Create(config, store_device.get(), log.get())
+          .ValueOrDie();
+
+  std::vector<EntryId> keys = {1, 2, 3, 4, 5, 6, 7, 8};
+  TrainBatch(store.get(), 1, keys, 0.25f);
+  TrainBatch(store.get(), 2, keys, 0.25f);
+  ASSERT_TRUE(store->RequestCheckpoint(2).ok());
+  EXPECT_EQ(store->PublishedCheckpoint(), 2u);
+  std::map<EntryId, std::vector<float>> at_checkpoint;
+  for (EntryId key : keys) {
+    at_checkpoint[key] = store->Peek(key).ValueOrDie();
+  }
+
+  // Batch 3 dirties the cache (and possibly PMem, via write-backs) past
+  // the checkpoint, then the machine dies.
+  TrainBatch(store.get(), 3, keys, 0.5f);
+  store_device->SimulateCrash();
+
+  ASSERT_TRUE(store->RecoverFromCrash().ok());
+  EXPECT_EQ(store->PublishedCheckpoint(), 2u);
+  for (EntryId key : keys) {
+    EXPECT_EQ(store->Peek(key).ValueOrDie(), at_checkpoint[key])
+        << "key " << key << " not rolled back to checkpoint 2";
+  }
+}
+
+// PMem-Hash intentionally does NOT recover batch-consistently (the paper's
+// Observation 2: existing PMem structures lack batch atomicity). Updates
+// are persisted in place as they happen, so a crash mid-batch recovers a
+// torn mix: some keys at batch 2, the rest still at batch 1, and no
+// checkpoint id is ever published. This test documents that contract.
+TEST(PmemHashRecoveryTest, RecoversTornStateAcrossBatchBoundary) {
+  auto device = MakeDevice();
+  auto store =
+      PmemHashStore::Create(SmallConfig(), device.get()).ValueOrDie();
+
+  std::vector<EntryId> keys = {1, 2, 3, 4, 5, 6, 7, 8};
+  TrainBatch(store.get(), 1, keys, 0.25f);
+  // Batch-aware checkpointing is unsupported by design.
+  EXPECT_FALSE(store->RequestCheckpoint(1).ok());
+  EXPECT_EQ(store->PublishedCheckpoint(), 0u);
+
+  // Batch 2 reaches only half the keys before the crash.
+  std::vector<EntryId> half(keys.begin(), keys.begin() + 4);
+  TrainBatch(store.get(), 2, half, 0.5f);
+  std::map<EntryId, std::vector<float>> pre_crash;
+  for (EntryId key : keys) pre_crash[key] = store->Peek(key).ValueOrDie();
+
+  device->SimulateCrash();
+  ASSERT_TRUE(store->RecoverFromCrash().ok());
+  EXPECT_EQ(store->PublishedCheckpoint(), 0u);
+
+  // Every in-place update survives — exactly the pre-crash torn state, not
+  // any batch boundary: half the keys carry batch-2 values.
+  for (EntryId key : keys) {
+    EXPECT_EQ(store->Peek(key).ValueOrDie(), pre_crash[key]) << "key " << key;
+  }
+  EXPECT_NE(pre_crash[1], pre_crash[5]);  // the tear is observable
 }
 
 }  // namespace

@@ -11,34 +11,23 @@
 #include "storage/ori_cache_store.h"
 #include "storage/pipelined_store.h"
 #include "storage/pmem_hash_store.h"
+#include "test_util.h"
 
 namespace oe::storage {
 namespace {
 
+using oe::test::MakeDevice;
 using pmem::CrashFidelity;
 using pmem::PmemDevice;
 using pmem::PmemDeviceOptions;
 
-constexpr uint32_t kDim = 8;
+constexpr uint32_t kDim = oe::test::kSmallDim;
 
 StoreConfig SmallConfig() {
-  StoreConfig config;
-  config.dim = kDim;
-  config.optimizer.kind = OptimizerKind::kSgd;
-  config.optimizer.learning_rate = 0.5f;
+  StoreConfig config = oe::test::SmallConfig();
   config.initializer.kind = InitializerKind::kUniform;
-  config.initializer.scale = 0.1f;
-  config.cache_bytes = 8 * 1024;  // tiny cache to force evictions
+  config.initializer.scale = 0.1f;  // nonzero init so fresh pulls differ
   return config;
-}
-
-std::unique_ptr<PmemDevice> MakeDevice(
-    uint64_t size = 16 << 20,
-    CrashFidelity fidelity = CrashFidelity::kStrict) {
-  PmemDeviceOptions options;
-  options.size_bytes = size;
-  options.crash_fidelity = fidelity;
-  return PmemDevice::Create(options).ValueOrDie();
 }
 
 // ---------- Optimizer unit tests ----------
@@ -722,7 +711,7 @@ class PipelinedCrashPropertyTest : public ::testing::TestWithParam<uint64_t> {
 };
 
 TEST_P(PipelinedCrashPropertyTest, BatchAtomicityUnderAdversarialCrash) {
-  auto device = MakeDevice(32 << 20, CrashFidelity::kAdversarial);
+  auto device = MakeDevice({.size_bytes = 32 << 20, .fidelity = CrashFidelity::kAdversarial});
   StoreConfig config = SmallConfig();
   config.cache_bytes = 4 * 1024;  // heavy eviction traffic
   auto store = PipelinedStore::Create(config, device.get()).ValueOrDie();

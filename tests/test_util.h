@@ -1,0 +1,63 @@
+// Shared fixtures for the test binaries: the small-store config and
+// simulated-device construction that storage_test, ckpt_test, backup_test,
+// restart_test and crash_sim_test previously each re-declared, plus the
+// OE_TEST_SEED hook that makes every randomized test reproducible.
+#ifndef OE_TESTS_TEST_UTIL_H_
+#define OE_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "pmem/device.h"
+#include "storage/embedding_store.h"
+
+namespace oe::test {
+
+inline constexpr uint32_t kSmallDim = 8;
+
+// Tiny training config: dim 8, plain SGD (no optimizer slots), and a cache
+// small enough that evictions (and therefore PMem write-backs) happen
+// constantly instead of only at checkpoints.
+inline storage::StoreConfig SmallConfig(uint32_t dim = kSmallDim) {
+  storage::StoreConfig config;
+  config.dim = dim;
+  config.optimizer.kind = storage::OptimizerKind::kSgd;
+  config.optimizer.learning_rate = 0.5f;
+  config.cache_bytes = 8 * 1024;
+  return config;
+}
+
+struct TestDeviceOptions {
+  uint64_t size_bytes = 16 << 20;
+  pmem::DeviceKind kind = pmem::DeviceKind::kPmem;
+  pmem::CrashFidelity fidelity = pmem::CrashFidelity::kStrict;
+  std::string backing_file;  // empty = anonymous mapping
+};
+
+inline std::unique_ptr<pmem::PmemDevice> MakeDevice(
+    TestDeviceOptions test_options = {}) {
+  pmem::PmemDeviceOptions options;
+  options.size_bytes = test_options.size_bytes;
+  options.kind = test_options.kind;
+  options.crash_fidelity = test_options.fidelity;
+  options.backing_file = test_options.backing_file;
+  return pmem::PmemDevice::Create(options).ValueOrDie();
+}
+
+// Seed for randomized tests: OE_TEST_SEED if set (rerun a failure with
+// `OE_TEST_SEED=<seed> ctest ...`), otherwise `fallback`. Tests must report
+// the seed they used on failure, e.g. via SCOPED_TRACE.
+inline uint64_t TestSeed(uint64_t fallback) {
+  if (const char* env = std::getenv("OE_TEST_SEED")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') return parsed;
+  }
+  return fallback;
+}
+
+}  // namespace oe::test
+
+#endif  // OE_TESTS_TEST_UTIL_H_
