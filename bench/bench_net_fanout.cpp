@@ -41,8 +41,8 @@ class DelayTransport : public Transport {
  public:
   explicit DelayTransport(InProcTransport* inner) : inner_(inner) {}
 
-  Status Call(NodeId node, uint32_t method, const Buffer& request,
-              Buffer* response) override {
+  Status CallOnce(NodeId node, uint32_t method, const Buffer& request,
+                  Buffer* response) override {
     std::this_thread::sleep_for(kRoundTrip);
     return inner_->Call(node, method, request, response);
   }

@@ -1,0 +1,178 @@
+// Benchmarks the fault-tolerant RPC layer end to end:
+//
+//  1. Node crash/restart recovery: kill one PS node mid-training, then time
+//     each phase of bringing the cluster back — restart over the surviving
+//     device image, rollback to the durable checkpoint, and replay of the
+//     lost batches — against the fault-free wall clock of the same epoch.
+//
+//  2. Retry overhead: the same pull/push workload through a FaultyTransport
+//     at increasing drop rates, with the Transport::Call retry policy
+//     re-attempting through the loss. Reports ms/batch and the retry
+//     amplification (extra attempts per request).
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "net/faulty_transport.h"
+#include "storage/optimizer.h"
+#include "train/sync_trainer.h"
+
+using oe::Status;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr uint64_t kBatches = 40;
+constexpr uint64_t kCheckpointInterval = 8;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct Setup {
+  std::unique_ptr<oe::ps::PsCluster> cluster;
+  std::unique_ptr<oe::train::SyncTrainer> trainer;
+};
+
+Setup MakeSetup(bool inject_faults, double drop_rate) {
+  Setup setup;
+  oe::ps::ClusterOptions options;
+  options.num_nodes = 4;
+  options.kind = oe::storage::StoreKind::kPipelined;
+  options.store.dim = 16;
+  options.store.optimizer.kind = oe::storage::OptimizerKind::kSgd;
+  options.store.optimizer.learning_rate = 0.05f;
+  options.store.cache_bytes = 1 << 20;
+  options.pmem_bytes_per_node = 64ULL << 20;
+  if (inject_faults) {
+    options.inject_net_faults = true;
+    options.net_fault_spec.drop_rate = drop_rate;
+    options.rpc_options.max_retries = 100;
+    options.rpc_options.backoff_initial_ms = 0;
+  }
+  setup.cluster = oe::ps::PsCluster::Create(options).ValueOrDie();
+
+  oe::workload::CriteoSynthConfig data_config;
+  data_config.base_cardinality = 2000;
+  data_config.categorical_fields = 8;
+  data_config.dense_fields = 4;
+
+  oe::train::TrainerConfig trainer_config;
+  trainer_config.workers = 1;
+  trainer_config.batch_size = 64;
+  trainer_config.checkpoint_interval = kCheckpointInterval;
+  trainer_config.durable_checkpoints = true;
+  trainer_config.deterministic_data = true;
+  trainer_config.model.num_fields = 8;
+  trainer_config.model.dense_dim = 4;
+  trainer_config.model.embed_dim = 16;
+  trainer_config.model.hidden = {16};
+  setup.trainer = std::make_unique<oe::train::SyncTrainer>(
+      setup.cluster.get(), data_config, trainer_config);
+  return setup;
+}
+
+int BenchCrashRecovery() {
+  // Fault-free reference epoch.
+  auto golden = MakeSetup(/*inject_faults=*/false, 0);
+  auto start = Clock::now();
+  Status status = golden.trainer->TrainBatches(kBatches);
+  if (!status.ok()) {
+    std::fprintf(stderr, "golden run failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const double golden_ms = MsSince(start);
+
+  // Crash run: train to mid-epoch, kill a node, then time each recovery
+  // phase explicitly.
+  auto subject = MakeSetup(/*inject_faults=*/false, 0);
+  const uint64_t crash_batch = kBatches / 2;
+  status = subject.trainer->TrainBatches(crash_batch);
+  if (status.ok()) status = subject.cluster->KillNode(1);
+  if (!status.ok()) {
+    std::fprintf(stderr, "crash setup failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+
+  start = Clock::now();
+  status = subject.cluster->RestartDownNodes();
+  const double restart_ms = MsSince(start);
+
+  start = Clock::now();
+  subject.cluster->SimulateCrashAll();
+  if (status.ok()) status = subject.trainer->RecoverAfterCrash();
+  const double recover_ms = MsSince(start);
+
+  const uint64_t replay_from = subject.trainer->next_batch();
+  start = Clock::now();
+  if (status.ok()) {
+    status = subject.trainer->TrainBatches(kBatches + 1 - replay_from);
+  }
+  const double replay_ms = MsSince(start);
+  if (!status.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  const uint64_t replayed = crash_batch + 1 - replay_from;
+  std::printf("Node crash/restart recovery (4 nodes, %llu batches, "
+              "checkpoint every %llu):\n",
+              static_cast<unsigned long long>(kBatches),
+              static_cast<unsigned long long>(kCheckpointInterval));
+  std::printf("  %-34s %8.1f ms\n", "fault-free epoch", golden_ms);
+  std::printf("  %-34s %8.1f ms\n", "node restart (reopen pmem image)",
+              restart_ms);
+  std::printf("  %-34s %8.1f ms\n", "rollback to durable checkpoint",
+              recover_ms);
+  std::printf("  %-34s %8.1f ms  (%llu batches lost to rollback)\n",
+              "replay to crash point + finish", replay_ms,
+              static_cast<unsigned long long>(replayed));
+  std::printf("  %-34s %8.1f ms\n", "total recovery overhead",
+              restart_ms + recover_ms +
+                  replay_ms * static_cast<double>(replayed) /
+                      static_cast<double>(kBatches + 1 - replay_from));
+  oe::bench::PrintNetStats(subject.cluster->net_stats());
+  return 0;
+}
+
+int BenchRetryOverhead() {
+  std::printf("\nRetry overhead under a lossy network "
+              "(4 nodes, %llu batches):\n",
+              static_cast<unsigned long long>(kBatches));
+  std::printf("  %9s %12s %10s %12s %10s\n", "drop rate", "ms/batch",
+              "retries", "retries/req", "overhead");
+
+  double base_ms = 0;
+  for (double drop : {0.0, 0.01, 0.05, 0.10}) {
+    auto setup = MakeSetup(/*inject_faults=*/true, drop);
+    const auto start = Clock::now();
+    Status status = setup.trainer->TrainBatches(kBatches);
+    if (!status.ok()) {
+      std::fprintf(stderr, "drop=%.2f failed: %s\n", drop,
+                   status.ToString().c_str());
+      return 1;
+    }
+    const double ms = MsSince(start) / static_cast<double>(kBatches);
+    const auto& stats = setup.cluster->net_stats();
+    const uint64_t requests = stats.requests.load();
+    const uint64_t retries = stats.retries.load();
+    if (drop == 0.0) base_ms = ms;
+    std::printf("  %8.0f%% %12.2f %10llu %12.3f %9.2fx\n", drop * 100, ms,
+                static_cast<unsigned long long>(retries),
+                requests > 0 ? static_cast<double>(retries) /
+                                   static_cast<double>(requests)
+                             : 0.0,
+                base_ms > 0 ? ms / base_ms : 1.0);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  if (int rc = BenchCrashRecovery()) return rc;
+  return BenchRetryOverhead();
+}

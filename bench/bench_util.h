@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "net/transport.h"
 #include "sim/training_sim.h"
 
 namespace oe::bench {
@@ -63,6 +64,24 @@ inline void PrintRow(const std::string& label, double paper,
                      double measured) {
   std::printf("  %-38s paper=%8.3f  measured=%8.3f\n", label.c_str(), paper,
               measured);
+}
+
+/// One-line failure-path summary of a transport's counters (requests plus
+/// the retry-policy counters maintained by Transport::Call). Benches that
+/// run lossy schedules print this so retry amplification is visible next to
+/// the timing numbers.
+inline void PrintNetStats(const net::NetStats& stats) {
+  const uint64_t requests = stats.requests.load();
+  const uint64_t retries = stats.retries.load();
+  std::printf("  net: %llu requests, %llu failed, %llu retries "
+              "(%.3f/request), %llu timeouts\n",
+              static_cast<unsigned long long>(requests),
+              static_cast<unsigned long long>(stats.failed_requests.load()),
+              static_cast<unsigned long long>(retries),
+              requests > 0
+                  ? static_cast<double>(retries) / static_cast<double>(requests)
+                  : 0.0,
+              static_cast<unsigned long long>(stats.timeouts.load()));
 }
 
 }  // namespace oe::bench

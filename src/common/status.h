@@ -25,6 +25,9 @@ enum class StatusCode : uint8_t {
   kAborted = 9,
   kTimedOut = 10,
   kInternal = 11,
+  /// The target is temporarily unreachable (node down, connection refused);
+  /// the operation did not happen and is safe to retry.
+  kUnavailable = 12,
 };
 
 /// Returns a short human-readable name ("Ok", "IoError", ...).
@@ -82,6 +85,14 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// An error status with a caller-chosen code (OK if code is kOk);
+  /// used where the code is propagated from another status.
+  static Status FromCode(StatusCode code, std::string msg) {
+    return code == StatusCode::kOk ? OK() : Status(code, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -93,6 +104,7 @@ class Status {
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
   bool IsCorruption() const { return code() == StatusCode::kCorruption; }
   bool IsOutOfSpace() const { return code() == StatusCode::kOutOfSpace; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -13,7 +13,7 @@
 namespace oe::net {
 namespace {
 
-Status ReadFully(int fd, void* data, size_t n) {
+Status ReadFully(int fd, void* data, size_t n, bool* got_bytes = nullptr) {
   auto* p = static_cast<uint8_t*>(data);
   size_t done = 0;
   while (done < n) {
@@ -21,9 +21,13 @@ Status ReadFully(int fd, void* data, size_t n) {
     if (r == 0) return Status::IoError("connection closed");
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::TimedOut("read timed out");
+      }
       return Status::IoError(std::string("read: ") + std::strerror(errno));
     }
     done += static_cast<size_t>(r);
+    if (got_bytes != nullptr) *got_bytes = true;
   }
   return Status::OK();
 }
@@ -32,10 +36,15 @@ Status WriteFully(int fd, const void* data, size_t n) {
   const auto* p = static_cast<const uint8_t*>(data);
   size_t done = 0;
   while (done < n) {
-    const ssize_t r = ::write(fd, p + done, n - done);
+    // MSG_NOSIGNAL: a peer closing mid-write must surface as EPIPE (an
+    // IoError Status), not a process-killing SIGPIPE.
+    const ssize_t r = ::send(fd, p + done, n - done, MSG_NOSIGNAL);
     if (r < 0) {
       if (errno == EINTR) continue;
-      return Status::IoError(std::string("write: ") + std::strerror(errno));
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::TimedOut("send timed out");
+      }
+      return Status::IoError(std::string("send: ") + std::strerror(errno));
     }
     done += static_cast<size_t>(r);
   }
@@ -60,9 +69,13 @@ Status SendFrame(int fd, uint32_t tag, const uint8_t* payload, size_t n) {
   return Status::OK();
 }
 
-Status ReceiveFrame(int fd, uint32_t* tag, Buffer* payload) {
+/// `got_bytes` (optional) is set once any response byte arrived — after
+/// that the request has definitely been processed, so a caller must not
+/// transparently re-send it on another connection.
+Status ReceiveFrame(int fd, uint32_t* tag, Buffer* payload,
+                    bool* got_bytes = nullptr) {
   uint8_t header[8];
-  OE_RETURN_IF_ERROR(ReadFully(fd, header, sizeof(header)));
+  OE_RETURN_IF_ERROR(ReadFully(fd, header, sizeof(header), got_bytes));
   uint32_t len = 0;
   std::memcpy(&len, header, 4);
   std::memcpy(tag, header + 4, 4);
@@ -71,7 +84,8 @@ Status ReceiveFrame(int fd, uint32_t* tag, Buffer* payload) {
   }
   payload->resize(len - 4);
   if (len > 4) {
-    OE_RETURN_IF_ERROR(ReadFully(fd, payload->data(), payload->size()));
+    OE_RETURN_IF_ERROR(
+        ReadFully(fd, payload->data(), payload->size(), got_bytes));
   }
   return Status::OK();
 }
@@ -194,6 +208,7 @@ void TcpServer::ServeConnection(uint64_t id, int fd) {
 }
 
 TcpTransport::~TcpTransport() {
+  ShutdownCallAsync();  // queued completions still dial through *this
   for (auto& [node, endpoint] : endpoints_) {
     for (int fd : endpoint->idle_fds) ::close(fd);
   }
@@ -208,33 +223,63 @@ void TcpTransport::AddNode(NodeId node, const std::string& host,
   endpoints_[node] = std::move(endpoint);
 }
 
-Result<int> TcpTransport::CheckOut(Endpoint* endpoint) {
+Result<TcpTransport::Connection> TcpTransport::CheckOut(Endpoint* endpoint) {
   {
     std::lock_guard<std::mutex> lock(endpoint->mutex);
     if (!endpoint->idle_fds.empty()) {
       const int fd = endpoint->idle_fds.back();
       endpoint->idle_fds.pop_back();
-      return fd;
+      return Connection{fd, /*pooled=*/true};
     }
   }
+  OE_ASSIGN_OR_RETURN(const int fd, Dial(*endpoint));
+  return Connection{fd, /*pooled=*/false};
+}
+
+Result<int> TcpTransport::Dial(const Endpoint& endpoint) {
   // Dial outside the endpoint lock so concurrent callers connect in
   // parallel rather than serializing on the handshake.
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Status::IoError("socket() failed");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(endpoint->port);
-  if (::inet_pton(AF_INET, endpoint->host.c_str(), &addr.sin_addr) != 1) {
+  addr.sin_port = htons(endpoint.port);
+  if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
     ::close(fd);
-    return Status::InvalidArgument("bad host: " + endpoint->host);
+    return Status::InvalidArgument("bad host: " + endpoint.host);
   }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     ::close(fd);
+    // ECONNREFUSED means the server is down right now: report Unavailable
+    // so the retry policy can wait for it to come back.
+    if (errno == ECONNREFUSED) {
+      return Status::Unavailable(std::string("connect: ") +
+                                 std::strerror(errno));
+    }
     return Status::IoError(std::string("connect: ") + std::strerror(errno));
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // Arm per-socket I/O timeouts from the RPC deadline so a hung peer cannot
+  // park a worker thread forever; a fired timeout surfaces as kTimedOut.
+  const int64_t deadline_ms = rpc_options().deadline_ms;
+  if (deadline_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = deadline_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>((deadline_ms % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
   return fd;
+}
+
+void TcpTransport::InvalidatePool(Endpoint* endpoint) {
+  std::vector<int> stale;
+  {
+    std::lock_guard<std::mutex> lock(endpoint->mutex);
+    stale.swap(endpoint->idle_fds);
+  }
+  for (int fd : stale) ::close(fd);
 }
 
 void TcpTransport::CheckIn(Endpoint* endpoint, int fd) {
@@ -246,8 +291,8 @@ void TcpTransport::CheckIn(Endpoint* endpoint, int fd) {
   }
 }
 
-Status TcpTransport::Call(NodeId node, uint32_t method, const Buffer& request,
-                          Buffer* response) {
+Status TcpTransport::CallOnce(NodeId node, uint32_t method,
+                              const Buffer& request, Buffer* response) {
   Endpoint* endpoint = nullptr;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -257,21 +302,45 @@ Status TcpTransport::Call(NodeId node, uint32_t method, const Buffer& request,
     }
     endpoint = it->second.get();
   }
-  OE_ASSIGN_OR_RETURN(const int fd, CheckOut(endpoint));
-  Status status = SendFrame(fd, method, request.data(), request.size());
+  OE_ASSIGN_OR_RETURN(Connection conn, CheckOut(endpoint));
+
+  uint32_t code = 0;
+  bool got_bytes = false;
+  auto attempt = [&](int fd) {
+    got_bytes = false;
+    Status status = SendFrame(fd, method, request.data(), request.size());
+    if (status.ok()) status = ReceiveFrame(fd, &code, response, &got_bytes);
+    return status;
+  };
+
+  Status status = attempt(conn.fd);
   if (status.code() == StatusCode::kInvalidArgument) {
     // Length validation failed before any bytes hit the wire; the
     // connection is still clean.
-    CheckIn(endpoint, fd);
+    CheckIn(endpoint, conn.fd);
     return status;
   }
-  uint32_t code = 0;
-  if (status.ok()) status = ReceiveFrame(fd, &code, response);
   if (!status.ok()) {
-    ::close(fd);
-    return status;
+    ::close(conn.fd);
+    // A pooled connection that failed before yielding a single response
+    // byte is most likely stale — the server restarted since we pooled it,
+    // so the request never reached a live peer. Drop every idle connection
+    // to that endpoint (they are all from the dead server) and re-send once
+    // on a freshly dialed socket. Failures after response bytes arrived, or
+    // on a fresh connection, propagate to the caller's retry policy.
+    if (!conn.pooled || got_bytes) return status;
+    InvalidatePool(endpoint);
+    auto redial = Dial(*endpoint);
+    if (!redial.ok()) return redial.status();
+    conn = Connection{std::move(redial).ValueOrDie(), /*pooled=*/false};
+    response->clear();
+    status = attempt(conn.fd);
+    if (!status.ok()) {
+      ::close(conn.fd);
+      return status;
+    }
   }
-  CheckIn(endpoint, fd);
+  CheckIn(endpoint, conn.fd);
   stats_.Record(request.size(), response->size());
   if (code != 0) {
     const std::string msg(response->begin(), response->end());

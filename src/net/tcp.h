@@ -67,6 +67,13 @@ class TcpServer {
 /// a small pool of cached connections, so concurrent calls to the same node
 /// (the ParallelCall fan-out, or several workers sharing one transport) run
 /// on distinct sockets instead of serializing behind a single connection.
+/// A pooled connection that turns out to be stale (the server restarted
+/// since it was pooled) is detected on first use — the whole idle pool for
+/// that endpoint is invalidated and the request re-sent once on a freshly
+/// dialed socket, so a server restart between calls is invisible to
+/// callers. Connection refusal maps to kUnavailable and, when an
+/// RpcOptions deadline is set, per-socket send/receive timeouts map hung
+/// peers to kTimedOut — both retryable by the Transport::Call policy.
 class TcpTransport final : public Transport {
  public:
   ~TcpTransport() override;
@@ -74,8 +81,8 @@ class TcpTransport final : public Transport {
   /// Associates `node` with a server endpoint.
   void AddNode(NodeId node, const std::string& host, uint16_t port);
 
-  Status Call(NodeId node, uint32_t method, const Buffer& request,
-              Buffer* response) override;
+  Status CallOnce(NodeId node, uint32_t method, const Buffer& request,
+                  Buffer* response) override;
 
  private:
   struct Endpoint {
@@ -85,12 +92,24 @@ class TcpTransport final : public Transport {
     std::vector<int> idle_fds;  // pooled connections, most recent last
   };
 
+  /// A checked-out socket; `pooled` records whether it was reused (and may
+  /// therefore be stale) or freshly dialed.
+  struct Connection {
+    int fd = -1;
+    bool pooled = false;
+  };
+
   /// Idle connections kept per node; calls beyond this run on short-lived
   /// extra sockets that close on check-in instead of pooling.
   static constexpr size_t kMaxIdleConnections = 8;
 
   /// Pops an idle pooled connection or dials a new one.
-  Result<int> CheckOut(Endpoint* endpoint);
+  Result<Connection> CheckOut(Endpoint* endpoint);
+  /// Connects a new socket to `endpoint` (TCP_NODELAY, deadline timeouts).
+  Result<int> Dial(const Endpoint& endpoint);
+  /// Closes every idle connection (after one was found broken: the server
+  /// restarted, so all of them are dead).
+  void InvalidatePool(Endpoint* endpoint);
   /// Returns a healthy connection to the pool (or closes it if full).
   void CheckIn(Endpoint* endpoint, int fd);
 

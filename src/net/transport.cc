@@ -1,10 +1,51 @@
 #include "net/transport.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <thread>
 
+#include "common/clock.h"
+
 namespace oe::net {
+
+Status Transport::Call(NodeId node, uint32_t method, const Buffer& request,
+                       Buffer* response) {
+  const RpcOptions& options = rpc_options_;
+  const Nanos start = WallNowNanos();
+  const Nanos deadline =
+      options.deadline_ms > 0 ? start + options.deadline_ms * 1'000'000 : 0;
+  int64_t backoff_ms = std::max<int64_t>(1, options.backoff_initial_ms);
+  for (int attempt = 0;; ++attempt) {
+    Status status = CallOnce(node, method, request, response);
+    if (status.code() == StatusCode::kTimedOut) {
+      stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (status.ok()) return status;
+    stats_.failed_requests.fetch_add(1, std::memory_order_relaxed);
+    if (!IsRetryable(status.code()) || attempt >= options.max_retries) {
+      return status;
+    }
+    if (deadline != 0) {
+      const Nanos remaining = deadline - WallNowNanos();
+      if (remaining <= 0) {
+        stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+        return Status::TimedOut("rpc deadline exceeded after " +
+                                std::to_string(attempt + 1) +
+                                " attempt(s); last: " + status.ToString());
+      }
+      // Never sleep past the deadline: cap the backoff at what is left.
+      backoff_ms = std::min<int64_t>(backoff_ms, remaining / 1'000'000 + 1);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min<int64_t>(
+        options.backoff_max_ms,
+        static_cast<int64_t>(static_cast<double>(backoff_ms) *
+                             options.backoff_multiplier));
+    stats_.retries.fetch_add(1, std::memory_order_relaxed);
+    response->clear();
+  }
+}
 
 ThreadPool* Transport::pool() {
   std::lock_guard<std::mutex> lock(pool_mutex_);
@@ -57,10 +98,31 @@ Status Transport::ParallelCall(RpcCall* calls, size_t n) {
     std::unique_lock<std::mutex> lock(mutex);
     cv.wait(lock, [&] { return outstanding == 0; });
   }
+  return AggregateCallErrors(calls, n);
+}
+
+Status Transport::AggregateCallErrors(const RpcCall* calls, size_t n) {
+  const RpcCall* first = nullptr;
+  size_t failing = 0;
   for (size_t i = 0; i < n; ++i) {
-    if (!calls[i].status.ok()) return calls[i].status;
+    if (calls[i].status.ok()) continue;
+    ++failing;
+    if (first == nullptr) first = &calls[i];
   }
-  return Status::OK();
+  if (first == nullptr) return Status::OK();
+  if (failing == 1) return first->status;
+  // Several nodes failed: keep the first failure's code (deterministic in
+  // call order) but list every failing node in the message.
+  std::string message;
+  for (size_t i = 0; i < n; ++i) {
+    if (calls[i].status.ok()) continue;
+    if (!message.empty()) message += "; ";
+    message += "node " + std::to_string(calls[i].node) + ": " +
+               calls[i].status.ToString();
+  }
+  return Status::FromCode(
+      first->status.code(),
+      std::to_string(failing) + " nodes failed: " + message);
 }
 
 void InProcTransport::RegisterNode(NodeId node, RpcHandler handler) {
@@ -73,8 +135,8 @@ void InProcTransport::UnregisterNode(NodeId node) {
   handlers_.erase(node);
 }
 
-Status InProcTransport::Call(NodeId node, uint32_t method,
-                             const Buffer& request, Buffer* response) {
+Status InProcTransport::CallOnce(NodeId node, uint32_t method,
+                                 const Buffer& request, Buffer* response) {
   RpcHandler handler;
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -24,11 +24,19 @@ using RpcHandler =
                          Buffer* response)>;
 
 /// Request/response byte counters (the simulation charges these against the
-/// modeled network bandwidth).
+/// modeled network bandwidth) plus failure-path counters maintained by the
+/// Transport::Call retry wrapper.
 struct NetStats {
   std::atomic<uint64_t> requests{0};
   std::atomic<uint64_t> bytes_sent{0};
   std::atomic<uint64_t> bytes_received{0};
+  /// Attempts that returned a non-OK status (before any retry succeeded).
+  std::atomic<uint64_t> failed_requests{0};
+  /// Re-issued attempts after a retryable failure.
+  std::atomic<uint64_t> retries{0};
+  /// Calls abandoned because the RpcOptions deadline expired (plus attempts
+  /// that themselves returned kTimedOut).
+  std::atomic<uint64_t> timeouts{0};
 
   void Record(uint64_t sent, uint64_t received) {
     requests.fetch_add(1, std::memory_order_relaxed);
@@ -36,6 +44,30 @@ struct NetStats {
     bytes_received.fetch_add(received, std::memory_order_relaxed);
   }
 };
+
+/// Per-call failure policy applied by Transport::Call around every attempt.
+/// The default (no retries, no deadline) preserves fail-fast semantics.
+struct RpcOptions {
+  /// Total budget for the call including retries and backoff sleeps;
+  /// 0 = unbounded. When it expires between attempts the call returns
+  /// kTimedOut. TcpTransport additionally arms per-socket send/receive
+  /// timeouts from this value so a hung peer cannot block forever.
+  int64_t deadline_ms = 0;
+  /// Extra attempts after the first; only kUnavailable / kIoError /
+  /// kTimedOut attempt results are retried. Retrying non-idempotent
+  /// methods is safe only with request dedup (see PsService sequence ids).
+  int max_retries = 0;
+  /// Exponential backoff between attempts: initial, multiplier, cap.
+  int64_t backoff_initial_ms = 1;
+  double backoff_multiplier = 2.0;
+  int64_t backoff_max_ms = 100;
+};
+
+/// True for transient transport failures worth re-attempting.
+inline bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kIoError ||
+         code == StatusCode::kTimedOut;
+}
 
 /// One RPC of a ParallelCall fan-out. `request` may be null (empty payload);
 /// `response` must be non-null and stays owned by the caller.
@@ -57,10 +89,23 @@ class Transport {
   virtual ~Transport() = default;
 
   /// Calls `method` on `node`, blocking until the response arrives.
-  /// Thread-safe; concurrent calls to the same node must not corrupt each
-  /// other (TcpTransport pools one connection per in-flight call).
-  virtual Status Call(NodeId node, uint32_t method, const Buffer& request,
-                      Buffer* response) = 0;
+  /// Applies the transport's RpcOptions: retryable failures (kUnavailable /
+  /// kIoError / kTimedOut) are re-attempted with exponential backoff until
+  /// max_retries or the deadline is exhausted. Thread-safe; concurrent
+  /// calls to the same node must not corrupt each other (TcpTransport
+  /// pools one connection per in-flight call).
+  Status Call(NodeId node, uint32_t method, const Buffer& request,
+              Buffer* response);
+
+  /// One attempt with no retry policy — the primitive implementations
+  /// provide. Must be thread-safe like Call().
+  virtual Status CallOnce(NodeId node, uint32_t method, const Buffer& request,
+                          Buffer* response) = 0;
+
+  /// Installs the retry/deadline policy for subsequent Call()s. Set before
+  /// traffic starts; not synchronized against in-flight calls.
+  void set_rpc_options(const RpcOptions& options) { rpc_options_ = options; }
+  const RpcOptions& rpc_options() const { return rpc_options_; }
 
   /// Issues `method` on `node` without blocking the caller; `done` runs
   /// exactly once with the call's status after the response landed in
@@ -73,10 +118,13 @@ class Transport {
                          Buffer* response, std::function<void(Status)> done);
 
   /// Issues all `calls` concurrently and blocks until every one finished.
-  /// Per-call results land in RpcCall::status; the return value is the first
-  /// non-OK status in call order (deterministic regardless of completion
-  /// order). The calling thread serves calls[0] itself, so a single-call
-  /// fan-out pays no thread handoff.
+  /// Per-call results land in RpcCall::status; the return value carries the
+  /// code of the first non-OK status in call order (deterministic
+  /// regardless of completion order) and a message aggregating *every*
+  /// failing node ("node 1: ...; node 3: ..."), so multi-node fault
+  /// schedules are debuggable from a single Status. The calling thread
+  /// serves calls[0] itself, so a single-call fan-out pays no thread
+  /// handoff.
   Status ParallelCall(RpcCall* calls, size_t n);
   Status ParallelCall(std::vector<RpcCall>* calls) {
     return ParallelCall(calls->data(), calls->size());
@@ -85,9 +133,24 @@ class Transport {
   const NetStats& stats() const { return stats_; }
 
  protected:
+  /// Blocks until every outstanding CallAsync completion has run, by
+  /// destroying the fan-out pool (which drains its queue first). Derived
+  /// transports MUST call this at the top of their destructor: queued
+  /// completions call back into CallOnce, which touches derived members
+  /// that are gone by the time the base destructor would reap the pool.
+  void ShutdownCallAsync() {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    pool_.reset();
+  }
+
   NetStats stats_;
 
  private:
+  /// Folds per-call statuses into ParallelCall's aggregate return value.
+  static Status AggregateCallErrors(const RpcCall* calls, size_t n);
+
+  RpcOptions rpc_options_;
+
   /// Lazily started fan-out pool shared by every CallAsync on this
   /// transport. Sized generously: fan-out tasks are I/O-bound blocking
   /// calls, so oversubscription is harmless while undersizing serializes
@@ -106,12 +169,14 @@ class Transport {
 /// the extent its store is).
 class InProcTransport final : public Transport {
  public:
+  ~InProcTransport() override { ShutdownCallAsync(); }
+
   /// Registers `handler` as `node`. Replaces any previous registration.
   void RegisterNode(NodeId node, RpcHandler handler);
   void UnregisterNode(NodeId node);
 
-  Status Call(NodeId node, uint32_t method, const Buffer& request,
-              Buffer* response) override;
+  Status CallOnce(NodeId node, uint32_t method, const Buffer& request,
+                  Buffer* response) override;
 
  private:
   std::mutex mutex_;

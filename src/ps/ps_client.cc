@@ -14,9 +14,26 @@ using net::Reader;
 using net::RpcCall;
 using net::Writer;
 
+namespace {
+
+/// Process-wide client-id allocator; 0 is reserved for "no dedup".
+std::atomic<uint64_t> g_next_client_id{1};
+
+/// Writes the RpcHeader that starts every request payload. seq == 0 for
+/// reads (no dedup).
+void PutHeader(Writer* writer, uint64_t client_id, uint64_t seq) {
+  writer->PutU64(client_id);
+  writer->PutU64(seq);
+}
+
+}  // namespace
+
 PsClient::PsClient(net::Transport* transport, uint32_t num_nodes,
                    uint32_t dim)
-    : transport_(transport), router_(num_nodes), dim_(dim) {}
+    : transport_(transport),
+      router_(num_nodes),
+      dim_(dim),
+      client_id_(g_next_client_id.fetch_add(1, std::memory_order_relaxed)) {}
 
 Status PsClient::Pull(const storage::EntryId* keys, size_t n, uint64_t batch,
                       float* out) {
@@ -39,6 +56,7 @@ Status PsClient::Pull(const storage::EntryId* keys, size_t n, uint64_t batch,
   for (size_t c = 0; c < nodes.size(); ++c) {
     const auto& pos = positions[nodes[c]];
     Writer writer(&requests[c]);
+    PutHeader(&writer, client_id_, /*seq=*/0);  // read: no dedup
     writer.PutU64(batch);
     writer.PutU32(static_cast<uint32_t>(pos.size()));
     for (size_t i : pos) writer.PutRaw(&keys[i], sizeof(keys[i]));
@@ -79,9 +97,14 @@ Status PsClient::Push(const storage::EntryId* keys, size_t n,
   std::vector<Buffer> requests(nodes.size());
   std::vector<Buffer> responses(nodes.size());
   std::vector<RpcCall> calls(nodes.size());
+  // One seq for the whole push: each node dedups independently, and a
+  // retried per-node request reuses its buffer (same header), so a
+  // double-delivered gradient applies exactly once.
+  const uint64_t seq = NextSeq();
   for (size_t c = 0; c < nodes.size(); ++c) {
     const auto& pos = positions[nodes[c]];
     Writer writer(&requests[c]);
+    PutHeader(&writer, client_id_, seq);
     writer.PutU64(batch);
     writer.PutU32(static_cast<uint32_t>(pos.size()));
     for (size_t i : pos) writer.PutRaw(&keys[i], sizeof(keys[i]));
@@ -106,38 +129,54 @@ Status PsClient::Broadcast(uint32_t method, const Buffer& request) {
 
 Status PsClient::FinishPullPhase(uint64_t batch) {
   Buffer request;
-  Writer(&request).PutU64(batch);
+  Writer writer(&request);
+  PutHeader(&writer, client_id_, NextSeq());
+  writer.PutU64(batch);
   return Broadcast(static_cast<uint32_t>(PsMethod::kFinishPull), request);
 }
 
 Status PsClient::WaitMaintenance(uint64_t batch) {
   Buffer request;
-  Writer(&request).PutU64(batch);
+  Writer writer(&request);
+  PutHeader(&writer, client_id_, /*seq=*/0);  // pure wait: no dedup
+  writer.PutU64(batch);
   return Broadcast(static_cast<uint32_t>(PsMethod::kWaitMaintenance),
                    request);
 }
 
 Status PsClient::RequestCheckpoint(uint64_t batch) {
   Buffer request;
-  Writer(&request).PutU64(batch);
+  Writer writer(&request);
+  PutHeader(&writer, client_id_, NextSeq());
+  writer.PutU64(batch);
   return Broadcast(static_cast<uint32_t>(PsMethod::kRequestCheckpoint),
                    request);
 }
 
 Status PsClient::DrainCheckpoints() {
-  return Broadcast(static_cast<uint32_t>(PsMethod::kDrainCheckpoints), {});
+  Buffer request;
+  Writer writer(&request);
+  PutHeader(&writer, client_id_, NextSeq());
+  return Broadcast(static_cast<uint32_t>(PsMethod::kDrainCheckpoints),
+                   request);
 }
 
 Status PsClient::Recover() {
-  return Broadcast(static_cast<uint32_t>(PsMethod::kRecover), {});
+  Buffer request;
+  Writer writer(&request);
+  PutHeader(&writer, client_id_, NextSeq());
+  return Broadcast(static_cast<uint32_t>(PsMethod::kRecover), request);
 }
 
 Result<uint64_t> PsClient::TotalEntries() {
+  Buffer request;
+  Writer writer(&request);
+  PutHeader(&writer, client_id_, /*seq=*/0);  // read: no dedup
   std::vector<Buffer> responses(router_.num_nodes());
   std::vector<RpcCall> calls(router_.num_nodes());
   for (uint32_t node = 0; node < router_.num_nodes(); ++node) {
     calls[node] = {node, static_cast<uint32_t>(PsMethod::kEntryCount),
-                   nullptr, &responses[node], Status::OK()};
+                   &request, &responses[node], Status::OK()};
   }
   OE_RETURN_IF_ERROR(transport_->ParallelCall(&calls));
   uint64_t total = 0;
@@ -150,12 +189,15 @@ Result<uint64_t> PsClient::TotalEntries() {
 }
 
 Result<uint64_t> PsClient::ClusterCheckpoint() {
+  Buffer request;
+  Writer writer(&request);
+  PutHeader(&writer, client_id_, /*seq=*/0);  // read: no dedup
   std::vector<Buffer> responses(router_.num_nodes());
   std::vector<RpcCall> calls(router_.num_nodes());
   for (uint32_t node = 0; node < router_.num_nodes(); ++node) {
     calls[node] = {node,
                    static_cast<uint32_t>(PsMethod::kPublishedCheckpoint),
-                   nullptr, &responses[node], Status::OK()};
+                   &request, &responses[node], Status::OK()};
   }
   OE_RETURN_IF_ERROR(transport_->ParallelCall(&calls));
   uint64_t min_cp = ~0ULL;
@@ -169,7 +211,9 @@ Result<uint64_t> PsClient::ClusterCheckpoint() {
 
 Result<std::vector<float>> PsClient::Peek(storage::EntryId key) {
   Buffer request;
-  Writer(&request).PutU64(key);
+  Writer writer(&request);
+  PutHeader(&writer, client_id_, /*seq=*/0);  // read: no dedup
+  writer.PutU64(key);
   Buffer response;
   OE_RETURN_IF_ERROR(transport_->Call(router_.NodeFor(key),
                                       static_cast<uint32_t>(PsMethod::kPeek),

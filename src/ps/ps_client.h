@@ -1,6 +1,7 @@
 #ifndef OE_PS_PS_CLIENT_H_
 #define OE_PS_PS_CLIENT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -33,10 +34,16 @@ class Router {
 /// reassembles responses in key order. Per-node requests are issued
 /// concurrently via Transport::ParallelCall — one overlapped round trip
 /// per operation instead of num_nodes sequential ones (Section IV: workers
-/// reach all PS shards in parallel). Errors surface as the first failing
-/// node in node order, deterministically. The client holds no mutable
-/// state, so distinct threads may share one instance; SyncTrainer still
-/// gives each worker its own client to mirror the deployment.
+/// reach all PS shards in parallel). Errors surface with the code of the
+/// first failing node in node order, deterministically.
+///
+/// Every request carries an RpcHeader: a process-unique client id plus,
+/// for mutating operations, a fresh sequence number, so transport-level
+/// retries and network-duplicated requests are deduplicated server-side
+/// (exactly-once application; see PsService). The only mutable state is
+/// that atomic sequence counter, so distinct threads may share one
+/// instance; SyncTrainer still gives each worker its own client to mirror
+/// the deployment.
 class PsClient {
  public:
   /// `transport` must outlive the client; nodes [0, num_nodes) must be
@@ -70,13 +77,25 @@ class PsClient {
 
   const Router& router() const { return router_; }
   uint32_t dim() const { return dim_; }
+  uint64_t client_id() const { return client_id_; }
 
  private:
+  /// Next sequence number for a mutating operation (one per logical
+  /// operation; a fan-out's per-node requests share it, since each node
+  /// dedups independently).
+  uint64_t NextSeq() {
+    return next_seq_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Broadcasts `payload` (header already included by the caller) to all
+  /// nodes.
   Status Broadcast(uint32_t method, const net::Buffer& request);
 
   net::Transport* transport_;
   Router router_;
   uint32_t dim_;
+  uint64_t client_id_;
+  std::atomic<uint64_t> next_seq_{1};
 };
 
 }  // namespace oe::ps

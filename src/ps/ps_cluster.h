@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ckpt/checkpoint_log.h"
+#include "net/faulty_transport.h"
 #include "net/transport.h"
 #include "pmem/device.h"
 #include "ps/ps_client.h"
@@ -33,6 +34,17 @@ struct ClusterOptions {
   /// When false, DRAM-PS / Ori-Cache run without a checkpoint log
   /// (the "No Checkpoint" configurations of Table IV).
   bool with_checkpoint_log = true;
+
+  /// Wraps the in-process transport in a FaultyTransport so RPC traffic
+  /// runs through a deterministic network-fault schedule; the wrapped
+  /// transport is what rpc_transport() (and thus every PsClient) uses.
+  bool inject_net_faults = false;
+  uint64_t net_fault_seed = 1;
+  /// Fault schedule installed for every node at Init (when injecting).
+  net::NetFaultSpec net_fault_spec;
+  /// Retry/deadline policy installed on the outermost transport, so
+  /// injected faults are retried exactly as a lossy network would be.
+  net::RpcOptions rpc_options;
 };
 
 class PsCluster {
@@ -53,13 +65,26 @@ class PsCluster {
   storage::EmbeddingStore* store(uint32_t node) {
     return stores_[node].get();
   }
+  PsService* service(uint32_t node) { return services_[node].get(); }
   pmem::PmemDevice* pmem_device(uint32_t node) {
     return pmem_devices_.empty() ? nullptr : pmem_devices_[node].get();
   }
   pmem::PmemDevice* log_device(uint32_t node) {
     return log_devices_.empty() ? nullptr : log_devices_[node].get();
   }
-  const net::NetStats& net_stats() const { return transport_->stats(); }
+
+  /// The transport clients talk through: the FaultyTransport wrapper when
+  /// fault injection is on, the bare InProcTransport otherwise.
+  net::Transport* rpc_transport() {
+    return faulty_ != nullptr ? static_cast<net::Transport*>(faulty_.get())
+                              : transport_.get();
+  }
+  /// Non-null iff inject_net_faults; for installing per-node schedules and
+  /// kill callbacks mid-test.
+  net::FaultyTransport* faulty_transport() { return faulty_.get(); }
+  const net::NetStats& net_stats() const {
+    return faulty_ != nullptr ? faulty_->stats() : transport_->stats();
+  }
 
   /// Aggregated per-device traffic across every node (for the cost model).
   pmem::DeviceStats::Snapshot TotalPmemTraffic() const;
@@ -74,9 +99,37 @@ class PsCluster {
   /// Power-cycles every simulated device (data loss per crash fidelity).
   void SimulateCrashAll();
 
+  /// Kills one PS node: tears down its service and store, then
+  /// power-cycles its devices — exactly a process crash plus power loss.
+  /// Until RestartNode, RPCs to the node fail with kUnavailable. Must not
+  /// race with an in-flight RPC to this node (kill from the calling thread
+  /// between operations, or via FaultyTransport's kill_at which fires
+  /// before dispatch).
+  Status KillNode(uint32_t node);
+
+  /// Brings a killed node back: reopens its store over the surviving
+  /// device image and re-registers its service. The store comes back in
+  /// its post-crash state; run PsClient::Recover() (all nodes) afterwards
+  /// to roll the cluster to a consistent checkpoint. Only engines with a
+  /// durable image support restart (PMem-Hash recovers torn state but
+  /// supports it too; DRAM/Ori-Cache need their checkpoint log).
+  Status RestartNode(uint32_t node);
+
+  /// Restarts every node KillNode took down; no-op when none are.
+  Status RestartDownNodes();
+
+  bool node_down(uint32_t node) const { return node_down_[node]; }
+  std::vector<uint32_t> DownNodes() const;
+
  private:
   explicit PsCluster(const ClusterOptions& options) : options_(options) {}
   Status Init();
+
+  /// Builds node `node`'s engine over its (already created) devices.
+  /// `fresh` formats a new store; otherwise reopens the surviving image
+  /// (restart path).
+  Result<std::unique_ptr<storage::EmbeddingStore>> BuildStore(uint32_t node,
+                                                              bool fresh);
 
   ClusterOptions options_;
   std::vector<std::unique_ptr<pmem::PmemDevice>> pmem_devices_;
@@ -84,7 +137,9 @@ class PsCluster {
   std::vector<std::unique_ptr<ckpt::CheckpointLog>> logs_;
   std::vector<std::unique_ptr<storage::EmbeddingStore>> stores_;
   std::vector<std::unique_ptr<PsService>> services_;
+  std::vector<bool> node_down_;
   std::unique_ptr<net::InProcTransport> transport_;
+  std::unique_ptr<net::FaultyTransport> faulty_;
   std::unique_ptr<PsClient> client_;
 };
 

@@ -12,21 +12,67 @@ using net::Writer;
 Status PsService::Handle(uint32_t method, const net::Buffer& request,
                          net::Buffer* response) {
   Reader reader(request);
+  RpcHeader header;
+  OE_RETURN_IF_ERROR(reader.GetU64(&header.client_id));
+  OE_RETURN_IF_ERROR(reader.GetU64(&header.seq));
+
+  const bool dedup = header.client_id != 0 && header.seq != 0 &&
+                     IsMutatingMethod(static_cast<PsMethod>(method));
+  if (dedup) {
+    std::lock_guard<std::mutex> lock(dedup_mutex_);
+    ClientWindow& window = windows_[header.client_id];
+    auto it = window.replies.find(header.seq);
+    if (it != window.replies.end()) {
+      // Retry (or network duplicate) of an operation that already ran:
+      // replay the recorded reply without touching the store.
+      ++dedup_hits_;
+      *response = it->second.response;
+      return it->second.status;
+    }
+  }
+
+  Status status = Dispatch(method, &reader, response);
+
+  if (dedup) {
+    // Remember the outcome — errors too: re-executing a failed mutation
+    // could succeed the second time and leave the client unsure how many
+    // times it applied. One seq, one execution, one answer.
+    std::lock_guard<std::mutex> lock(dedup_mutex_);
+    ClientWindow& window = windows_[header.client_id];
+    if (window.replies.emplace(header.seq, CachedReply{status, *response})
+            .second) {
+      window.order.push_back(header.seq);
+      if (window.order.size() > kDedupWindow) {
+        window.replies.erase(window.order.front());
+        window.order.pop_front();
+      }
+    }
+  }
+  return status;
+}
+
+uint64_t PsService::DedupHits() const {
+  std::lock_guard<std::mutex> lock(dedup_mutex_);
+  return dedup_hits_;
+}
+
+Status PsService::Dispatch(uint32_t method, Reader* reader,
+                           net::Buffer* response) {
   Writer writer(response);
   switch (static_cast<PsMethod>(method)) {
     case PsMethod::kPull:
-      return HandlePull(&reader, response);
+      return HandlePull(reader, response);
     case PsMethod::kPush:
-      return HandlePush(&reader);
+      return HandlePush(reader);
     case PsMethod::kFinishPull: {
       uint64_t batch = 0;
-      OE_RETURN_IF_ERROR(reader.GetU64(&batch));
+      OE_RETURN_IF_ERROR(reader->GetU64(&batch));
       store_->FinishPullPhase(batch);
       return Status::OK();
     }
     case PsMethod::kRequestCheckpoint: {
       uint64_t batch = 0;
-      OE_RETURN_IF_ERROR(reader.GetU64(&batch));
+      OE_RETURN_IF_ERROR(reader->GetU64(&batch));
       return store_->RequestCheckpoint(batch);
     }
     case PsMethod::kDrainCheckpoints:
@@ -40,10 +86,10 @@ Status PsService::Handle(uint32_t method, const net::Buffer& request,
       writer.PutU64(store_->PublishedCheckpoint());
       return Status::OK();
     case PsMethod::kPeek:
-      return HandlePeek(&reader, response);
+      return HandlePeek(reader, response);
     case PsMethod::kWaitMaintenance: {
       uint64_t batch = 0;
-      OE_RETURN_IF_ERROR(reader.GetU64(&batch));
+      OE_RETURN_IF_ERROR(reader->GetU64(&batch));
       if (auto* pipelined =
               dynamic_cast<storage::PipelinedStore*>(store_)) {
         pipelined->WaitMaintenance(batch);

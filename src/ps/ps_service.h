@@ -2,7 +2,10 @@
 #define OE_PS_PS_SERVICE_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 
 #include "net/message.h"
 #include "net/transport.h"
@@ -28,15 +31,49 @@ enum class PsMethod : uint32_t {
   kWaitMaintenance = 10,
 };
 
+/// Idempotency header prepended to every PS request payload:
+///   [ client_id : u64 ][ seq : u64 ]
+/// A client stamps each mutating operation with a unique monotonically
+/// increasing `seq`; the server remembers recent (client_id, seq) pairs and
+/// replays the recorded reply instead of re-executing, so a retry after a
+/// lost response (or a network-duplicated request) never double-applies a
+/// gradient. seq == 0 or client_id == 0 opts out of dedup — reads use it,
+/// since re-executing a read is harmless and caching its reply is not.
+struct RpcHeader {
+  uint64_t client_id = 0;
+  uint64_t seq = 0;
+};
+
+/// True for methods that change server state and therefore must not run
+/// twice for one client-issued operation.
+inline bool IsMutatingMethod(PsMethod method) {
+  switch (method) {
+    case PsMethod::kPush:
+    case PsMethod::kFinishPull:
+    case PsMethod::kRequestCheckpoint:
+    case PsMethod::kDrainCheckpoints:
+    case PsMethod::kRecover:
+      return true;
+    default:
+      return false;
+  }
+}
+
 /// Server-side adapter: decodes PsMethod requests and forwards them to the
 /// node's EmbeddingStore. One PsService per PS node; thread-safe to the
-/// extent the underlying store is.
+/// extent the underlying store is. Maintains a per-client dedup window
+/// (see RpcHeader) sized for retry storms, not history: a retry arrives
+/// within a handful of in-flight operations of the original. The window
+/// dies with the service — safe, because a node restart rolls the store
+/// back to its checkpoint and the trainer replays from there with fresh
+/// sequence numbers.
 class PsService {
  public:
   /// `store` must outlive the service.
   explicit PsService(storage::EmbeddingStore* store) : store_(store) {}
 
-  /// net::RpcHandler-compatible entry point.
+  /// net::RpcHandler-compatible entry point. Every request must begin with
+  /// an RpcHeader; a request too short to carry one is rejected.
   Status Handle(uint32_t method, const net::Buffer& request,
                 net::Buffer* response);
 
@@ -48,12 +85,33 @@ class PsService {
     };
   }
 
+  /// Mutating requests short-circuited by the dedup window (for tests).
+  uint64_t DedupHits() const;
+
  private:
+  /// Replies remembered per client; evicted FIFO beyond this.
+  static constexpr size_t kDedupWindow = 256;
+
+  struct CachedReply {
+    Status status;
+    net::Buffer response;
+  };
+  struct ClientWindow {
+    std::unordered_map<uint64_t, CachedReply> replies;  // by seq
+    std::deque<uint64_t> order;                         // eviction order
+  };
+
+  Status Dispatch(uint32_t method, net::Reader* reader,
+                  net::Buffer* response);
   Status HandlePull(net::Reader* reader, net::Buffer* response);
   Status HandlePush(net::Reader* reader);
   Status HandlePeek(net::Reader* reader, net::Buffer* response);
 
   storage::EmbeddingStore* store_;
+
+  mutable std::mutex dedup_mutex_;
+  std::unordered_map<uint64_t, ClientWindow> windows_;  // by client_id
+  uint64_t dedup_hits_ = 0;
 };
 
 }  // namespace oe::ps

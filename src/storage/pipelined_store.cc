@@ -865,6 +865,14 @@ Status PipelinedStore::RecoverFromCrash() {
     for (auto& w : workers) w.join();
   }
   release_all();
+  {
+    // Training progress is now exactly the recovered checkpoint; without
+    // this rewind a rollback deeper than one checkpoint interval would
+    // spuriously reject the first replayed RequestCheckpoint as "already
+    // surpassed".
+    std::lock_guard<std::mutex> lock(maint_mutex_);
+    sealed_batch_ = cp;
+  }
   return Status::OK();
 }
 

@@ -22,6 +22,7 @@ SyncTrainer::SyncTrainer(ps::PsCluster* cluster,
     workload::CriteoSynthConfig worker_data = data_config;
     worker_data.seed = data_config.seed + static_cast<uint64_t>(w) * 7919;
     data_.push_back(std::make_unique<workload::CriteoSynth>(worker_data));
+    data_seeds_.push_back(worker_data.seed);
     clients_.push_back(cluster->NewClient());
   }
   barrier_ = std::make_unique<Barrier>(config.workers);
@@ -50,6 +51,16 @@ Status SyncTrainer::TrainBatches(uint64_t num_batches) {
   return first_error_;
 }
 
+void SyncTrainer::NoteError(const Status& status) {
+  std::lock_guard<std::mutex> lock(status_mutex_);
+  if (first_error_.ok()) first_error_ = status;
+}
+
+bool SyncTrainer::EpochFailed() {
+  std::lock_guard<std::mutex> lock(status_mutex_);
+  return !first_error_.ok();
+}
+
 Status SyncTrainer::RunWorker(int worker, uint64_t first_batch,
                               uint64_t num_batches) {
   workload::CriteoSynth& data = *data_[worker];
@@ -62,7 +73,13 @@ Status SyncTrainer::RunWorker(int worker, uint64_t first_batch,
     std::vector<workload::CtrExample> batch;
     std::vector<EntryId> keys;
     std::vector<float> key_weights;
-    if (status.ok()) {
+    if (status.ok() && !EpochFailed()) {
+      if (config_.deterministic_data) {
+        // Batch content becomes a pure function of (worker, batch id), so
+        // a rollback-and-replay regenerates exactly the original batches.
+        data.Reseed(data_seeds_[static_cast<size_t>(worker)] +
+                    b * 1000003ULL);
+      }
       batch = data.NextBatch(config_.batch_size);
       keys.reserve(batch.size() * fields);
       for (const auto& example : batch) {
@@ -73,16 +90,27 @@ Status SyncTrainer::RunWorker(int worker, uint64_t first_batch,
       keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
       key_weights.resize(keys.size() * d);
       status = client.Pull(keys.data(), keys.size(), b, key_weights.data());
+      if (!status.ok()) NoteError(status);
     }
 
     if (barrier_->ArriveAndWait()) {
-      // Leader: all workers' pulls for batch b are done.
-      Status s = clients_[0]->FinishPullPhase(b);
-      if (!s.ok() && status.ok()) status = s;
+      // Leader: all workers' pulls for batch b are done. Once any worker
+      // has failed the epoch is doomed (it will be rolled back to the last
+      // checkpoint and replayed), so stop issuing seal/checkpoint RPCs:
+      // they would churn retries against a down node and advance the
+      // surviving shards' seal/checkpoint state past the durable
+      // checkpoint the rollback lands on.
+      if (!EpochFailed()) {
+        Status s = clients_[0]->FinishPullPhase(b);
+        if (!s.ok()) {
+          NoteError(s);
+          if (status.ok()) status = s;
+        }
+      }
     }
     barrier_->ArriveAndWait();
 
-    if (status.ok()) {
+    if (status.ok() && !batch.empty()) {
       // Scatter key-indexed weights into the per-example layout.
       const size_t per_example = static_cast<size_t>(fields) * d;
       std::vector<float> embeddings(batch.size() * per_example);
@@ -121,6 +149,7 @@ Status SyncTrainer::RunWorker(int worker, uint64_t first_batch,
         }
       }
       status = client.Push(keys.data(), keys.size(), key_grads.data(), b);
+      if (!status.ok()) NoteError(status);
 
       {
         std::lock_guard<std::mutex> lock(metrics_mutex_);
@@ -145,8 +174,14 @@ Status SyncTrainer::RunWorker(int worker, uint64_t first_batch,
       model_->ApplyDenseGradients(config_.batch_size *
                                   static_cast<size_t>(config_.workers));
       if (config_.checkpoint_interval != 0 &&
-          b % config_.checkpoint_interval == 0) {
+          b % config_.checkpoint_interval == 0 && !EpochFailed()) {
         Status s = clients_[0]->RequestCheckpoint(b);
+        if (s.ok() && config_.durable_checkpoints) {
+          // Synchronously publish on every shard: the cluster checkpoint
+          // is now exactly b, so a later rollback lands here and replay
+          // starts from a state every node agrees on.
+          s = clients_[0]->DrainCheckpoints();
+        }
         if (!s.ok() && status.ok()) status = s;
         dense_checkpoints_[b] = model_->SaveDense();
       }
@@ -169,6 +204,30 @@ SyncTrainer::Progress SyncTrainer::progress() const {
     progress.auc = ComputeAuc(window_labels_, window_predictions_);
   }
   return progress;
+}
+
+Status SyncTrainer::TrainBatchesWithRecovery(uint64_t num_batches) {
+  const uint64_t end_batch =
+      next_batch_.load(std::memory_order_acquire) + num_batches;
+  Status status;
+  for (int recoveries = 0;; ++recoveries) {
+    const uint64_t from = next_batch_.load(std::memory_order_acquire);
+    if (from >= end_batch) return Status::OK();
+    status = TrainBatches(end_batch - from);
+    if (status.ok()) return status;
+    if (!net::IsRetryable(status.code()) ||
+        recoveries >= config_.max_recoveries) {
+      return status;
+    }
+    // A PS node died mid-epoch (retries exhausted). Bring every down node
+    // back over its surviving device image, power-cycle the remaining
+    // nodes so their in-memory state also reverts to the persistent image,
+    // and roll the whole cluster back to the latest durable checkpoint;
+    // the loop then replays the lost batches.
+    OE_RETURN_IF_ERROR(cluster_->RestartDownNodes());
+    cluster_->SimulateCrashAll();
+    OE_RETURN_IF_ERROR(RecoverAfterCrash());
+  }
 }
 
 Status SyncTrainer::RecoverAfterCrash() {

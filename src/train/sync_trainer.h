@@ -32,6 +32,22 @@ struct TrainerConfig {
   uint64_t checkpoint_interval = 0;
   DeepFmConfig model;
   uint64_t seed = 5;
+
+  /// When true the leader drains checkpoints right after requesting them,
+  /// so every node has published the checkpoint before training continues.
+  /// Costs a synchronous wait per checkpoint but guarantees the cluster
+  /// checkpoint is exactly the requested batch — required for replay after
+  /// a node crash (otherwise shards ahead of the cluster minimum would see
+  /// replayed gradients twice).
+  bool durable_checkpoints = false;
+  /// When true each worker reseeds its data stream from the global batch
+  /// id, making batch content a pure function of (worker, batch). Replayed
+  /// batches after a crash rollback are then bit-identical to the
+  /// originals, the precondition for exactly-once-equivalent recovery.
+  bool deterministic_data = false;
+  /// Crash/recover cycles TrainBatchesWithRecovery tolerates before giving
+  /// up and returning the training error.
+  int max_recoveries = 3;
 };
 
 class SyncTrainer {
@@ -42,6 +58,16 @@ class SyncTrainer {
 
   /// Runs `num_batches` global batches; returns the first worker error.
   Status TrainBatches(uint64_t num_batches);
+
+  /// Like TrainBatches, but survives PS node crashes: when training fails
+  /// with a retryable transport error (a node went down mid-epoch and
+  /// retries were exhausted), restarts every down node over its surviving
+  /// device image, rolls the whole cluster back to the latest durable
+  /// checkpoint (RecoverAfterCrash), and replays from there until the
+  /// originally requested batch count is reached — up to max_recoveries
+  /// cycles. With durable_checkpoints + deterministic_data + one worker the
+  /// recovered run is bit-identical to a fault-free one.
+  Status TrainBatchesWithRecovery(uint64_t num_batches);
 
   struct Progress {
     uint64_t batches_done = 0;
@@ -66,12 +92,21 @@ class SyncTrainer {
  private:
   Status RunWorker(int worker, uint64_t first_batch, uint64_t num_batches);
 
+  /// Publishes a worker's first error immediately (not at thread exit), so
+  /// the leader can see mid-epoch that the epoch is doomed.
+  void NoteError(const Status& status);
+  /// True once any worker hit an error this epoch. Workers record errors
+  /// before arriving at the phase barrier, so a check after a barrier is
+  /// race-free.
+  bool EpochFailed();
+
   ps::PsCluster* cluster_;
   TrainerConfig config_;
   std::unique_ptr<DeepFm> model_;
   std::mutex model_mutex_;
 
   std::vector<std::unique_ptr<workload::CriteoSynth>> data_;
+  std::vector<uint64_t> data_seeds_;  // per-worker base seed (replay)
   std::vector<std::unique_ptr<ps::PsClient>> clients_;
   std::unique_ptr<Barrier> barrier_;
 

@@ -42,6 +42,13 @@ class CriteoSynth {
   CtrExample Next();
   std::vector<CtrExample> NextBatch(size_t n);
 
+  /// Repositions the stream: after Reseed(s) the generator produces the
+  /// same examples it would after construction with seed s. Lets a trainer
+  /// key batch content to the global batch id, so batches replayed after a
+  /// crash rollback are bit-identical to the originals. The ground-truth
+  /// model and field cardinalities are fixed at construction and unaffected.
+  void Reseed(uint64_t seed) { rng_.Seed(seed); }
+
   /// Total embedding-id universe (sum of field cardinalities). Ids are
   /// globally unique across fields: id = field_offset[f] + value.
   uint64_t total_keys() const { return total_keys_; }

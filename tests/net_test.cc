@@ -331,6 +331,264 @@ TEST(TcpTest, FinishedConnectionsAreReaped) {
   EXPECT_LE(server->ActiveConnections(), 1u);
 }
 
+// ---------- Retry policy (Transport::Call over CallOnce) ----------
+
+TEST(RetryTest, FlakyHandlerEventuallySucceeds) {
+  InProcTransport transport;
+  std::atomic<int> attempts{0};
+  transport.RegisterNode(0, [&](uint32_t, const Buffer&, Buffer* response) {
+    if (attempts.fetch_add(1) < 2) {
+      return Status::Unavailable("flaky");
+    }
+    response->push_back(42);
+    return Status::OK();
+  });
+  RpcOptions options;
+  options.max_retries = 3;
+  options.backoff_initial_ms = 1;
+  transport.set_rpc_options(options);
+
+  Buffer response;
+  ASSERT_TRUE(transport.Call(0, 0, {}, &response).ok());
+  EXPECT_EQ(response, Buffer({42}));
+  EXPECT_EQ(attempts.load(), 3);
+  EXPECT_EQ(transport.stats().failed_requests.load(), 2u);
+  EXPECT_EQ(transport.stats().retries.load(), 2u);
+}
+
+TEST(RetryTest, RetriesExhaustedReturnsLastError) {
+  InProcTransport transport;
+  std::atomic<int> attempts{0};
+  transport.RegisterNode(0, [&](uint32_t, const Buffer&, Buffer*) {
+    attempts.fetch_add(1);
+    return Status::Unavailable("still down");
+  });
+  RpcOptions options;
+  options.max_retries = 2;
+  transport.set_rpc_options(options);
+
+  Buffer response;
+  auto status = transport.Call(0, 0, {}, &response);
+  EXPECT_TRUE(status.IsUnavailable());
+  EXPECT_EQ(attempts.load(), 3);  // 1 initial + 2 retries
+}
+
+TEST(RetryTest, NonRetryableErrorFailsFast) {
+  InProcTransport transport;
+  std::atomic<int> attempts{0};
+  transport.RegisterNode(0, [&](uint32_t, const Buffer&, Buffer*) {
+    attempts.fetch_add(1);
+    return Status::Aborted("semantic error");
+  });
+  RpcOptions options;
+  options.max_retries = 5;
+  transport.set_rpc_options(options);
+
+  Buffer response;
+  EXPECT_EQ(transport.Call(0, 0, {}, &response).code(),
+            StatusCode::kAborted);
+  EXPECT_EQ(attempts.load(), 1);
+  EXPECT_EQ(transport.stats().retries.load(), 0u);
+}
+
+TEST(RetryTest, DeadlineCapsTheRetryLoop) {
+  InProcTransport transport;
+  transport.RegisterNode(0, [](uint32_t, const Buffer&, Buffer*) {
+    return Status::Unavailable("never up");
+  });
+  RpcOptions options;
+  options.max_retries = 1000000;
+  options.deadline_ms = 30;
+  options.backoff_initial_ms = 5;
+  options.backoff_max_ms = 5;
+  transport.set_rpc_options(options);
+
+  Buffer response;
+  auto status = transport.Call(0, 0, {}, &response);
+  EXPECT_EQ(status.code(), StatusCode::kTimedOut);
+  EXPECT_GT(transport.stats().timeouts.load(), 0u);
+  EXPECT_GT(transport.stats().retries.load(), 0u);
+}
+
+TEST(RetryTest, StaleResponseClearedBetweenAttempts) {
+  InProcTransport transport;
+  std::atomic<int> attempts{0};
+  transport.RegisterNode(0, [&](uint32_t, const Buffer&, Buffer* response) {
+    if (attempts.fetch_add(1) == 0) {
+      response->push_back(99);  // partial junk before the failure
+      return Status::IoError("broke mid-response");
+    }
+    response->push_back(1);
+    return Status::OK();
+  });
+  RpcOptions options;
+  options.max_retries = 1;
+  transport.set_rpc_options(options);
+
+  Buffer response;
+  ASSERT_TRUE(transport.Call(0, 0, {}, &response).ok());
+  EXPECT_EQ(response, Buffer({1}));  // junk from attempt 1 not visible
+}
+
+// ---------- ParallelCall error aggregation ----------
+
+TEST(ParallelCallTest, AggregatesAllFailingNodes) {
+  InProcTransport transport;
+  transport.RegisterNode(0, [](uint32_t, const Buffer&, Buffer*) {
+    return Status::OK();
+  });
+  transport.RegisterNode(1, [](uint32_t, const Buffer&, Buffer*) {
+    return Status::Aborted("node one broke");
+  });
+  transport.RegisterNode(2, [](uint32_t, const Buffer&, Buffer*) {
+    return Status::OK();
+  });
+  transport.RegisterNode(3, [](uint32_t, const Buffer&, Buffer*) {
+    return Status::Internal("node three broke");
+  });
+  std::vector<Buffer> responses(4);
+  std::vector<RpcCall> calls(4);
+  for (NodeId node = 0; node < 4; ++node) {
+    calls[node].node = node;
+    calls[node].response = &responses[node];
+  }
+  auto status = transport.ParallelCall(&calls);
+  // Code of the first failure in call order; message names every failure.
+  EXPECT_EQ(status.code(), StatusCode::kAborted);
+  EXPECT_NE(status.message().find("node 1"), std::string::npos);
+  EXPECT_NE(status.message().find("node one broke"), std::string::npos);
+  EXPECT_NE(status.message().find("node 3"), std::string::npos);
+  EXPECT_NE(status.message().find("node three broke"), std::string::npos);
+}
+
+TEST(ParallelCallTest, HandlerFailingMidFanOutLeavesOthersIntact) {
+  InProcTransport transport;
+  for (NodeId node = 0; node < 5; ++node) {
+    transport.RegisterNode(node, [node](uint32_t, const Buffer&,
+                                        Buffer* response) {
+      if (node == 2) return Status::Unavailable("mid-fan-out death");
+      response->push_back(static_cast<uint8_t>(node));
+      return Status::OK();
+    });
+  }
+  std::vector<Buffer> responses(5);
+  std::vector<RpcCall> calls(5);
+  for (NodeId node = 0; node < 5; ++node) {
+    calls[node].node = node;
+    calls[node].response = &responses[node];
+  }
+  auto status = transport.ParallelCall(&calls);
+  EXPECT_TRUE(status.IsUnavailable());
+  for (NodeId node = 0; node < 5; ++node) {
+    if (node == 2) {
+      EXPECT_TRUE(calls[node].status.IsUnavailable());
+    } else {
+      EXPECT_TRUE(calls[node].status.ok()) << "node " << node;
+      EXPECT_EQ(responses[node], Buffer({static_cast<uint8_t>(node)}));
+    }
+  }
+}
+
+// ---------- CallAsync lifetime ----------
+
+TEST(CallAsyncTest, CompletionsFinishBeforeTransportDestruction) {
+  std::atomic<int> completed{0};
+  constexpr int kCalls = 32;
+  std::vector<Buffer> requests(kCalls);
+  std::vector<Buffer> responses(kCalls);
+  {
+    InProcTransport transport;
+    transport.RegisterNode(0, [](uint32_t, const Buffer&, Buffer* response) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      response->push_back(7);
+      return Status::OK();
+    });
+    for (int i = 0; i < kCalls; ++i) {
+      transport.CallAsync(0, 0, requests[i], &responses[i],
+                          [&](Status status) {
+                            EXPECT_TRUE(status.ok());
+                            completed.fetch_add(1);
+                          });
+    }
+    // Transport destroyed here with completions possibly still queued: the
+    // dtor must drain them, not abandon or race them.
+  }
+  EXPECT_EQ(completed.load(), kCalls);
+  for (const Buffer& response : responses) {
+    EXPECT_EQ(response, Buffer({7}));
+  }
+}
+
+// ---------- TCP fault paths ----------
+
+TEST(TcpTest, ConnectionRefusedIsUnavailable) {
+  TcpTransport transport;
+  transport.AddNode(0, "127.0.0.1", 1);  // reserved port, nothing listening
+  Buffer response;
+  EXPECT_TRUE(transport.Call(0, 0, {}, &response).IsUnavailable());
+}
+
+TEST(TcpTest, SurvivesServerRestartOnSamePort) {
+  std::atomic<int> generation{1};
+  auto handler = [&](uint32_t, const Buffer& request, Buffer* response) {
+    *response = request;
+    response->push_back(static_cast<uint8_t>(generation.load()));
+    return Status::OK();
+  };
+  auto server = TcpServer::Start(0, handler).ValueOrDie();
+  const uint16_t port = server->port();
+
+  TcpTransport transport;
+  transport.AddNode(0, "127.0.0.1", port);
+  Buffer response;
+  ASSERT_TRUE(transport.Call(0, 0, {5}, &response).ok());
+  EXPECT_EQ(response, Buffer({5, 1}));
+
+  // Server process "restarts": every pooled client connection is now dead.
+  // Sending on one raises EPIPE — which must surface as an error, not a
+  // SIGPIPE process kill — and the transport must transparently redial.
+  server.reset();
+  generation.store(2);
+  server = TcpServer::Start(port, handler).ValueOrDie();
+
+  ASSERT_TRUE(transport.Call(0, 0, {6}, &response).ok());
+  EXPECT_EQ(response, Buffer({6, 2}));
+
+  // And the fresh connection pools normally afterwards.
+  ASSERT_TRUE(transport.Call(0, 0, {7}, &response).ok());
+  EXPECT_EQ(response, Buffer({7, 2}));
+}
+
+TEST(TcpTest, ServerGoneMidSessionFailsThenRecoversViaRetry) {
+  auto handler = [](uint32_t, const Buffer& request, Buffer* response) {
+    *response = request;
+    return Status::OK();
+  };
+  auto server = TcpServer::Start(0, handler).ValueOrDie();
+  const uint16_t port = server->port();
+
+  TcpTransport transport;
+  RpcOptions options;
+  options.max_retries = 0;
+  transport.set_rpc_options(options);
+  transport.AddNode(0, "127.0.0.1", port);
+  Buffer response;
+  ASSERT_TRUE(transport.Call(0, 0, {1}, &response).ok());
+
+  // Server down entirely: the pooled connection is stale AND redial is
+  // refused, so the call fails with a retryable code.
+  server.reset();
+  auto status = transport.Call(0, 0, {2}, &response);
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(IsRetryable(status.code())) << status.ToString();
+
+  // Back up: the next call (a fresh dial) succeeds without any pool state
+  // poisoning it.
+  server = TcpServer::Start(port, handler).ValueOrDie();
+  ASSERT_TRUE(transport.Call(0, 0, {3}, &response).ok());
+  EXPECT_EQ(response, Buffer({3}));
+}
+
 TEST(TcpTest, ConcurrentClients) {
   auto server = TcpServer::Start(0, [](uint32_t, const Buffer& request,
                                        Buffer* response) {

@@ -1,0 +1,333 @@
+// Network fault injection and exactly-once RPC semantics: FaultyTransport
+// schedules are deterministic per seed, the Transport::Call retry policy
+// recovers from injected drops, and PsService's sequence-id dedup window
+// keeps retried / duplicated pushes from double-applying gradients — the
+// retry + idempotency contract a lossy network demands (DESIGN.md
+// "Failure model").
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "net/faulty_transport.h"
+#include "net/transport.h"
+#include "ps/ps_client.h"
+#include "ps/ps_cluster.h"
+#include "ps/ps_service.h"
+#include "storage/optimizer.h"
+
+namespace oe {
+namespace {
+
+using net::Buffer;
+using net::FaultyTransport;
+using net::InProcTransport;
+using net::NetFaultSpec;
+using net::NodeId;
+using net::RpcOptions;
+
+// ---------- FaultyTransport units over a plain echo handler ----------
+
+struct EchoFixture {
+  InProcTransport inner;
+  std::unique_ptr<FaultyTransport> faulty;
+  std::atomic<int> served{0};
+
+  explicit EchoFixture(uint64_t seed = 7) {
+    inner.RegisterNode(0, [this](uint32_t, const Buffer& request,
+                                 Buffer* response) {
+      served.fetch_add(1);
+      *response = request;
+      return Status::OK();
+    });
+    faulty = std::make_unique<FaultyTransport>(&inner, seed);
+  }
+};
+
+TEST(FaultyTransportTest, CleanSpecPassesThrough) {
+  EchoFixture fx;
+  Buffer response;
+  ASSERT_TRUE(fx.faulty->Call(0, 1, {1, 2}, &response).ok());
+  EXPECT_EQ(response, Buffer({1, 2}));
+  EXPECT_EQ(fx.served.load(), 1);
+}
+
+TEST(FaultyTransportTest, DropNeverReachesServerAndIsRetryable) {
+  EchoFixture fx;
+  NetFaultSpec spec;
+  spec.drop_rate = 1.0;
+  fx.faulty->SetFaultSpec(0, spec);
+  Buffer response;
+  auto status = fx.faulty->Call(0, 1, {1}, &response);
+  EXPECT_TRUE(status.IsUnavailable());
+  EXPECT_EQ(fx.served.load(), 0);  // the request was dropped on the floor
+  EXPECT_GE(fx.faulty->FaultStats(0).dropped, 1u);
+}
+
+TEST(FaultyTransportTest, FailResponseExecutesServerSide) {
+  EchoFixture fx;
+  NetFaultSpec spec;
+  spec.fail_response_rate = 1.0;
+  fx.faulty->SetFaultSpec(0, spec);
+  Buffer response;
+  auto status = fx.faulty->Call(0, 1, {1}, &response);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_TRUE(response.empty());
+  // The dangerous half of the fault: the server DID run the request.
+  EXPECT_EQ(fx.served.load(), 1);
+}
+
+TEST(FaultyTransportTest, DuplicateDeliversTwice) {
+  EchoFixture fx;
+  NetFaultSpec spec;
+  spec.duplicate_rate = 1.0;
+  fx.faulty->SetFaultSpec(0, spec);
+  Buffer response;
+  ASSERT_TRUE(fx.faulty->Call(0, 1, {1}, &response).ok());
+  EXPECT_EQ(response, Buffer({1}));  // first reply wins
+  EXPECT_EQ(fx.served.load(), 2);
+}
+
+TEST(FaultyTransportTest, RetryPolicyRecoversFromLossySchedule) {
+  EchoFixture fx(/*seed=*/21);
+  NetFaultSpec spec;
+  spec.drop_rate = 0.4;
+  fx.faulty->SetFaultSpec(0, spec);
+  RpcOptions options;
+  options.max_retries = 20;
+  options.backoff_initial_ms = 0;
+  fx.faulty->set_rpc_options(options);
+
+  for (int i = 0; i < 50; ++i) {
+    Buffer response;
+    ASSERT_TRUE(fx.faulty->Call(0, 1, {static_cast<uint8_t>(i)}, &response)
+                    .ok())
+        << "call " << i;
+  }
+  // 40% drops at 50 calls: some retries must have happened, all recovered.
+  EXPECT_GT(fx.faulty->stats().retries.load(), 0u);
+}
+
+TEST(FaultyTransportTest, SameSeedSameSchedule) {
+  auto run = [](uint64_t seed) {
+    EchoFixture fx(seed);
+    NetFaultSpec spec;
+    spec.drop_rate = 0.3;
+    spec.fail_response_rate = 0.2;
+    fx.faulty->SetFaultSpec(0, spec);
+    std::vector<StatusCode> codes;
+    for (int i = 0; i < 60; ++i) {
+      Buffer response;
+      codes.push_back(fx.faulty->Call(0, 1, {1}, &response).code());
+    }
+    return codes;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));  // and the seed actually matters
+}
+
+TEST(FaultyTransportTest, DisconnectAtTakesNodeDown) {
+  EchoFixture fx;
+  NetFaultSpec spec;
+  spec.disconnect_at = 3;
+  fx.faulty->SetFaultSpec(0, spec);
+  Buffer response;
+  ASSERT_TRUE(fx.faulty->Call(0, 1, {1}, &response).ok());
+  ASSERT_TRUE(fx.faulty->Call(0, 1, {2}, &response).ok());
+  ASSERT_TRUE(fx.faulty->Call(0, 1, {3}, &response).ok());  // completes...
+  EXPECT_TRUE(fx.faulty->IsNodeDown(0));                    // ...then down
+  EXPECT_TRUE(fx.faulty->Call(0, 1, {4}, &response).IsUnavailable());
+  EXPECT_EQ(fx.served.load(), 3);
+
+  fx.faulty->SetNodeDown(0, false);  // revive
+  ASSERT_TRUE(fx.faulty->Call(0, 1, {5}, &response).ok());
+}
+
+TEST(FaultyTransportTest, KillAtFiresCallbackBeforeDispatch) {
+  EchoFixture fx;
+  NetFaultSpec spec;
+  spec.kill_at = 2;
+  fx.faulty->SetFaultSpec(0, spec);
+  std::vector<NodeId> killed;
+  fx.faulty->SetKillCallback([&](NodeId node) { killed.push_back(node); });
+
+  Buffer response;
+  ASSERT_TRUE(fx.faulty->Call(0, 1, {1}, &response).ok());
+  EXPECT_TRUE(fx.faulty->Call(0, 1, {2}, &response).IsUnavailable());
+  EXPECT_EQ(killed, std::vector<NodeId>({0}));
+  EXPECT_EQ(fx.served.load(), 1);  // the killed call never dispatched
+}
+
+// ---------- Exactly-once pushes through the PS stack ----------
+
+ps::ClusterOptions SmallClusterOptions() {
+  ps::ClusterOptions options;
+  options.num_nodes = 2;
+  options.kind = storage::StoreKind::kPipelined;
+  options.store.dim = 4;
+  options.store.optimizer.kind = storage::OptimizerKind::kSgd;
+  options.store.optimizer.learning_rate = 0.1f;
+  options.pmem_bytes_per_node = 16ULL << 20;
+  return options;
+}
+
+// Runs the same pull/push workload against a cluster; returns the final
+// weights of every key.
+std::vector<std::vector<float>> RunWorkload(ps::PsCluster* cluster) {
+  ps::PsClient& client = cluster->client();
+  std::vector<storage::EntryId> keys(32);
+  std::iota(keys.begin(), keys.end(), 0);
+  std::vector<float> weights(keys.size() * 4);
+  for (uint64_t batch = 1; batch <= 10; ++batch) {
+    EXPECT_TRUE(
+        client.Pull(keys.data(), keys.size(), batch, weights.data()).ok());
+    EXPECT_TRUE(client.FinishPullPhase(batch).ok());
+    std::vector<float> grads(keys.size() * 4,
+                             0.01f * static_cast<float>(batch));
+    EXPECT_TRUE(
+        client.Push(keys.data(), keys.size(), grads.data(), batch).ok());
+  }
+  std::vector<std::vector<float>> result;
+  for (storage::EntryId key : keys) {
+    result.push_back(client.Peek(key).ValueOrDie());
+  }
+  return result;
+}
+
+TEST(ExactlyOnceTest, LossyDuplicatingNetworkMatchesGoldenRun) {
+  // Golden: no faults. Subject: drops, duplicates and lost responses with
+  // aggressive retries. Sequence-id dedup must make them bit-identical —
+  // every gradient applied exactly once despite at-least-once delivery.
+  auto golden = ps::PsCluster::Create(SmallClusterOptions()).ValueOrDie();
+  const auto golden_weights = RunWorkload(golden.get());
+
+  ps::ClusterOptions faulty_options = SmallClusterOptions();
+  faulty_options.inject_net_faults = true;
+  faulty_options.net_fault_seed = 33;
+  faulty_options.net_fault_spec.drop_rate = 0.15;
+  faulty_options.net_fault_spec.fail_response_rate = 0.15;
+  faulty_options.net_fault_spec.duplicate_rate = 0.2;
+  faulty_options.rpc_options.max_retries = 50;
+  faulty_options.rpc_options.backoff_initial_ms = 0;
+  auto faulty = ps::PsCluster::Create(faulty_options).ValueOrDie();
+  const auto faulty_weights = RunWorkload(faulty.get());
+
+  ASSERT_EQ(golden_weights.size(), faulty_weights.size());
+  for (size_t i = 0; i < golden_weights.size(); ++i) {
+    EXPECT_EQ(golden_weights[i], faulty_weights[i]) << "key " << i;
+  }
+
+  // The schedule actually exercised the dedup path: at least one retried
+  // or duplicated mutation was short-circuited by a node's window.
+  uint64_t dedup_hits = 0;
+  for (uint32_t node = 0; node < faulty->num_nodes(); ++node) {
+    dedup_hits += faulty->service(node)->DedupHits();
+  }
+  EXPECT_GT(dedup_hits, 0u);
+  EXPECT_GT(faulty->net_stats().retries.load(), 0u);
+}
+
+TEST(ExactlyOnceTest, DuplicatedPushAppliesOnce) {
+  // Surgical version of the property: duplicate EVERY request; without
+  // dedup each push would apply twice and the weights would diverge 2x.
+  auto golden = ps::PsCluster::Create(SmallClusterOptions()).ValueOrDie();
+  const auto golden_weights = RunWorkload(golden.get());
+
+  ps::ClusterOptions dup_options = SmallClusterOptions();
+  dup_options.inject_net_faults = true;
+  dup_options.net_fault_spec.duplicate_rate = 1.0;
+  auto dup = ps::PsCluster::Create(dup_options).ValueOrDie();
+  const auto dup_weights = RunWorkload(dup.get());
+
+  for (size_t i = 0; i < golden_weights.size(); ++i) {
+    EXPECT_EQ(golden_weights[i], dup_weights[i]) << "key " << i;
+  }
+  uint64_t dedup_hits = 0;
+  for (uint32_t node = 0; node < dup->num_nodes(); ++node) {
+    dedup_hits += dup->service(node)->DedupHits();
+  }
+  EXPECT_GT(dedup_hits, 0u);
+}
+
+// ---------- Node lifecycle ----------
+
+TEST(NodeLifecycleTest, KilledNodeIsUnavailableUntilRestart) {
+  ps::ClusterOptions options = SmallClusterOptions();
+  auto cluster = ps::PsCluster::Create(options).ValueOrDie();
+  ps::PsClient& client = cluster->client();
+
+  std::vector<storage::EntryId> keys = {0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<float> weights(keys.size() * 4);
+  ASSERT_TRUE(client.Pull(keys.data(), keys.size(), 1, weights.data()).ok());
+  ASSERT_TRUE(client.FinishPullPhase(1).ok());
+  std::vector<float> grads(keys.size() * 4, 0.5f);
+  ASSERT_TRUE(client.Push(keys.data(), keys.size(), grads.data(), 1).ok());
+  ASSERT_TRUE(client.RequestCheckpoint(1).ok());
+  ASSERT_TRUE(client.DrainCheckpoints().ok());
+  std::vector<std::vector<float>> checkpointed;
+  for (storage::EntryId key : keys) {
+    checkpointed.push_back(client.Peek(key).ValueOrDie());
+  }
+
+  ASSERT_TRUE(cluster->KillNode(1).ok());
+  EXPECT_TRUE(cluster->node_down(1));
+  EXPECT_EQ(cluster->DownNodes(), std::vector<uint32_t>({1}));
+  // Killing twice is an error; the node is already gone.
+  EXPECT_FALSE(cluster->KillNode(1).ok());
+
+  // Ops spanning both shards now fail with a retryable Unavailable.
+  auto status = client.Pull(keys.data(), keys.size(), 2, weights.data());
+  EXPECT_TRUE(status.IsUnavailable()) << status.ToString();
+
+  // Restart over the surviving device image + cluster-wide recovery rolls
+  // every shard back to the drained checkpoint.
+  ASSERT_TRUE(cluster->RestartDownNodes().ok());
+  EXPECT_FALSE(cluster->node_down(1));
+  cluster->SimulateCrashAll();
+  ASSERT_TRUE(client.Recover().ok());
+  ASSERT_EQ(client.ClusterCheckpoint().ValueOrDie(), 1u);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(client.Peek(keys[i]).ValueOrDie(), checkpointed[i])
+        << "key " << keys[i];
+  }
+}
+
+TEST(NodeLifecycleTest, RestartOfHealthyNodeRejected) {
+  auto cluster = ps::PsCluster::Create(SmallClusterOptions()).ValueOrDie();
+  EXPECT_FALSE(cluster->RestartNode(0).ok());
+  EXPECT_FALSE(cluster->KillNode(99).ok());
+}
+
+TEST(NodeLifecycleTest, KillCallbackWiredToClusterKillsForReal) {
+  ps::ClusterOptions options = SmallClusterOptions();
+  options.inject_net_faults = true;
+  auto cluster = ps::PsCluster::Create(options).ValueOrDie();
+  cluster->faulty_transport()->SetKillCallback(
+      [&](NodeId node) { ASSERT_TRUE(cluster->KillNode(node).ok()); });
+  NetFaultSpec spec;
+  spec.kill_at = 4;
+  cluster->faulty_transport()->SetFaultSpec(1, spec);
+
+  ps::PsClient& client = cluster->client();
+  std::vector<storage::EntryId> keys(16);
+  std::iota(keys.begin(), keys.end(), 0);
+  std::vector<float> weights(keys.size() * 4);
+  Status status;
+  for (uint64_t batch = 1; batch <= 10 && status.ok(); ++batch) {
+    status = client.Pull(keys.data(), keys.size(), batch, weights.data());
+    if (status.ok()) status = client.FinishPullPhase(batch);
+    std::vector<float> grads(keys.size() * 4, 0.01f);
+    if (status.ok()) {
+      status = client.Push(keys.data(), keys.size(), grads.data(), batch);
+    }
+  }
+  // The schedule killed node 1 mid-workload; training saw Unavailable and
+  // the cluster really tore the node down (store gone, device crashed).
+  EXPECT_TRUE(status.IsUnavailable()) << status.ToString();
+  EXPECT_TRUE(cluster->node_down(1));
+}
+
+}  // namespace
+}  // namespace oe

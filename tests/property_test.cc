@@ -178,9 +178,12 @@ TEST(PsServiceFuzzTest, TruncatedValidRequestsRejectedCleanly) {
   auto store = PipelinedStore::Create(config, device.get()).ValueOrDie();
   ps::PsService service(store.get());
 
-  // A well-formed pull request, truncated at every length.
+  // A well-formed pull request (RpcHeader + batch + keys), truncated at
+  // every length.
   net::Buffer good;
   net::Writer writer(&good);
+  writer.PutU64(7);  // header: client_id
+  writer.PutU64(0);  // header: seq (read: no dedup)
   writer.PutU64(1);
   std::vector<uint64_t> keys = {1, 2, 3};
   writer.PutU64Span(keys.data(), keys.size());
