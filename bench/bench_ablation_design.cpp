@@ -69,7 +69,7 @@ void VersionGatedFlushAblation() {
       PipelinedStore::Create(BigCacheConfig(), device_a.get()).ValueOrDie();
   RunBatches(store_a.get(), 1, 20, keys, &scratch);
   store_a->WaitMaintenance(20);
-  const uint64_t no_ckpt_flushes = store_a->stats().flushes.load();
+  const uint64_t no_ckpt_flushes = store_a->stats_snapshot().flushes;
 
   // With a checkpoint requested every 5 batches: each pending checkpoint
   // gates exactly one write-back per re-accessed dirty entry.
@@ -85,7 +85,7 @@ void VersionGatedFlushAblation() {
     if (batch % 5 == 0) (void)store_b->RequestCheckpoint(batch);
   }
   (void)store_b->DrainCheckpoints();
-  const uint64_t ckpt_flushes = store_b->stats().flushes.load();
+  const uint64_t ckpt_flushes = store_b->stats_snapshot().flushes;
 
   std::printf("    no pending checkpoint: %llu PMem write-backs\n",
               static_cast<unsigned long long>(no_ckpt_flushes));
@@ -170,7 +170,8 @@ void ParallelRecoveryAblation() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  oe::bench::BenchReport bench_report("bench_ablation_design", &argc, argv);
   oe::bench::PrintHeader(
       "Ablations — DESIGN.md §5 design decisions",
       "version-gated flushes, no-LRU-on-push, parallel recovery (paper "

@@ -11,7 +11,8 @@
 #include "workload/skew.h"
 #include "workload/trace.h"
 
-int main() {
+int main(int argc, char** argv) {
+  oe::bench::BenchReport bench_report("bench_fig10_distribution", &argc, argv);
   using namespace oe::workload;
   oe::bench::PrintHeader(
       "Fig. 10 — workload fitting & distribution adjustment",

@@ -39,7 +39,8 @@ RunResult RunEpoch(StoreKind kind, SkewPreset skew) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  oe::bench::BenchReport bench_report("bench_fig11_skew", &argc, argv);
   oe::bench::PrintHeader(
       "Fig. 11 — training time & miss rate under different skews (16 GPUs)",
       "miss: 10.04/13.63/17.08%; Ori-Cache +20% from original to "

@@ -36,7 +36,8 @@ double RunEpoch(int checkpoints, bool dense, bool incremental) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  oe::bench::BenchReport bench_report("bench_fig12_interval", &argc, argv);
   oe::bench::PrintHeader(
       "Fig. 12 — training time vs checkpoint interval (16 GPUs)",
       "PMem-OE overhead 2.4% @10min -> 0.6% @40min; Sparse-Only ~0%; "

@@ -35,7 +35,8 @@ double RunEpoch(int gpus, int checkpoints, bool dense, bool incremental) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  oe::bench::BenchReport bench_report("bench_fig13_gpus", &argc, argv);
   oe::bench::PrintHeader(
       "Fig. 13 — checkpoint overhead vs number of GPUs (20-min interval)",
       "PMem-OE adds ~1.2% at 4, 8 and 16 GPUs; Sparse-Only ~0%; "

@@ -89,7 +89,8 @@ RecoveryResult RunRecovery(StoreKind kind,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  oe::bench::BenchReport bench_report("bench_fig14_recovery", &argc, argv);
   oe::bench::PrintHeader(
       "Fig. 14 — recovery time comparison",
       "DRAM-PS(SSD) 1512.8 s, DRAM-PS(PMem) 751.08 s, PMem-OE 380.2 s "

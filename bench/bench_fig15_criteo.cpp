@@ -91,7 +91,8 @@ Cell Run(StoreKind kind, int gpus, uint32_t dim, bool tf_overhead) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  oe::bench::BenchReport bench_report("bench_fig15_criteo", &argc, argv);
   oe::bench::PrintHeader(
       "Fig. 15 — comparison with TensorFlow on Criteo",
       "PMem-OE faster than TF by 6.3/19.5/30.1% (dim16) and 6.4/34.2/52% "

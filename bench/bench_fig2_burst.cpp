@@ -8,7 +8,8 @@
 #include "bench/bench_util.h"
 #include "workload/trace.h"
 
-int main() {
+int main(int argc, char** argv) {
+  oe::bench::BenchReport bench_report("bench_fig2_burst", &argc, argv);
   using namespace oe::workload;
   oe::bench::PrintHeader(
       "Fig. 2 — per-ms access pattern in two batches",

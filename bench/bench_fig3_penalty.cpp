@@ -33,7 +33,8 @@ double RunEpoch(StoreKind kind, int gpus) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  oe::bench::BenchReport bench_report("bench_fig3_penalty", &argc, argv);
   oe::bench::PrintHeader(
       "Fig. 3 — penalty of naive DRAM-PMem cache / PMem hash",
       "vs DRAM-PS: hybrid cache 1.24x/1.56x/2.27x, PMem-Hash "

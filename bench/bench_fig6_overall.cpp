@@ -37,7 +37,8 @@ double RunEpoch(StoreKind kind, int gpus) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  oe::bench::BenchReport bench_report("bench_fig6_overall", &argc, argv);
   oe::bench::PrintHeader(
       "Fig. 6 — overall training time (default 20-min checkpoints)",
       "PMem-OE beats DRAM-PS by 7.2/6.4/5.6% and Ori-Cache by "
@@ -56,6 +57,10 @@ int main() {
     const double dram = RunEpoch(StoreKind::kDram, gpus);
     const double pmem_oe = RunEpoch(StoreKind::kPipelined, gpus);
     const double ori = RunEpoch(StoreKind::kOriCache, gpus);
+    const std::string prefix = "gpus" + std::to_string(gpus) + ".";
+    bench_report.AddMetric(prefix + "dram_ps_epoch_s", dram);
+    bench_report.AddMetric(prefix + "pmem_oe_epoch_s", pmem_oe);
+    bench_report.AddMetric(prefix + "ori_cache_epoch_s", ori);
     std::printf(
         "  %-5d %-9.3f %-9.3f %-9.3f | meas %+5.1f%% paper -%.1f%% | meas "
         "%+5.1f%% paper -%.1f%%\n",

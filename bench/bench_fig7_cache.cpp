@@ -33,7 +33,8 @@ double RunEpoch(StoreKind kind, int gpus) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  oe::bench::BenchReport bench_report("bench_fig7_cache", &argc, argv);
   oe::bench::PrintHeader(
       "Fig. 7 — pipelined cache performance (no checkpoints)",
       "DRAM-PS 1.0/0.60/0.35; Ori = 1.24x/1.56x/2.27x DRAM; PMem-OE within "

@@ -34,7 +34,8 @@ double RunEpoch(uint64_t cache_bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  oe::bench::BenchReport bench_report("bench_fig8_cachesize", &argc, argv);
   oe::bench::PrintHeader(
       "Fig. 8 — impact of DRAM cache size (PMem-OE, 16 GPUs)",
       "vs 10MB cache: -14.4% @20MB, -18% @40MB, -24.9% @100MB, -32.2% "

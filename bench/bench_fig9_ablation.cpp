@@ -33,7 +33,8 @@ double RunEpoch(bool cache_enabled, bool pipeline_enabled) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  oe::bench::BenchReport bench_report("bench_fig9_ablation", &argc, argv);
   oe::bench::PrintHeader(
       "Fig. 9 — individual improvement of cache and pipeline (16 GPUs)",
       "cache alone -42.1%; pipeline effect -54.9%; both together -73.9% "

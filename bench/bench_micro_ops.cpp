@@ -7,7 +7,10 @@
 #include <benchmark/benchmark.h>
 
 #include <numeric>
+#include <string>
 #include <vector>
+
+#include "bench/bench_util.h"
 
 #include "cache/lru_list.h"
 #include "cache/tagged_ptr.h"
@@ -167,4 +170,37 @@ BENCHMARK(BM_PushSgd);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+namespace {
+
+/// Console reporter that additionally captures each run's adjusted real
+/// time into the --json record as "<benchmark>_ns".
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(oe::bench::BenchReport* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      report_->AddMetric(run.benchmark_name() + "_ns",
+                         run.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  oe::bench::BenchReport* report_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // BenchReport strips --json/--trace before benchmark::Initialize sees
+  // (and would reject) them.
+  oe::bench::BenchReport bench_report("bench_micro_ops", &argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter(&bench_report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  return 0;
+}

@@ -17,6 +17,8 @@
 #include "ps/ps_service.h"
 #include "storage/dram_store.h"
 
+#include "bench/bench_util.h"
+
 using oe::Status;
 using oe::net::Buffer;
 using oe::net::InProcTransport;
@@ -91,7 +93,8 @@ double RunEpochMs(Transport* transport, uint32_t num_nodes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  oe::bench::BenchReport bench_report("bench_net_fanout", &argc, argv);
   std::printf("RPC fan-out: Pull+FinishPull+Push per batch, %zu keys, "
               "%d us simulated round trip\n",
               kKeysPerBatch, static_cast<int>(kRoundTrip.count()));
@@ -115,6 +118,10 @@ int main() {
     DelayTransport parallel(&inner);
     const double parallel_ms = RunEpochMs(&parallel, num_nodes);
     if (serial_ms < 0 || parallel_ms < 0) return 1;
+    const std::string prefix = "nodes" + std::to_string(num_nodes) + ".";
+    bench_report.AddMetric(prefix + "serial_ms_per_batch", serial_ms);
+    bench_report.AddMetric(prefix + "parallel_ms_per_batch", parallel_ms);
+    bench_report.AddMetric(prefix + "speedup", serial_ms / parallel_ms);
     std::printf("%8u %16.2f %18.2f %9.2fx\n", num_nodes, serial_ms,
                 parallel_ms, serial_ms / parallel_ms);
   }

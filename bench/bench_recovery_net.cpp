@@ -172,7 +172,8 @@ int BenchRetryOverhead() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  oe::bench::BenchReport bench_report("bench_recovery_net", &argc, argv);
   if (int rc = BenchCrashRecovery()) return rc;
   return BenchRetryOverhead();
 }

@@ -100,7 +100,7 @@ RunResult RunWorkload(int shards, int maintainers, uint64_t num_keys,
     if (round % 8 == 4) (void)store->RequestCheckpoint(batch);
   }
   store->WaitMaintenance(batch);
-  result.published = store->stats().checkpoints_published.load();
+  result.published = store->stats_snapshot().checkpoints_published;
   // Cross-shard barrier sanity check: draining must publish the rest.
   if (!store->DrainCheckpoints().ok()) std::abort();
 
@@ -108,14 +108,16 @@ RunResult RunWorkload(int shards, int maintainers, uint64_t num_keys,
   result.keys_per_sec =
       maintenance_ns > 0 ? static_cast<double>(accessed) * 1e9 / maintenance_ns
                          : 0;
-  result.evictions = store->stats().evictions.load();
-  result.flushes = store->stats().flushes.load();
+  const auto stats = store->stats_snapshot();
+  result.evictions = stats.evictions;
+  result.flushes = stats.flushes;
   return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  oe::bench::BenchReport bench_report("bench_shard_scaling", &argc, argv);
   oe::bench::PrintHeader(
       "bench_shard_scaling: maintenance throughput vs maintainer threads",
       "pipelined cache maintenance overlaps GPU compute; sharding makes its "
@@ -126,6 +128,10 @@ int main() {
   const int batches = oe::bench::FastMode() ? 16 : 48;
   const size_t keys_per_batch = 4096;
   const int thread_counts[] = {1, 2, 4, 8};
+  bench_report.AddConfig("num_keys", static_cast<double>(num_keys));
+  bench_report.AddConfig("batches", batches);
+  bench_report.AddConfig("keys_per_batch",
+                         static_cast<double>(keys_per_batch));
 
   std::printf("\n%-14s %-11s %16s %14s %10s %10s\n", "engine", "maintainers",
               "maint-ms(total)", "keys/s", "speedup", "published");
@@ -136,6 +142,10 @@ int main() {
       const RunResult r =
           RunWorkload(shards, threads, num_keys, batches, keys_per_batch);
       if (threads == 1) base_keys_per_sec = r.keys_per_sec;
+      const std::string prefix =
+          std::string(label) + ".t" + std::to_string(threads) + ".";
+      bench_report.AddMetric(prefix + "maintenance_ms", r.maintenance_ms);
+      bench_report.AddMetric(prefix + "keys_per_sec", r.keys_per_sec);
       std::printf("%-14s %-11d %16.2f %14.0f %9.2fx %10llu\n", label, threads,
                   r.maintenance_ms, r.keys_per_sec,
                   r.keys_per_sec / base_keys_per_sec,

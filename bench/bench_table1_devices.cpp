@@ -71,7 +71,8 @@ MeasuredDevice Measure(DeviceKind kind) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  oe::bench::BenchReport bench_report("bench_table1_devices", &argc, argv);
   oe::bench::PrintHeader(
       "Table I — device bandwidth/latency (simulated devices)",
       "DRAM 115/79 GB/s 81/86 ns; PMem 39/14 GB/s 305/94 ns; "

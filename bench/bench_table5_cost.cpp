@@ -39,7 +39,8 @@ double RunEpoch(StoreKind kind) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  oe::bench::BenchReport bench_report("bench_table5_cost", &argc, argv);
   oe::bench::PrintHeader(
       "Table V — price of parameter servers (500 GB model, 4 GPUs)",
       "DRAM-PS $34.9/epoch on 2 DRAM servers; PMem-OE $20.3 on 1 PMem "

@@ -28,12 +28,15 @@ class Histogram {
 
   std::string ToString() const;
 
- private:
+  /// The bucket scheme is public so lock-free mirrors (obs::Distribution
+  /// keeps one atomic counter per bucket) can reproduce identical
+  /// percentile math and be validated against this class.
   static constexpr int kNumBuckets = 132;
   /// Upper bound of bucket i (exclusive); buckets grow ~exponentially.
   static double BucketLimit(int bucket);
   static int BucketFor(double value);
 
+ private:
   uint64_t count_;
   double sum_;
   double min_;

@@ -6,11 +6,54 @@
 #include <thread>
 
 #include "common/clock.h"
+#include "obs/trace.h"
 
 namespace oe::net {
 
+void NetStats::ExportTo(obs::MetricsRegistry* registry,
+                        const obs::Labels& labels) const {
+  const Snapshot snap = TakeSnapshot();
+  registry->GetGauge("net.requests", labels)
+      ->Set(static_cast<int64_t>(snap.requests));
+  registry->GetGauge("net.bytes_sent", labels)
+      ->Set(static_cast<int64_t>(snap.bytes_sent));
+  registry->GetGauge("net.bytes_received", labels)
+      ->Set(static_cast<int64_t>(snap.bytes_received));
+  registry->GetGauge("net.failed_requests", labels)
+      ->Set(static_cast<int64_t>(snap.failed_requests));
+  registry->GetGauge("net.retries", labels)
+      ->Set(static_cast<int64_t>(snap.retries));
+  registry->GetGauge("net.timeouts", labels)
+      ->Set(static_cast<int64_t>(snap.timeouts));
+}
+
+obs::Distribution* Transport::RpcLatencyFor(NodeId node) {
+  std::atomic<obs::Distribution*>& slot =
+      node < kMaxTrackedNodes ? rpc_latency_[node] : rpc_latency_other_;
+  obs::Distribution* dist = slot.load(std::memory_order_acquire);
+  if (dist != nullptr) return dist;
+  // Racing threads register the same (name, labels) pair and get the same
+  // stable pointer back, so the store below is idempotent.
+  const obs::Labels labels = {
+      {"transport", std::to_string(obs_id_)},
+      {"node", node < kMaxTrackedNodes ? std::to_string(node) : "other"}};
+  dist = obs::MetricsRegistry::Default().GetDistribution("net.rpc_ns", labels);
+  slot.store(dist, std::memory_order_release);
+  return dist;
+}
+
 Status Transport::Call(NodeId node, uint32_t method, const Buffer& request,
                        Buffer* response) {
+  obs::ScopedSpan span("net", "rpc");
+  const Nanos call_start = WallNowNanos();
+  Status status = CallWithRetries(node, method, request, response);
+  RpcLatencyFor(node)->Record(
+      static_cast<double>(WallNowNanos() - call_start));
+  return status;
+}
+
+Status Transport::CallWithRetries(NodeId node, uint32_t method,
+                                  const Buffer& request, Buffer* response) {
   const RpcOptions& options = rpc_options_;
   const Nanos start = WallNowNanos();
   const Nanos deadline =
@@ -37,7 +80,10 @@ Status Transport::Call(NodeId node, uint32_t method, const Buffer& request,
       // Never sleep past the deadline: cap the backoff at what is left.
       backoff_ms = std::min<int64_t>(backoff_ms, remaining / 1'000'000 + 1);
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    {
+      obs::ScopedSpan backoff_span("net", "backoff");
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    }
     backoff_ms = std::min<int64_t>(
         options.backoff_max_ms,
         static_cast<int64_t>(static_cast<double>(backoff_ms) *

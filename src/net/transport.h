@@ -1,6 +1,7 @@
 #ifndef OE_NET_TRANSPORT_H_
 #define OE_NET_TRANSPORT_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -12,6 +13,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "net/message.h"
+#include "obs/metrics.h"
 
 namespace oe::net {
 
@@ -43,6 +45,33 @@ struct NetStats {
     bytes_sent.fetch_add(sent, std::memory_order_relaxed);
     bytes_received.fetch_add(received, std::memory_order_relaxed);
   }
+
+  /// Point-in-time copy (plain integers); prefer over holding the live
+  /// reference while traffic is in flight.
+  struct Snapshot {
+    uint64_t requests = 0;
+    uint64_t bytes_sent = 0;
+    uint64_t bytes_received = 0;
+    uint64_t failed_requests = 0;
+    uint64_t retries = 0;
+    uint64_t timeouts = 0;
+  };
+  Snapshot TakeSnapshot() const {
+    Snapshot snap;
+    snap.requests = requests.load(std::memory_order_relaxed);
+    snap.bytes_sent = bytes_sent.load(std::memory_order_relaxed);
+    snap.bytes_received = bytes_received.load(std::memory_order_relaxed);
+    snap.failed_requests = failed_requests.load(std::memory_order_relaxed);
+    snap.retries = retries.load(std::memory_order_relaxed);
+    snap.timeouts = timeouts.load(std::memory_order_relaxed);
+    return snap;
+  }
+
+  /// Folds these counters into `registry` as gauges (net.requests, ...)
+  /// under `labels` — the registry-snapshot view of the transport's
+  /// counters, consumed by the bench --json exposition.
+  void ExportTo(obs::MetricsRegistry* registry,
+                const obs::Labels& labels) const;
 };
 
 /// Per-call failure policy applied by Transport::Call around every attempt.
@@ -149,7 +178,22 @@ class Transport {
   /// Folds per-call statuses into ParallelCall's aggregate return value.
   static Status AggregateCallErrors(const RpcCall* calls, size_t n);
 
+  /// Call() including the retry/backoff loop; Call() itself only wraps this
+  /// with the latency instrument and trace span.
+  Status CallWithRetries(NodeId node, uint32_t method, const Buffer& request,
+                         Buffer* response);
+
+  /// Lazily registered "net.rpc_ns" distribution for `node`, labeled with
+  /// this transport's instance id. Lock-free after first use per node;
+  /// nodes beyond the tracked range share one "other" instrument.
+  obs::Distribution* RpcLatencyFor(NodeId node);
+
   RpcOptions rpc_options_;
+
+  const uint64_t obs_id_ = obs::NextInstanceId();
+  static constexpr size_t kMaxTrackedNodes = 64;
+  std::array<std::atomic<obs::Distribution*>, kMaxTrackedNodes> rpc_latency_{};
+  std::atomic<obs::Distribution*> rpc_latency_other_{nullptr};
 
   /// Lazily started fan-out pool shared by every CallAsync on this
   /// transport. Sized generously: fan-out tasks are I/O-bound blocking

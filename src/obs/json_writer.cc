@@ -1,0 +1,126 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace oe::obs {
+
+void JsonWriter::MaybeComma() {
+  if (need_comma_) out_ += ',';
+  need_comma_ = false;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  MaybeComma();
+  out_ += '{';
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_ += '}';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  MaybeComma();
+  out_ += '[';
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_ += ']';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  MaybeComma();
+  out_ += '"';
+  out_ += Escape(key);
+  out_ += "\":";
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  MaybeComma();
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  MaybeComma();
+  out_ += std::to_string(value);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t value) {
+  MaybeComma();
+  out_ += std::to_string(value);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  MaybeComma();
+  if (!std::isfinite(value)) value = 0.0;
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out_ += buffer;
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  MaybeComma();
+  out_ += value ? "true" : "false";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  MaybeComma();
+  out_ += json;
+  need_comma_ = true;
+  return *this;
+}
+
+std::string JsonWriter::Escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace oe::obs

@@ -1,0 +1,47 @@
+#ifndef OE_OBS_JSON_WRITER_H_
+#define OE_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace oe::obs {
+
+/// Minimal streaming JSON writer used by the metrics/trace exposition and
+/// the bench --json mode. Purely syntactic: the caller is responsible for
+/// calling Begin/End pairs in a well-formed order; the writer tracks only
+/// whether a comma is due. Doubles are emitted with enough precision to
+/// round-trip; NaN/Inf (not representable in JSON) degrade to 0.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Starts a "key": inside an object; follow with a value or Begin*.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& UInt(uint64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+
+  /// Splices pre-rendered JSON (e.g. a nested snapshot) as one value.
+  JsonWriter& Raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+  static std::string Escape(std::string_view raw);
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+}  // namespace oe::obs
+
+#endif  // OE_OBS_JSON_WRITER_H_

@@ -1,0 +1,195 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json_writer.h"
+
+namespace oe::obs {
+
+TraceRecorder& TraceRecorder::Default() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::TraceRecorder(size_t events_per_thread)
+    : events_per_thread_(std::max<size_t>(16, events_per_thread)) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
+  // One slot per (thread, recorder). The buffer is shared_ptr-owned by the
+  // recorder, so events survive thread exit until drained; the thread_local
+  // cache makes the steady-state lookup two loads and a compare.
+  struct Slot {
+    TraceRecorder* owner = nullptr;
+    ThreadBuffer* buffer = nullptr;
+  };
+  thread_local Slot slot;
+  if (slot.owner == this) return slot.buffer;
+  auto buffer = std::make_shared<ThreadBuffer>();
+  buffer->ring.resize(events_per_thread_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffer->tid = next_tid_++;
+    buffers_.push_back(buffer);
+  }
+  slot.owner = this;
+  slot.buffer = buffer.get();
+  return slot.buffer;
+}
+
+void TraceRecorder::RecordSpan(const char* category, const char* name,
+                               Nanos start_ns, Nanos duration_ns) {
+  if (!enabled()) return;
+  ThreadBuffer* buffer = BufferForThisThread();
+  const uint64_t index =
+      buffer->next.fetch_add(1, std::memory_order_relaxed);
+  if (index >= events_per_thread_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent& event = buffer->ring[index];
+  event.name = name;
+  event.category = category;
+  event.start_ns = start_ns;
+  event.duration_ns = duration_ns;
+  event.pid = kWallPid;
+  event.tid = buffer->tid;
+}
+
+void TraceRecorder::Emit(const char* category, std::string name,
+                         Nanos start_ns, Nanos duration_ns, int64_t pid,
+                         int64_t tid) {
+  if (!enabled()) return;
+  ThreadBuffer* buffer = BufferForThisThread();
+  const uint64_t index =
+      buffer->next.fetch_add(1, std::memory_order_relaxed);
+  if (index >= events_per_thread_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent& event = buffer->ring[index];
+  event.name = nullptr;
+  event.owned_name = std::move(name);
+  event.category = category;
+  event.start_ns = start_ns;
+  event.duration_ns = duration_ns;
+  event.pid = pid;
+  event.tid = tid;
+}
+
+void TraceRecorder::SetThreadName(std::string name) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffer->thread_name = std::move(name);
+}
+
+void TraceRecorder::SetVirtualThreadName(int64_t pid, int64_t tid,
+                                         std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  virtual_threads_[{pid, tid}] = std::move(name);
+}
+
+std::vector<TraceEvent> TraceRecorder::Drain() {
+  std::vector<TraceEvent> events;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& buffer : buffers_) {
+    const uint64_t used = std::min<uint64_t>(
+        buffer->next.load(std::memory_order_acquire), events_per_thread_);
+    for (uint64_t i = 0; i < used; ++i) {
+      events.push_back(buffer->ring[i]);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return events;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& buffer : buffers_) {
+    buffer->next.store(0, std::memory_order_release);
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::string TraceRecorder::ToChromeJson() {
+  const std::vector<TraceEvent> events = Drain();
+  // Anchor the timeline at the earliest wall event so timestamps are small
+  // (Perfetto renders absolute steady_clock nanos poorly). Synthetic (sim)
+  // tracks start at 0 already and are left untouched.
+  Nanos wall_origin = 0;
+  for (const TraceEvent& event : events) {
+    if (event.pid != kWallPid) continue;
+    if (wall_origin == 0 || event.start_ns < wall_origin) {
+      wall_origin = event.start_ns;
+    }
+  }
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("displayTimeUnit").String("ms");
+  json.Key("traceEvents").BeginArray();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buffer : buffers_) {
+      if (buffer->thread_name.empty()) continue;
+      json.BeginObject();
+      json.Key("name").String("thread_name");
+      json.Key("ph").String("M");
+      json.Key("pid").Int(kWallPid);
+      json.Key("tid").Int(buffer->tid);
+      json.Key("args").BeginObject();
+      json.Key("name").String(buffer->thread_name);
+      json.EndObject();
+      json.EndObject();
+    }
+    for (const auto& [track, name] : virtual_threads_) {
+      json.BeginObject();
+      json.Key("name").String("thread_name");
+      json.Key("ph").String("M");
+      json.Key("pid").Int(track.first);
+      json.Key("tid").Int(track.second);
+      json.Key("args").BeginObject();
+      json.Key("name").String(name);
+      json.EndObject();
+      json.EndObject();
+    }
+  }
+  for (const TraceEvent& event : events) {
+    const Nanos origin = event.pid == kWallPid ? wall_origin : 0;
+    json.BeginObject();
+    json.Key("name").String(event.name != nullptr ? event.name
+                                                  : event.owned_name.c_str());
+    json.Key("cat").String(event.category != nullptr ? event.category : "");
+    json.Key("ph").String("X");
+    // trace_event timestamps are microseconds (doubles carry sub-us).
+    json.Key("ts").Double(static_cast<double>(event.start_ns - origin) / 1e3);
+    json.Key("dur").Double(static_cast<double>(event.duration_ns) / 1e3);
+    json.Key("pid").Int(event.pid);
+    json.Key("tid").Int(event.tid);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.Take();
+}
+
+Status TraceRecorder::WriteChromeJson(const std::string& path) {
+  const std::string body = ToChromeJson();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IoError("cannot open trace file: " + path);
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), file);
+  const int close_error = std::fclose(file);
+  if (written != body.size() || close_error != 0) {
+    return Status::IoError("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace oe::obs

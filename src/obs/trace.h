@@ -1,0 +1,140 @@
+#ifndef OE_OBS_TRACE_H_
+#define OE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace oe::obs {
+
+/// One completed span. `name`/`category` point at string literals (the
+/// instrumentation convention) so recording never allocates; Emit() copies
+/// dynamic names into an owned side string only when needed.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  std::string owned_name;  // used iff name == nullptr
+  Nanos start_ns = 0;
+  Nanos duration_ns = 0;
+  /// Chrome trace_event track: pid groups timelines, tid is the row.
+  /// kWallPid events use the recording thread's auto-assigned tid; synthetic
+  /// timelines (the simulator's modeled rounds) pick their own pid/tid.
+  int64_t pid = 0;
+  int64_t tid = 0;
+};
+
+/// Scoped-span recorder draining to Chrome trace_event JSON (chrome://tracing
+/// / Perfetto "Open trace file"). Disabled (the default) it costs one relaxed
+/// atomic load per span; enabled, spans land in per-thread ring buffers that
+/// are only merged when the trace is drained, so recording takes no lock.
+class TraceRecorder {
+ public:
+  /// Track for real wall-clock spans, one row per recording thread.
+  static constexpr int64_t kWallPid = 1;
+  /// Track for simulated timelines (cost-model time, not wall time).
+  static constexpr int64_t kSimPid = 1000;
+
+  /// The default recorder instrumented code records into.
+  static TraceRecorder& Default();
+
+  explicit TraceRecorder(size_t events_per_thread = 1 << 16);
+  ~TraceRecorder();
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_release);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  /// Records a completed wall-clock span on the calling thread's track.
+  /// `name` and `category` must be string literals (or otherwise outlive
+  /// the recorder).
+  void RecordSpan(const char* category, const char* name, Nanos start_ns,
+                  Nanos duration_ns);
+
+  /// Records a span with an explicit track and a copied (dynamic) name —
+  /// the simulator's synthetic timelines.
+  void Emit(const char* category, std::string name, Nanos start_ns,
+            Nanos duration_ns, int64_t pid, int64_t tid);
+
+  /// Names the calling thread's row in the trace viewer.
+  void SetThreadName(std::string name);
+
+  /// Names a synthetic (pid, tid) row — the simulator's modeled tracks,
+  /// which no real thread owns.
+  void SetVirtualThreadName(int64_t pid, int64_t tid, std::string name);
+
+  /// Merges every thread's ring buffer, ordered by start time. Events
+  /// recorded while Drain runs may or may not be included.
+  std::vector<TraceEvent> Drain();
+
+  /// Chrome trace_event JSON of Drain() (object form, "traceEvents" array).
+  std::string ToChromeJson();
+  Status WriteChromeJson(const std::string& path);
+
+  /// Spans discarded because a thread's ring buffer wrapped.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Discards all recorded events (test isolation between trace sections).
+  void Clear();
+
+ private:
+  struct ThreadBuffer {
+    int64_t tid = 0;
+    std::string thread_name;
+    std::vector<TraceEvent> ring;
+    std::atomic<uint64_t> next{0};  // monotonic write index into ring
+  };
+
+  ThreadBuffer* BufferForThisThread();
+
+  const size_t events_per_thread_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> dropped_{0};
+
+  std::mutex mutex_;  // guards buffers_ registration and Drain
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::map<std::pair<int64_t, int64_t>, std::string> virtual_threads_;
+  int64_t next_tid_ = 1;
+};
+
+/// RAII span against TraceRecorder::Default(): near-zero cost when tracing
+/// is off (one atomic load at construction). Both strings must be literals.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* category, const char* name)
+      : ScopedSpan(TraceRecorder::Default(), category, name) {}
+
+  ScopedSpan(TraceRecorder& recorder, const char* category, const char* name)
+      : recorder_(recorder.enabled() ? &recorder : nullptr),
+        category_(category),
+        name_(name),
+        start_ns_(recorder_ != nullptr ? WallNowNanos() : 0) {}
+
+  ~ScopedSpan() {
+    if (recorder_ != nullptr) {
+      recorder_->RecordSpan(category_, name_, start_ns_,
+                            WallNowNanos() - start_ns_);
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  const char* category_;
+  const char* name_;
+  Nanos start_ns_;
+};
+
+}  // namespace oe::obs
+
+#endif  // OE_OBS_TRACE_H_

@@ -237,7 +237,7 @@ pmem::DeviceStats::Snapshot PsCluster::TotalDramTraffic() const {
   pmem::DeviceStats::Snapshot total;
   for (const auto& store : stores_) {
     if (store == nullptr) continue;
-    const auto snap = store->dram_stats().TakeSnapshot();
+    const auto snap = store->dram_stats_snapshot();
     total.read_bytes += snap.read_bytes;
     total.write_bytes += snap.write_bytes;
     total.read_ops += snap.read_ops;
@@ -251,7 +251,7 @@ uint64_t PsCluster::TotalCacheHits() const {
   uint64_t total = 0;
   for (const auto& store : stores_) {
     if (store == nullptr) continue;
-    total += store->stats().cache_hits.load(std::memory_order_relaxed);
+    total += store->stats_snapshot().cache_hits;
   }
   return total;
 }
@@ -260,7 +260,7 @@ uint64_t PsCluster::TotalCacheMisses() const {
   uint64_t total = 0;
   for (const auto& store : stores_) {
     if (store == nullptr) continue;
-    total += store->stats().cache_misses.load(std::memory_order_relaxed);
+    total += store->stats_snapshot().cache_misses;
   }
   return total;
 }

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "common/clock.h"
+#include "obs/trace.h"
 #include "storage/pipelined_store.h"
 
 namespace oe::ps {
@@ -9,8 +11,56 @@ namespace oe::ps {
 using net::Reader;
 using net::Writer;
 
+namespace {
+
+/// Stable span/label name for a PsMethod (string literals, as ScopedSpan
+/// requires). Out-of-range ids fall back to "unknown".
+const char* PsMethodName(uint32_t method) {
+  switch (static_cast<PsMethod>(method)) {
+    case PsMethod::kPull:
+      return "pull";
+    case PsMethod::kPush:
+      return "push";
+    case PsMethod::kFinishPull:
+      return "finish_pull";
+    case PsMethod::kRequestCheckpoint:
+      return "request_checkpoint";
+    case PsMethod::kDrainCheckpoints:
+      return "drain_checkpoints";
+    case PsMethod::kRecover:
+      return "recover";
+    case PsMethod::kEntryCount:
+      return "entry_count";
+    case PsMethod::kPublishedCheckpoint:
+      return "published_checkpoint";
+    case PsMethod::kPeek:
+      return "peek";
+    case PsMethod::kWaitMaintenance:
+      return "wait_maintenance";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+obs::Distribution* PsService::HandleLatencyFor(uint32_t method) {
+  std::atomic<obs::Distribution*>& slot =
+      handle_latency_[method <= kMaxMethodId ? method : 0];
+  obs::Distribution* dist = slot.load(std::memory_order_acquire);
+  if (dist != nullptr) return dist;
+  // Racing registrations return the same stable pointer; idempotent.
+  const obs::Labels labels = {{"service", std::to_string(obs_id_)},
+                              {"method", PsMethodName(method)}};
+  dist =
+      obs::MetricsRegistry::Default().GetDistribution("ps.handle_ns", labels);
+  slot.store(dist, std::memory_order_release);
+  return dist;
+}
+
 Status PsService::Handle(uint32_t method, const net::Buffer& request,
                          net::Buffer* response) {
+  obs::ScopedSpan span("ps", PsMethodName(method));
+  const Nanos handle_start = WallNowNanos();
   Reader reader(request);
   RpcHeader header;
   OE_RETURN_IF_ERROR(reader.GetU64(&header.client_id));
@@ -27,6 +77,8 @@ Status PsService::Handle(uint32_t method, const net::Buffer& request,
       // replay the recorded reply without touching the store.
       ++dedup_hits_;
       *response = it->second.response;
+      HandleLatencyFor(method)->Record(
+          static_cast<double>(WallNowNanos() - handle_start));
       return it->second.status;
     }
   }
@@ -48,6 +100,8 @@ Status PsService::Handle(uint32_t method, const net::Buffer& request,
       }
     }
   }
+  HandleLatencyFor(method)->Record(
+      static_cast<double>(WallNowNanos() - handle_start));
   return status;
 }
 

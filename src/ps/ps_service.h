@@ -1,6 +1,8 @@
 #ifndef OE_PS_PS_SERVICE_H_
 #define OE_PS_PS_SERVICE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -9,6 +11,7 @@
 
 #include "net/message.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 #include "storage/embedding_store.h"
 
 namespace oe::ps {
@@ -107,7 +110,16 @@ class PsService {
   Status HandlePush(net::Reader* reader);
   Status HandlePeek(net::Reader* reader, net::Buffer* response);
 
+  /// Lazily registered "ps.handle_ns" distribution for `method`, labeled
+  /// with this service's instance id. Lock-free after first use per method.
+  obs::Distribution* HandleLatencyFor(uint32_t method);
+
   storage::EmbeddingStore* store_;
+
+  static constexpr size_t kMaxMethodId = 16;
+  const uint64_t obs_id_ = obs::NextInstanceId();
+  std::array<std::atomic<obs::Distribution*>, kMaxMethodId + 1>
+      handle_latency_{};
 
   mutable std::mutex dedup_mutex_;
   std::unordered_map<uint64_t, ClientWindow> windows_;  // by client_id

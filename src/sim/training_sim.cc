@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace oe::sim {
 
@@ -18,9 +19,9 @@ TrainingSimulator::TrafficSnapshot TrainingSimulator::Capture() const {
   snap.pmem = cluster_->TotalPmemTraffic();
   snap.dram = cluster_->TotalDramTraffic();
   snap.log = cluster_->TotalLogTraffic();
-  snap.net_bytes = cluster_->net_stats().bytes_sent.load() +
-                   cluster_->net_stats().bytes_received.load();
-  snap.net_requests = cluster_->net_stats().requests.load();
+  const net::NetStats::Snapshot net = cluster_->net_stats().TakeSnapshot();
+  snap.net_bytes = net.bytes_sent + net.bytes_received;
+  snap.net_requests = net.requests;
   snap.sync_ops = cluster_->TotalSyncOps();
   snap.hits = cluster_->TotalCacheHits();
   snap.misses = cluster_->TotalCacheMisses();
@@ -53,6 +54,52 @@ Nanos TrainingSimulator::PhaseCost(const TrafficSnapshot& before,
   cost += cost_model_.ContentionTime(after.sync_ops - before.sync_ops,
                                      options_.num_gpus);
   return cost;
+}
+
+void TrainingSimulator::EmitRoundTrace(const PhaseTimes& times,
+                                       bool overlapped) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Default();
+  if (!recorder.enabled()) return;
+  constexpr int64_t kPid = obs::TraceRecorder::kSimPid;
+  constexpr int64_t kWorkerRow = 1;
+  constexpr int64_t kMaintRow = 2;
+  if (sim_now_ == 0) {
+    recorder.SetVirtualThreadName(kPid, kWorkerRow, "sim:worker");
+    recorder.SetVirtualThreadName(kPid, kMaintRow, "sim:maintenance");
+  }
+  const Nanos t = sim_now_;
+  recorder.Emit("sim", "pull", t, times.pull, kPid, kWorkerRow);
+  const Nanos after_pull = t + times.pull;
+  recorder.Emit("sim", "compute", after_pull, times.compute, kPid, kWorkerRow);
+  if (times.maintenance > 0) {
+    // With the pipeline on, maintenance overlaps the compute span on its
+    // own row (the paper's hidden-latency window); the ablations charge it
+    // sequentially after compute.
+    const Nanos maint_start =
+        overlapped ? after_pull : after_pull + times.compute;
+    recorder.Emit("sim", "maintenance", maint_start, times.maintenance, kPid,
+                  kMaintRow);
+  }
+  Nanos cursor = after_pull + (overlapped
+                                   ? std::max(times.compute, times.maintenance)
+                                   : times.compute + times.maintenance);
+  recorder.Emit("sim", "push", cursor, times.push, kPid, kWorkerRow);
+  cursor += times.push;
+  if (times.checkpoint > 0) {
+    recorder.Emit("sim", "checkpoint", cursor, times.checkpoint, kPid,
+                  kWorkerRow);
+    cursor += times.checkpoint;
+  }
+  if (times.dense_checkpoint > 0) {
+    recorder.Emit("sim", "dense_checkpoint", cursor, times.dense_checkpoint,
+                  kPid, kWorkerRow);
+    cursor += times.dense_checkpoint;
+  }
+  if (times.allreduce > 0) {
+    recorder.Emit("sim", "allreduce", cursor, times.allreduce, kPid,
+                  kWorkerRow);
+  }
+  sim_now_ = t + times.total;
 }
 
 Status TrainingSimulator::Populate() {
@@ -261,6 +308,8 @@ Result<EpochReport> TrainingSimulator::Run() {
                     times.allreduce;
       if (!per_access_sync) times.maintenance = 0;
     }
+
+    EmitRoundTrace(times, overlapped);
 
     report.sums.pull += times.pull;
     report.sums.maintenance += times.maintenance;

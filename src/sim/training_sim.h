@@ -135,6 +135,12 @@ class TrainingSimulator {
   };
 
   TrafficSnapshot Capture() const;
+  /// Emits one measured round's phases onto the synthetic simulated-time
+  /// trace tracks (pid = TraceRecorder::kSimPid): a worker row (pull /
+  /// compute / push / checkpoint) and a maintenance row whose span runs
+  /// concurrently with compute when the pipeline overlaps them. No-op when
+  /// tracing is disabled. Advances sim_now_ by the round's total.
+  void EmitRoundTrace(const PhaseTimes& times, bool overlapped);
   /// `pmem_parallelism` <= 0 charges the phase's PMem traffic at the
   /// default burst parallelism PmemParallelism(num_gpus); the maintenance
   /// phase of the sharded pipelined engine overrides it with
@@ -147,6 +153,8 @@ class TrainingSimulator {
   CostModel cost_model_;
   std::unique_ptr<ps::PsCluster> cluster_;
   std::unordered_set<storage::EntryId> dirty_since_checkpoint_;
+  /// Simulated-time cursor for the synthetic trace (ns since epoch start).
+  Nanos sim_now_ = 0;
 };
 
 }  // namespace oe::sim

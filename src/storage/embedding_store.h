@@ -72,6 +72,47 @@ struct StoreStats {
   std::atomic<uint64_t> new_entries{0};
   std::atomic<uint64_t> checkpoints_published{0};
 
+  /// Point-in-time copy (plain integers). Readers should work on a snapshot
+  /// rather than the live reference: maintainer threads mutate the live
+  /// counters concurrently (and RecoverFromCrash resets sibling state), so
+  /// two reads through the reference can straddle an update and disagree.
+  struct Snapshot {
+    uint64_t pull_keys = 0;
+    uint64_t push_keys = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    uint64_t evictions = 0;
+    uint64_t flushes = 0;
+    uint64_t new_entries = 0;
+    uint64_t checkpoints_published = 0;
+
+    double HitRate() const {
+      const uint64_t total = cache_hits + cache_misses;
+      return total == 0
+                 ? 0.0
+                 : static_cast<double>(cache_hits) / static_cast<double>(total);
+    }
+    double MissRate() const {
+      const uint64_t total = cache_hits + cache_misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(cache_misses) /
+                              static_cast<double>(total);
+    }
+  };
+  Snapshot TakeSnapshot() const {
+    Snapshot snap;
+    snap.pull_keys = pull_keys.load(std::memory_order_relaxed);
+    snap.push_keys = push_keys.load(std::memory_order_relaxed);
+    snap.cache_hits = cache_hits.load(std::memory_order_relaxed);
+    snap.cache_misses = cache_misses.load(std::memory_order_relaxed);
+    snap.evictions = evictions.load(std::memory_order_relaxed);
+    snap.flushes = flushes.load(std::memory_order_relaxed);
+    snap.new_entries = new_entries.load(std::memory_order_relaxed);
+    snap.checkpoints_published =
+        checkpoints_published.load(std::memory_order_relaxed);
+    return snap;
+  }
+
   double HitRate() const {
     const uint64_t h = cache_hits.load(std::memory_order_relaxed);
     const uint64_t m = cache_misses.load(std::memory_order_relaxed);
@@ -138,6 +179,15 @@ class EmbeddingStore {
 
   virtual const StoreStats& stats() const = 0;
   virtual const StoreConfig& config() const = 0;
+
+  /// Consistent copies of the live counters. Prefer these over holding the
+  /// stats()/dram_stats() references across concurrent store activity.
+  StoreStats::Snapshot stats_snapshot() const {
+    return stats().TakeSnapshot();
+  }
+  pmem::DeviceStats::Snapshot dram_stats_snapshot() const {
+    return dram_stats().TakeSnapshot();
+  }
 
   /// DRAM traffic generated by this engine (index, cache, copies).
   virtual const pmem::DeviceStats& dram_stats() const = 0;

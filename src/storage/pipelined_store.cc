@@ -20,7 +20,20 @@ PipelinedStore::PipelinedStore(const StoreConfig& config,
       device_(device),
       shards_(ShardCount(config)),
       access_queue_(ShardCount(config)),
-      shard_acked_(ShardCount(config), 0) {}
+      shard_acked_(ShardCount(config), 0) {
+  const std::string store_id = std::to_string(obs::NextInstanceId());
+  const obs::Labels labels = {{"engine", "pipelined"}, {"store", store_id}};
+  auto& registry = obs::MetricsRegistry::Default();
+  pull_latency_ = registry.GetDistribution("store.pull_ns", labels);
+  push_latency_ = registry.GetDistribution("store.push_ns", labels);
+  shard_maint_latency_.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    obs::Labels shard_labels = labels;
+    shard_labels["shard"] = std::to_string(s);
+    shard_maint_latency_.push_back(registry.GetDistribution(
+        "store.maintenance_chunk_ns", shard_labels));
+  }
+}
 
 Result<std::unique_ptr<PipelinedStore>> PipelinedStore::Create(
     const StoreConfig& config, pmem::PmemDevice* device) {
@@ -112,14 +125,21 @@ void PipelinedStore::GroupByShard(const EntryId* keys, size_t n,
 }
 
 void PipelinedStore::MaintainerLoop() {
+  if (obs::TraceRecorder::Default().enabled()) {
+    obs::TraceRecorder::Default().SetThreadName("maintainer");
+  }
   size_t shard = 0;
   uint64_t batch = 0;
   std::vector<EntryId> keys;
   while (access_queue_.Pop(&shard, &batch, &keys)) {
+    const Nanos chunk_start = WallNowNanos();
     {
+      obs::ScopedSpan span("store", "maintenance_chunk");
       WriteGuard guard(shards_[shard].lock);
       ProcessChunkLocked(shard, batch, keys);
     }
+    shard_maint_latency_[shard]->Record(
+        static_cast<double>(WallNowNanos() - chunk_start));
     access_queue_.Done(shard);
     {
       std::lock_guard<std::mutex> lock(maint_mutex_);
@@ -152,6 +172,8 @@ Status PipelinedStore::Pull(const EntryId* keys, size_t n, uint64_t batch,
                             float* out) {
   stats_.pull_keys.fetch_add(n, std::memory_order_relaxed);
   if (n == 0) return Status::OK();
+  const Nanos pull_start = WallNowNanos();
+  obs::ScopedSpan span("store", "pull");
   const size_t weight_bytes = config_.dim * sizeof(float);
 
   std::vector<size_t> order;
@@ -245,6 +267,7 @@ Status PipelinedStore::Pull(const EntryId* keys, size_t n, uint64_t batch,
     }
     m = m_end;
   }
+  pull_latency_->Record(static_cast<double>(WallNowNanos() - pull_start));
   return Status::OK();
 }
 
@@ -267,6 +290,7 @@ Status PipelinedStore::PullPmemDirect(size_t shard, EntryId key,
 }
 
 void PipelinedStore::FinishPullPhase(uint64_t batch) {
+  obs::ScopedSpan span("store", "seal");
   if (!config_.cache_enabled) {
     std::lock_guard<std::mutex> lock(maint_mutex_);
     sealed_batch_ = std::max(sealed_batch_, batch);
@@ -299,8 +323,13 @@ void PipelinedStore::FinishPullPhase(uint64_t batch) {
     // Ablation mode (Fig. 9): maintenance on the critical path.
     for (size_t s = 0; s < shards_.size(); ++s) {
       if (chunks[s].empty()) continue;
-      WriteGuard guard(shards_[s].lock);
-      ProcessChunkLocked(s, batch, chunks[s]);
+      const Nanos chunk_start = WallNowNanos();
+      {
+        WriteGuard guard(shards_[s].lock);
+        ProcessChunkLocked(s, batch, chunks[s]);
+      }
+      shard_maint_latency_[s]->Record(
+          static_cast<double>(WallNowNanos() - chunk_start));
     }
     std::lock_guard<std::mutex> lock(maint_mutex_);
     sealed_batch_ = std::max(sealed_batch_, batch);
@@ -355,6 +384,7 @@ std::vector<uint64_t> PipelinedStore::PublishReadyLocked() {
     // One failure-atomic 8-byte PMem store publishes the checkpoint
     // (Algorithm 2: PMem.atomicUpdateCheckpointId).
     {
+      obs::ScopedSpan span("store", "ckpt_publish");
       pmem::PersistSiteGuard site("ckpt-publish");
       pool_->RootSet(kRootCheckpointId, cp);
     }
@@ -473,6 +503,7 @@ PipelinedStore::CacheEntry* PipelinedStore::LoadToDramLocked(
 }
 
 Status PipelinedStore::FlushEntryLocked(CacheEntry* entry) {
+  obs::ScopedSpan span("store", "flush");
   // Copy-on-write: never overwrite a record a checkpoint may still need.
   std::vector<uint8_t> record(layout_.record_bytes());
   EntryLayout::SetRecordHeader(record.data(), entry->key, entry->version);
@@ -504,6 +535,8 @@ Status PipelinedStore::FlushEntryLocked(CacheEntry* entry) {
 
 void PipelinedStore::EvictIfNeededLocked(size_t shard) {
   Shard& sh = shards_[shard];
+  if (sh.lru.size() <= sh.capacity) return;
+  obs::ScopedSpan span("store", "evict");
   while (sh.lru.size() > sh.capacity) {
     CacheEntry* victim = sh.lru.Tail();
     OE_CHECK(victim != nullptr);
@@ -530,6 +563,8 @@ void PipelinedStore::EvictIfNeededLocked(size_t shard) {
 Status PipelinedStore::Push(const EntryId* keys, size_t n, const float* grads,
                             uint64_t batch) {
   stats_.push_keys.fetch_add(n, std::memory_order_relaxed);
+  const Nanos push_start = WallNowNanos();
+  obs::ScopedSpan span("store", "push");
   // A push implies the pull phase of `batch` is over; seal it if the caller
   // skipped FinishPullPhase (single-threaded store usage).
   bool needs_seal = false;
@@ -581,6 +616,7 @@ Status PipelinedStore::Push(const EntryId* keys, size_t n, const float* grads,
       }
     }
   }
+  push_latency_->Record(static_cast<double>(WallNowNanos() - push_start));
   return Status::OK();
 }
 
@@ -710,6 +746,7 @@ uint64_t PipelinedStore::PublishedCheckpoint() const {
 }
 
 Status PipelinedStore::RecoverFromCrash() {
+  obs::ScopedSpan span("store", "recover");
   // Quiesce maintenance state.
   {
     std::unique_lock<std::mutex> lock(maint_mutex_);

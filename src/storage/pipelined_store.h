@@ -16,6 +16,8 @@
 #include "cache/tagged_ptr.h"
 #include "ckpt/checkpoint_log.h"
 #include "common/sync.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pmem/pool.h"
 #include "storage/embedding_store.h"
 
@@ -254,6 +256,14 @@ class PipelinedStore final : public EmbeddingStore {
 
   StoreStats stats_;
   mutable pmem::DeviceStats dram_stats_;
+
+  // Observability (DESIGN.md §9): latency distributions on the default
+  // MetricsRegistry, labeled {"engine","store"} (plus {"shard"} for
+  // maintenance chunks) so concurrent store instances stay distinct.
+  // Registered once in the constructor; recording is lock-free.
+  obs::Distribution* pull_latency_;
+  obs::Distribution* push_latency_;
+  std::vector<obs::Distribution*> shard_maint_latency_;
 };
 
 }  // namespace oe::storage

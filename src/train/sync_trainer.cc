@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/sync.h"
+#include "obs/trace.h"
 
 namespace oe::train {
 
@@ -65,6 +66,10 @@ Status SyncTrainer::RunWorker(int worker, uint64_t first_batch,
                               uint64_t num_batches) {
   workload::CriteoSynth& data = *data_[worker];
   ps::PsClient& client = *clients_[worker];
+  if (obs::TraceRecorder::Default().enabled()) {
+    obs::TraceRecorder::Default().SetThreadName("worker" +
+                                                std::to_string(worker));
+  }
   const uint32_t d = config_.model.embed_dim;
   const uint32_t fields = config_.model.num_fields;
   Status status;  // sticky first error; barriers keep running regardless
@@ -89,7 +94,10 @@ Status SyncTrainer::RunWorker(int worker, uint64_t first_batch,
       std::sort(keys.begin(), keys.end());
       keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
       key_weights.resize(keys.size() * d);
-      status = client.Pull(keys.data(), keys.size(), b, key_weights.data());
+      {
+        obs::ScopedSpan span("train", "pull");
+        status = client.Pull(keys.data(), keys.size(), b, key_weights.data());
+      }
       if (!status.ok()) NoteError(status);
     }
 
@@ -101,6 +109,7 @@ Status SyncTrainer::RunWorker(int worker, uint64_t first_batch,
       // surviving shards' seal/checkpoint state past the durable
       // checkpoint the rollback lands on.
       if (!EpochFailed()) {
+        obs::ScopedSpan span("train", "seal");
         Status s = clients_[0]->FinishPullPhase(b);
         if (!s.ok()) {
           NoteError(s);
@@ -132,6 +141,7 @@ Status SyncTrainer::RunWorker(int worker, uint64_t first_batch,
       std::vector<float> embed_grads(embeddings.size());
       DeepFm::BatchResult result;
       {
+        obs::ScopedSpan span("train", "compute");
         std::lock_guard<std::mutex> lock(model_mutex_);
         result = model_->ForwardBackward(batch, embeddings.data(),
                                          embed_grads.data());
@@ -148,7 +158,10 @@ Status SyncTrainer::RunWorker(int worker, uint64_t first_batch,
           for (uint32_t k = 0; k < d; ++k) dst[k] += g[k];
         }
       }
-      status = client.Push(keys.data(), keys.size(), key_grads.data(), b);
+      {
+        obs::ScopedSpan span("train", "push");
+        status = client.Push(keys.data(), keys.size(), key_grads.data(), b);
+      }
       if (!status.ok()) NoteError(status);
 
       {
@@ -175,6 +188,7 @@ Status SyncTrainer::RunWorker(int worker, uint64_t first_batch,
                                   static_cast<size_t>(config_.workers));
       if (config_.checkpoint_interval != 0 &&
           b % config_.checkpoint_interval == 0 && !EpochFailed()) {
+        obs::ScopedSpan span("train", "checkpoint");
         Status s = clients_[0]->RequestCheckpoint(b);
         if (s.ok() && config_.durable_checkpoints) {
           // Synchronously publish on every shard: the cluster checkpoint

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Merge and compare bench --json records; the CI perf-regression gate.
+
+Every bench binary run with `--json out.json` writes one record:
+
+    {"bench": "...", "config": {...}, "metrics": {...},
+     "wall_ms": 123.4, "registry": [...]}
+
+Subcommands:
+
+  merge  out.json in1.json in2.json ...
+      Concatenates records into {"benches": [...]} (one entry per input,
+      in argument order). The merged file is what CI uploads as the
+      BENCH_ci.json artifact and what `compare` consumes.
+
+  compare baseline.json current.json [--threshold 0.25] [--metrics]
+      Compares wall_ms per bench between two merged files. Exits 1 if any
+      bench common to both regressed by more than the threshold
+      (current > baseline * (1 + threshold)). Benches present on only one
+      side are reported but never fail the gate (new benches must be able
+      to land before the baseline is refreshed). --metrics additionally
+      prints per-metric deltas (informational only: numeric metrics are
+      workload counters or host-dependent latencies, too noisy to gate).
+
+Exit codes: 0 = OK, 1 = regression past threshold, 2 = usage/input error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_merged(path):
+    """Returns {bench_name: record} from a merged or single-record file."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_compare: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    records = data["benches"] if isinstance(data, dict) and "benches" in data \
+        else [data]
+    by_name = {}
+    for record in records:
+        name = record.get("bench")
+        if not name or "wall_ms" not in record:
+            print(f"bench_compare: {path}: record missing bench/wall_ms",
+                  file=sys.stderr)
+            sys.exit(2)
+        by_name[name] = record
+    return by_name
+
+
+def cmd_merge(args):
+    benches = []
+    for path in args.inputs:
+        benches.extend(load_merged(path).values())
+    with open(args.output, "w", encoding="utf-8") as f:
+        json.dump({"benches": benches}, f, indent=1)
+        f.write("\n")
+    print(f"merged {len(benches)} bench record(s) -> {args.output}")
+    return 0
+
+
+def cmd_compare(args):
+    baseline = load_merged(args.baseline)
+    current = load_merged(args.current)
+    failures = []
+    for name in sorted(set(baseline) | set(current)):
+        if name not in baseline:
+            print(f"  {name:<28} NEW (no baseline; not gated)")
+            continue
+        if name not in current:
+            print(f"  {name:<28} MISSING from current run (not gated)")
+            continue
+        base_ms = float(baseline[name]["wall_ms"])
+        cur_ms = float(current[name]["wall_ms"])
+        ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
+        verdict = "OK"
+        if ratio > 1.0 + args.threshold:
+            verdict = f"REGRESSION (> +{args.threshold:.0%})"
+            failures.append(name)
+        print(f"  {name:<28} baseline={base_ms:10.1f}ms "
+              f"current={cur_ms:10.1f}ms  {ratio - 1.0:+7.1%}  {verdict}")
+        if args.metrics:
+            base_metrics = baseline[name].get("metrics", {})
+            cur_metrics = current[name].get("metrics", {})
+            for key in sorted(set(base_metrics) & set(cur_metrics)):
+                try:
+                    b, c = float(base_metrics[key]), float(cur_metrics[key])
+                except (TypeError, ValueError):
+                    continue
+                delta = (c / b - 1.0) if b else float("inf")
+                print(f"      {key:<40} {b:14.3f} -> {c:14.3f} ({delta:+.1%})")
+    if failures:
+        print(f"\nbench_compare: {len(failures)} bench(es) regressed past "
+              f"+{args.threshold:.0%}: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("\nbench_compare: no wall-time regression past "
+          f"+{args.threshold:.0%}")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    merge = sub.add_parser("merge", help="merge bench records into one file")
+    merge.add_argument("output")
+    merge.add_argument("inputs", nargs="+")
+    merge.set_defaults(func=cmd_merge)
+
+    compare = sub.add_parser("compare", help="gate current vs baseline")
+    compare.add_argument("baseline")
+    compare.add_argument("current")
+    compare.add_argument("--threshold", type=float, default=0.25,
+                         help="allowed fractional wall-time growth "
+                              "(default 0.25 = +25%%)")
+    compare.add_argument("--metrics", action="store_true",
+                         help="also print per-metric deltas (informational)")
+    compare.set_defaults(func=cmd_compare)
+
+    args = parser.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()
