@@ -134,7 +134,14 @@ class BenchReport {
     config_.emplace_back(key, NumberJson(value));
   }
   void AddConfig(const std::string& key, const std::string& value) {
-    config_.emplace_back(key, "\"" + obs::JsonWriter::Escape(value) + "\"");
+    // Built with append rather than operator+ chaining: GCC 12's inliner
+    // flags the temporary chain with a spurious -Wrestrict.
+    std::string quoted;
+    quoted.reserve(value.size() + 2);
+    quoted += '"';
+    quoted += obs::JsonWriter::Escape(value);
+    quoted += '"';
+    config_.emplace_back(key, std::move(quoted));
   }
   void AddMetric(const std::string& key, double value) {
     metrics_.emplace_back(key, NumberJson(value));

@@ -2,6 +2,7 @@
 #define OE_CACHE_LRU_LIST_H_
 
 #include <cstddef>
+#include <type_traits>
 
 #include "common/logging.h"
 
@@ -43,8 +44,20 @@ class LruList {
 
   /// Inserts at the head (MRU). Precondition: not linked.
   void PushFront(Entry* entry) {
+    // EntryOf() recovers the Entry from its embedded node by subtracting the
+    // member offset, which is only well-defined arithmetic for a
+    // standard-layout Entry (offsetof has the same requirement).
+    static_assert(std::is_standard_layout_v<Entry>,
+                  "LruList requires a standard-layout Entry type");
     LruNode* node = NodeOf(entry);
     OE_DCHECK(!node->linked());
+    if (node_offset_ < 0) {
+      // Measure the node member's offset on this real, live object —
+      // offsetof cannot take a member *pointer*, and probing a fabricated
+      // address for the delta is undefined behavior (the old UBSan finding).
+      node_offset_ = reinterpret_cast<const char*>(node) -
+                     reinterpret_cast<const char*>(entry);
+    }
     Link(node, &sentinel_, sentinel_.next);
     ++size_;
   }
@@ -89,6 +102,23 @@ class LruList {
     return EntryOf(sentinel_.next);
   }
 
+  /// The neighbor of a linked entry one step toward the head (more recently
+  /// used), or nullptr if `entry` is the head. Walking Tail() ->
+  /// MoreRecent() -> ... visits entries in eviction-preference order, which
+  /// the frequency-aware victim scan uses to inspect the LRU tail window.
+  Entry* MoreRecent(Entry* entry) {
+    LruNode* node = NodeOf(entry);
+    OE_DCHECK(node->linked());
+    if (node->prev == &sentinel_) return nullptr;
+    return EntryOf(node->prev);
+  }
+  const Entry* MoreRecent(const Entry* entry) const {
+    const LruNode* node = NodeOf(entry);
+    OE_DCHECK(node->linked());
+    if (node->prev == &sentinel_) return nullptr;
+    return EntryOf(node->prev);
+  }
+
   /// Unlinks everything (entries themselves are owned elsewhere).
   void Clear() {
     LruNode* node = sentinel_.next;
@@ -108,16 +138,19 @@ class LruList {
     return &(entry->*NodeMember);
   }
 
-  static Entry* EntryOf(LruNode* node) {
-    // offsetof on a member pointer: compute the byte delta via a null
-    // object. Entry is standard-layout in all uses (plain structs).
-    const auto* probe = reinterpret_cast<const Entry*>(0x1000);
-    const auto delta = reinterpret_cast<const char*>(&(probe->*NodeMember)) -
-                       reinterpret_cast<const char*>(probe);
-    return reinterpret_cast<Entry*>(reinterpret_cast<char*>(node) - delta);
+  /// container_of: maps an embedded node back to its Entry via the member
+  /// offset captured from a real object in PushFront. Every linked node was
+  /// linked by PushFront, so the offset is always set before EntryOf can be
+  /// reached (EntryOf is only called on linked nodes).
+  Entry* EntryOf(LruNode* node) const {
+    OE_DCHECK(node_offset_ >= 0);
+    return reinterpret_cast<Entry*>(reinterpret_cast<char*>(node) -
+                                    node_offset_);
   }
-  static const Entry* EntryOf(const LruNode* node) {
-    return EntryOf(const_cast<LruNode*>(node));
+  const Entry* EntryOf(const LruNode* node) const {
+    OE_DCHECK(node_offset_ >= 0);
+    return reinterpret_cast<const Entry*>(
+        reinterpret_cast<const char*>(node) - node_offset_);
   }
 
   static void Link(LruNode* node, LruNode* prev, LruNode* next) {
@@ -134,6 +167,9 @@ class LruList {
 
   LruNode sentinel_;
   size_t size_ = 0;
+  /// Byte offset of the node member inside Entry; < 0 until the first
+  /// PushFront measures it (constant for the Entry type thereafter).
+  std::ptrdiff_t node_offset_ = -1;
 };
 
 }  // namespace oe::cache

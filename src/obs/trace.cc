@@ -12,21 +12,32 @@ TraceRecorder& TraceRecorder::Default() {
   return *recorder;
 }
 
+namespace {
+uint64_t NextRecorderId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
 TraceRecorder::TraceRecorder(size_t events_per_thread)
-    : events_per_thread_(std::max<size_t>(16, events_per_thread)) {}
+    : recorder_id_(NextRecorderId()),
+      events_per_thread_(std::max<size_t>(16, events_per_thread)) {}
 
 TraceRecorder::~TraceRecorder() = default;
 
 TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
   // One slot per (thread, recorder). The buffer is shared_ptr-owned by the
   // recorder, so events survive thread exit until drained; the thread_local
-  // cache makes the steady-state lookup two loads and a compare.
+  // cache makes the steady-state lookup two loads and a compare. The cache
+  // keys on the recorder's process-unique id, not its address — a new
+  // recorder allocated where a destroyed one lived (common across tests on
+  // one thread) must miss and re-register, not reuse the freed buffer.
   struct Slot {
-    TraceRecorder* owner = nullptr;
+    uint64_t owner_id = 0;
     ThreadBuffer* buffer = nullptr;
   };
   thread_local Slot slot;
-  if (slot.owner == this) return slot.buffer;
+  if (slot.owner_id == recorder_id_) return slot.buffer;
   auto buffer = std::make_shared<ThreadBuffer>();
   buffer->ring.resize(events_per_thread_);
   {
@@ -34,7 +45,7 @@ TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
     buffer->tid = next_tid_++;
     buffers_.push_back(buffer);
   }
-  slot.owner = this;
+  slot.owner_id = recorder_id_;
   slot.buffer = buffer.get();
   return slot.buffer;
 }

@@ -95,6 +95,10 @@ class TraceRecorder {
 
   ThreadBuffer* BufferForThisThread();
 
+  /// Process-unique recorder identity. The per-thread buffer cache keys on
+  /// this rather than `this`: a recorder constructed at a destroyed
+  /// recorder's address must not revive the stale cached buffer pointer.
+  const uint64_t recorder_id_;
   const size_t events_per_thread_;
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> dropped_{0};

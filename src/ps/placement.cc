@@ -1,0 +1,15 @@
+#include "ps/placement.h"
+
+#include <algorithm>
+
+namespace oe::ps {
+
+PlacementTable::PlacementTable(const Router& router,
+                               std::vector<storage::EntryId> hot_keys,
+                               uint32_t replicas)
+    : router_(router),
+      hot_keys_(std::move(hot_keys)),
+      hot_(hot_keys_.begin(), hot_keys_.end()),
+      replicas_(std::clamp<uint32_t>(replicas, 1, router.num_nodes())) {}
+
+}  // namespace oe::ps

@@ -1,0 +1,57 @@
+#ifndef OE_PS_PLACEMENT_H_
+#define OE_PS_PLACEMENT_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "ps/ps_client.h"
+#include "storage/entry_layout.h"
+
+namespace oe::ps {
+
+/// Statistics-driven placement for ultra-hot keys (Table II: the top 0.05%
+/// of entries absorb ~85% of accesses, so pure hashing concentrates almost
+/// the whole pull load on whichever nodes happen to own them).
+///
+/// A small, statistics-chosen hot set is replicated across `replicas`
+/// consecutive nodes: replica r of key k lives on node
+/// (Router::NodeFor(k) + r) % num_nodes. Clients spread *reads* of a hot
+/// key round-robin over its replicas (flattening the per-node pull load)
+/// and fan every *push* of it to all replicas under one sequence number —
+/// each node's exactly-once dedup window applies the gradient once, and
+/// the deterministic server-side optimizer plus deterministic first-touch
+/// initialization keep replicas bit-identical without any cross-node
+/// synchronization. PsClient::WarmReplicas materializes the hot set on
+/// every replica node up front so pushes never see an unknown key.
+///
+/// The table is immutable after construction; one instance may be shared
+/// by any number of clients.
+class PlacementTable {
+ public:
+  /// `replicas` is clamped to [1, router.num_nodes()] (replica nodes of one
+  /// key are distinct by construction).
+  PlacementTable(const Router& router, std::vector<storage::EntryId> hot_keys,
+                 uint32_t replicas);
+
+  bool is_hot(storage::EntryId key) const { return hot_.count(key) != 0; }
+
+  /// Node hosting replica `r` (0 = the plain hash owner) of a hot key.
+  net::NodeId ReplicaNode(storage::EntryId key, uint32_t r) const {
+    return (router_.NodeFor(key) + r) % router_.num_nodes();
+  }
+
+  uint32_t replicas() const { return replicas_; }
+  const std::vector<storage::EntryId>& hot_keys() const { return hot_keys_; }
+  const Router& router() const { return router_; }
+
+ private:
+  Router router_;
+  std::vector<storage::EntryId> hot_keys_;
+  std::unordered_set<storage::EntryId> hot_;
+  uint32_t replicas_;
+};
+
+}  // namespace oe::ps
+
+#endif  // OE_PS_PLACEMENT_H_

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "net/message.h"
+#include "ps/placement.h"
 #include "ps/ps_service.h"
 
 namespace oe::ps {
@@ -37,10 +38,19 @@ PsClient::PsClient(net::Transport* transport, uint32_t num_nodes,
 
 Status PsClient::Pull(const storage::EntryId* keys, size_t n, uint64_t batch,
                       float* out) {
-  // Partition key positions by owning node.
+  // Partition key positions by owning node; hot keys round-robin across
+  // their replica set (replicas are kept bit-identical, see PlacementTable).
+  const bool placed = placement_ != nullptr && placement_->replicas() > 1;
   std::vector<std::vector<size_t>> positions(router_.num_nodes());
   for (size_t i = 0; i < n; ++i) {
-    positions[router_.NodeFor(keys[i])].push_back(i);
+    if (placed && placement_->is_hot(keys[i])) {
+      const auto r = static_cast<uint32_t>(
+          pull_rr_.fetch_add(1, std::memory_order_relaxed) %
+          placement_->replicas());
+      positions[placement_->ReplicaNode(keys[i], r)].push_back(i);
+    } else {
+      positions[router_.NodeFor(keys[i])].push_back(i);
+    }
   }
   std::vector<uint32_t> nodes;
   for (uint32_t node = 0; node < router_.num_nodes(); ++node) {
@@ -84,9 +94,19 @@ Status PsClient::Pull(const storage::EntryId* keys, size_t n, uint64_t batch,
 
 Status PsClient::Push(const storage::EntryId* keys, size_t n,
                       const float* grads, uint64_t batch) {
+  // A hot key's gradient goes to every replica (same seq: each node's dedup
+  // window applies it exactly once), so replicas evolve in lockstep through
+  // the deterministic server-side optimizer.
+  const bool placed = placement_ != nullptr && placement_->replicas() > 1;
   std::vector<std::vector<size_t>> positions(router_.num_nodes());
   for (size_t i = 0; i < n; ++i) {
-    positions[router_.NodeFor(keys[i])].push_back(i);
+    if (placed && placement_->is_hot(keys[i])) {
+      for (uint32_t r = 0; r < placement_->replicas(); ++r) {
+        positions[placement_->ReplicaNode(keys[i], r)].push_back(i);
+      }
+    } else {
+      positions[router_.NodeFor(keys[i])].push_back(i);
+    }
   }
   std::vector<uint32_t> nodes;
   for (uint32_t node = 0; node < router_.num_nodes(); ++node) {
@@ -116,6 +136,52 @@ Status PsClient::Push(const storage::EntryId* keys, size_t n,
                 &requests[c], &responses[c], Status::OK()};
   }
   return transport_->ParallelCall(&calls);
+}
+
+Status PsClient::WarmReplicas(uint64_t batch) {
+  if (placement_ == nullptr || placement_->replicas() <= 1) {
+    return Status::OK();
+  }
+  const auto& hot = placement_->hot_keys();
+  if (hot.empty()) return Status::OK();
+  // One pull round per replica rank: every replica node materializes its
+  // copy via the normal first-touch path. Responses are validated for shape
+  // and discarded — warming is purely about creating the entries.
+  for (uint32_t r = 0; r < placement_->replicas(); ++r) {
+    std::vector<std::vector<storage::EntryId>> by_node(router_.num_nodes());
+    for (const storage::EntryId key : hot) {
+      by_node[placement_->ReplicaNode(key, r)].push_back(key);
+    }
+    std::vector<uint32_t> nodes;
+    for (uint32_t node = 0; node < router_.num_nodes(); ++node) {
+      if (!by_node[node].empty()) nodes.push_back(node);
+    }
+    if (nodes.empty()) continue;
+    std::vector<Buffer> requests(nodes.size());
+    std::vector<Buffer> responses(nodes.size());
+    std::vector<RpcCall> calls(nodes.size());
+    for (size_t c = 0; c < nodes.size(); ++c) {
+      const auto& node_keys = by_node[nodes[c]];
+      Writer writer(&requests[c]);
+      PutHeader(&writer, client_id_, /*seq=*/0);  // read: no dedup
+      writer.PutU64(batch);
+      writer.PutU32(static_cast<uint32_t>(node_keys.size()));
+      for (const storage::EntryId key : node_keys) {
+        writer.PutRaw(&key, sizeof(key));
+      }
+      calls[c] = {nodes[c], static_cast<uint32_t>(PsMethod::kPull),
+                  &requests[c], &responses[c], Status::OK()};
+    }
+    OE_RETURN_IF_ERROR(transport_->ParallelCall(&calls));
+    for (size_t c = 0; c < nodes.size(); ++c) {
+      std::vector<float> weights;
+      OE_RETURN_IF_ERROR(Reader(responses[c]).GetFloatSpan(&weights));
+      if (weights.size() != by_node[nodes[c]].size() * dim_) {
+        return Status::Corruption("warm-replica response size mismatch");
+      }
+    }
+  }
+  return Status::OK();
 }
 
 Status PsClient::Broadcast(uint32_t method, const Buffer& request) {

@@ -10,6 +10,8 @@
 
 namespace oe::ps {
 
+class PlacementTable;
+
 /// Key -> PS node placement: "Openembedding identifies the correct PS node
 /// by hashing the entry's id" (Section IV).
 class Router {
@@ -49,6 +51,24 @@ class PsClient {
   /// `transport` must outlive the client; nodes [0, num_nodes) must be
   /// reachable through it.
   PsClient(net::Transport* transport, uint32_t num_nodes, uint32_t dim);
+
+  /// Installs a hot-key placement table (may be null to disable). With one
+  /// installed, pulls of a hot key round-robin across its replicas and
+  /// pushes of it fan to all replicas under one sequence number (each node
+  /// dedups independently — exactly-once per replica). The table must
+  /// outlive the client; all clients of a cluster share one table so they
+  /// agree on the replica sets.
+  void set_placement(const PlacementTable* placement) {
+    placement_ = placement;
+  }
+  const PlacementTable* placement() const { return placement_; }
+
+  /// Pulls every hot key once from *each* of its replica nodes so all of
+  /// them materialize the entry (first-touch initialization is
+  /// deterministic per key, so replicas start bit-identical). Must run
+  /// before the first Push of a hot key: pushes to a node that never saw
+  /// the key fail with NotFound. No-op without a placement table.
+  Status WarmReplicas(uint64_t batch);
 
   /// Reads weights for `n` keys into `out` (n * dim floats, key order).
   Status Pull(const storage::EntryId* keys, size_t n, uint64_t batch,
@@ -96,6 +116,9 @@ class PsClient {
   uint32_t dim_;
   uint64_t client_id_;
   std::atomic<uint64_t> next_seq_{1};
+  const PlacementTable* placement_ = nullptr;
+  /// Round-robin cursor for spreading hot-key pulls over replicas.
+  std::atomic<uint64_t> pull_rr_{0};
 };
 
 }  // namespace oe::ps

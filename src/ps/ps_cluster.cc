@@ -1,5 +1,7 @@
 #include "ps/ps_cluster.h"
 
+#include <algorithm>
+
 #include "storage/dram_store.h"
 #include "storage/ori_cache_store.h"
 #include "storage/pipelined_store.h"
@@ -70,8 +72,44 @@ Status PsCluster::Init() {
     }
   }
   rpc_transport()->set_rpc_options(options_.rpc_options);
+
+  // Per-shard load gauges (DESIGN.md §9): one pull-key gauge per node plus
+  // the max/mean imbalance factor, refreshed on demand.
+  {
+    const std::string cluster_id = std::to_string(obs::NextInstanceId());
+    auto& registry = obs::MetricsRegistry::Default();
+    imbalance_gauge_ = registry.GetGauge("cluster.load_imbalance_bp",
+                                         {{"cluster", cluster_id}});
+    node_pull_gauges_.reserve(options_.num_nodes);
+    for (uint32_t node = 0; node < options_.num_nodes; ++node) {
+      node_pull_gauges_.push_back(registry.GetGauge(
+          "cluster.node_pull_keys",
+          {{"cluster", cluster_id}, {"node", std::to_string(node)}}));
+    }
+  }
+
+  if (options_.hot_replicate_keys > 0 || !options_.hot_keys.empty()) {
+    std::vector<storage::EntryId> hot = options_.hot_keys;
+    if (hot.empty()) {
+      // Skewed workload ids are rank-ordered (id 0 hottest), so the top-N
+      // hot set is simply the first N ids.
+      hot.reserve(options_.hot_replicate_keys);
+      for (uint64_t k = 0; k < options_.hot_replicate_keys; ++k) {
+        hot.push_back(k);
+      }
+    }
+    placement_ = std::make_unique<PlacementTable>(
+        Router(options_.num_nodes), std::move(hot), options_.hot_replicas);
+  }
+
   client_ = std::make_unique<PsClient>(rpc_transport(), options_.num_nodes,
                                        options_.store.dim);
+  if (placement_ != nullptr) {
+    client_->set_placement(placement_.get());
+    // Materialize every replica now, before any training push can target
+    // an unwarmed node.
+    OE_RETURN_IF_ERROR(client_->WarmReplicas(/*batch=*/0));
+  }
   return Status::OK();
 }
 
@@ -203,8 +241,44 @@ std::vector<uint32_t> PsCluster::DownNodes() const {
 }
 
 std::unique_ptr<PsClient> PsCluster::NewClient() {
-  return std::make_unique<PsClient>(rpc_transport(), options_.num_nodes,
-                                    options_.store.dim);
+  auto client = std::make_unique<PsClient>(rpc_transport(),
+                                           options_.num_nodes,
+                                           options_.store.dim);
+  // All clients must share the table so they agree on the replica sets.
+  if (placement_ != nullptr) client->set_placement(placement_.get());
+  return client;
+}
+
+std::vector<uint64_t> PsCluster::NodePullKeys() const {
+  std::vector<uint64_t> pulls(options_.num_nodes, 0);
+  for (uint32_t node = 0; node < options_.num_nodes; ++node) {
+    if (stores_[node] != nullptr) {
+      pulls[node] = stores_[node]->stats_snapshot().pull_keys;
+    }
+  }
+  return pulls;
+}
+
+double PsCluster::LoadImbalance() const {
+  const std::vector<uint64_t> pulls = NodePullKeys();
+  uint64_t total = 0;
+  uint64_t peak = 0;
+  for (const uint64_t p : pulls) {
+    total += p;
+    peak = std::max(peak, p);
+  }
+  if (total == 0) return 1.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(pulls.size());
+  return static_cast<double>(peak) / mean;
+}
+
+void PsCluster::RefreshLoadGauges() {
+  const std::vector<uint64_t> pulls = NodePullKeys();
+  for (uint32_t node = 0; node < options_.num_nodes; ++node) {
+    node_pull_gauges_[node]->Set(static_cast<int64_t>(pulls[node]));
+  }
+  imbalance_gauge_->Set(static_cast<int64_t>(LoadImbalance() * 10000.0));
 }
 
 namespace {

@@ -7,7 +7,9 @@
 #include "ckpt/checkpoint_log.h"
 #include "net/faulty_transport.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 #include "pmem/device.h"
+#include "ps/placement.h"
 #include "ps/ps_client.h"
 #include "ps/ps_service.h"
 #include "storage/embedding_store.h"
@@ -34,6 +36,17 @@ struct ClusterOptions {
   /// When false, DRAM-PS / Ori-Cache run without a checkpoint log
   /// (the "No Checkpoint" configurations of Table IV).
   bool with_checkpoint_log = true;
+
+  /// Statistics-driven hot-key placement (Table II skew): replicate the
+  /// `hot_replicate_keys` hottest ids across `hot_replicas` nodes each.
+  /// Ids are rank-ordered in the skewed workload model (id 0 hottest), so
+  /// the hot set is simply [0, hot_replicate_keys) unless `hot_keys`
+  /// overrides it explicitly. 0 with an empty `hot_keys` disables
+  /// placement. Replicas are warmed during Init (one pull on every replica
+  /// node) so pushes never see an unknown key.
+  uint64_t hot_replicate_keys = 0;
+  uint32_t hot_replicas = 2;
+  std::vector<storage::EntryId> hot_keys;
 
   /// Wraps the in-process transport in a FaultyTransport so RPC traffic
   /// runs through a deterministic network-fault schedule; the wrapped
@@ -96,6 +109,20 @@ class PsCluster {
   uint64_t TotalCacheMisses() const;
   uint64_t TotalSyncOps() const;  // Ori-Cache fine-grained sync points
 
+  /// The hot-key placement table, or null when placement is disabled.
+  const PlacementTable* placement() const { return placement_.get(); }
+
+  /// Refreshes the per-shard load gauges from each node's engine counters:
+  /// cluster.node_pull_keys{node=i} plus cluster.load_imbalance_bp
+  /// (10000 * max/mean of per-node pull_keys; 10000 = perfectly balanced).
+  /// Cheap; benches call it before dumping the metrics registry.
+  void RefreshLoadGauges();
+
+  /// Per-node pull-key counts (index = node id; 0 for down nodes) and the
+  /// max/mean load-imbalance factor they imply (1.0 = perfectly balanced).
+  std::vector<uint64_t> NodePullKeys() const;
+  double LoadImbalance() const;
+
   /// Power-cycles every simulated device (data loss per crash fidelity).
   void SimulateCrashAll();
 
@@ -140,7 +167,13 @@ class PsCluster {
   std::vector<bool> node_down_;
   std::unique_ptr<net::InProcTransport> transport_;
   std::unique_ptr<net::FaultyTransport> faulty_;
+  std::unique_ptr<PlacementTable> placement_;
   std::unique_ptr<PsClient> client_;
+
+  // Per-shard load gauges (see RefreshLoadGauges), registered in Init with
+  // a {"cluster"} instance label.
+  obs::Gauge* imbalance_gauge_ = nullptr;
+  std::vector<obs::Gauge*> node_pull_gauges_;
 };
 
 }  // namespace oe::ps

@@ -25,6 +25,18 @@ enum class StoreKind : uint8_t {
 
 std::string_view StoreKindToString(StoreKind kind);
 
+/// DRAM-cache replacement policy of the pipelined engine.
+enum class CachePolicy : uint8_t {
+  /// Plain recency: evict the LRU tail (the paper's Algorithm 2 baseline).
+  kLru = 0,
+  /// Frequency-aware (Kal et al., arXiv 2208.05321): admission and victim
+  /// selection are weighted by a per-shard count-min frequency sketch with
+  /// periodic decay, and the observed hot head is pinned in DRAM.
+  kFreqAware = 1,
+};
+
+std::string_view CachePolicyToString(CachePolicy policy);
+
 /// Configuration shared by all engines. Per-engine knobs are ignored by
 /// engines that do not have the corresponding mechanism.
 struct StoreConfig {
@@ -51,6 +63,27 @@ struct StoreConfig {
   /// single-lock layout; values < 1 are clamped to 1.
   int store_shards = 16;
 
+  /// DRAM-cache replacement policy for the pipelined engine. The knobs
+  /// below only matter under kFreqAware.
+  CachePolicy cache_policy = CachePolicy::kLru;
+  /// Per-shard count-min sketch width (counters per row; 4 rows of
+  /// saturating 8-bit counters), rounded up to a power of two.
+  uint32_t freq_counters = 1 << 12;
+  /// Halve every frequency counter after this many maintenance batches per
+  /// shard (the periodic decay that lets stale hot keys cool off). <= 0
+  /// disables decay.
+  int freq_decay_batches = 64;
+  /// Pin an entry in DRAM (never evict) once its estimated frequency
+  /// reaches this many batches within the decay window; unpin when it
+  /// decays below half of it.
+  uint32_t hot_pin_min_freq = 8;
+  /// At most this fraction of a shard's cache capacity may be pinned, so
+  /// eviction always has an unpinned victim available.
+  double hot_pin_fraction = 0.5;
+  /// Victim search window: the lowest-frequency entry among this many
+  /// LRU-tail candidates is evicted (1 degenerates to plain LRU).
+  uint32_t evict_window = 8;
+
   /// Bucket count for the PMem-resident hash table (PMem-Hash engine).
   uint64_t pmem_hash_buckets = 1 << 14;
 
@@ -71,6 +104,9 @@ struct StoreStats {
   std::atomic<uint64_t> flushes{0};        // entry write-backs to PMem
   std::atomic<uint64_t> new_entries{0};
   std::atomic<uint64_t> checkpoints_published{0};
+  /// Cache loads skipped because the candidate's observed frequency did not
+  /// beat the would-be victim's (kFreqAware admission filter).
+  std::atomic<uint64_t> admission_rejects{0};
 
   /// Point-in-time copy (plain integers). Readers should work on a snapshot
   /// rather than the live reference: maintainer threads mutate the live
@@ -85,6 +121,7 @@ struct StoreStats {
     uint64_t flushes = 0;
     uint64_t new_entries = 0;
     uint64_t checkpoints_published = 0;
+    uint64_t admission_rejects = 0;
 
     double HitRate() const {
       const uint64_t total = cache_hits + cache_misses;
@@ -110,6 +147,8 @@ struct StoreStats {
     snap.new_entries = new_entries.load(std::memory_order_relaxed);
     snap.checkpoints_published =
         checkpoints_published.load(std::memory_order_relaxed);
+    snap.admission_rejects =
+        admission_rejects.load(std::memory_order_relaxed);
     return snap;
   }
 

@@ -26,6 +26,8 @@ PipelinedStore::PipelinedStore(const StoreConfig& config,
   auto& registry = obs::MetricsRegistry::Default();
   pull_latency_ = registry.GetDistribution("store.pull_ns", labels);
   push_latency_ = registry.GetDistribution("store.push_ns", labels);
+  hit_rate_gauge_ = registry.GetGauge("store.cache_hit_rate_bp", labels);
+  pinned_gauge_ = registry.GetGauge("store.cache_pinned_entries", labels);
   shard_maint_latency_.reserve(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
     obs::Labels shard_labels = labels;
@@ -83,6 +85,12 @@ Status PipelinedStore::Init() {
   for (size_t s = 0; s < shards; ++s) {
     shards_[s].capacity =
         cache_capacity_ / shards + (s < cache_capacity_ % shards ? 1 : 0);
+  }
+  if (config_.cache_enabled &&
+      config_.cache_policy == CachePolicy::kFreqAware) {
+    for (auto& sh : shards_) {
+      sh.freq = std::make_unique<cache::FreqEstimator>(config_.freq_counters);
+    }
   }
   const uint64_t cp = pool_->RootGet(kRootCheckpointId);
   published_ckpt_.store(cp, std::memory_order_release);
@@ -444,9 +452,16 @@ void PipelinedStore::ProcessChunkLocked(size_t shard, uint64_t batch,
     }
   }
 
+  // Frequency bookkeeping (kFreqAware): one sketch increment per key per
+  // batch — the chunk is deduplicated above, so an estimate approximates
+  // "batches this key was touched in within the decay window".
+  const bool by_freq = sh.freq != nullptr;
+  static const std::vector<CacheEntry*> kNoSkip;
+
   for (const EntryId key : keys) {
     auto it = sh.index.find(key);
     if (it == sh.index.end()) continue;  // evaporated (should not happen)
+    const uint32_t f = by_freq ? sh.freq->Record(key) : 0;
     const TaggedPtr ptr = it->second.load();
     if (ptr.is_dram()) {
       CacheEntry* entry = ptr.dram<CacheEntry>();
@@ -461,6 +476,7 @@ void PipelinedStore::ProcessChunkLocked(size_t shard, uint64_t batch,
       const bool inserted = !sh.lru.Contains(entry);
       entry->version = batch;
       sh.lru.Touch(entry);
+      if (by_freq) UpdatePinLocked(sh, entry, f);
       if (inserted) {
         // First maintenance touch of a first-touch entry: it is now
         // LRU-linked and visible to the durability test.
@@ -469,9 +485,39 @@ void PipelinedStore::ProcessChunkLocked(size_t shard, uint64_t batch,
         EvictIfNeededLocked(shard);
       }
     } else {
-      LoadToDramLocked(shard, key, ptr.pmem_offset(), batch);
+      // Admission filter (kFreqAware): when loading would force an
+      // eviction, admit only if this key's observed frequency beats the
+      // would-be victim's — otherwise the cache would trade a hotter entry
+      // for a colder one.
+      if (by_freq && sh.lru.size() >= sh.capacity) {
+        CacheEntry* victim = PickVictimLocked(shard, kNoSkip);
+        if (victim != nullptr && f <= sh.freq->Estimate(victim->key)) {
+          stats_.admission_rejects.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+      }
+      CacheEntry* loaded = LoadToDramLocked(shard, key, ptr.pmem_offset(),
+                                            batch);
+      if (by_freq) UpdatePinLocked(sh, loaded, f);
       EvictIfNeededLocked(shard);
     }
+  }
+  if (by_freq) {
+    ++sh.maint_batches;
+    if (config_.freq_decay_batches > 0 &&
+        sh.maint_batches %
+                static_cast<uint64_t>(config_.freq_decay_batches) ==
+            0) {
+      sh.freq->Decay();
+    }
+  }
+  // Cache health gauges (DESIGN.md §9); cheap atomic reads, refreshed once
+  // per chunk rather than per key.
+  const uint64_t hits = stats_.cache_hits.load(std::memory_order_relaxed);
+  const uint64_t misses = stats_.cache_misses.load(std::memory_order_relaxed);
+  if (hits + misses > 0) {
+    hit_rate_gauge_->Set(
+        static_cast<int64_t>(hits * 10000 / (hits + misses)));
   }
   // This chunk may have flushed or aged out every pre-checkpoint state the
   // shard held; tell the cross-shard barrier.
@@ -533,26 +579,100 @@ Status PipelinedStore::FlushEntryLocked(CacheEntry* entry) {
   return Status::OK();
 }
 
+size_t PipelinedStore::PinCapacity(const Shard& sh) const {
+  if (sh.capacity == 0) return 0;
+  const double frac = std::clamp(config_.hot_pin_fraction, 0.0, 1.0);
+  const auto cap =
+      static_cast<size_t>(frac * static_cast<double>(sh.capacity));
+  // Always leave at least one unpinned slot so eviction can make progress.
+  return std::min(cap, sh.capacity - 1);
+}
+
+void PipelinedStore::UpdatePinLocked(Shard& sh, CacheEntry* entry,
+                                     uint32_t freq) {
+  if (entry->pinned) {
+    if (freq * 2 < config_.hot_pin_min_freq) {
+      entry->pinned = false;
+      --sh.pinned_entries;
+      pinned_gauge_->Add(-1);
+    }
+    return;
+  }
+  if (config_.hot_pin_min_freq > 0 && freq >= config_.hot_pin_min_freq &&
+      sh.pinned_entries < PinCapacity(sh)) {
+    entry->pinned = true;
+    ++sh.pinned_entries;
+    pinned_gauge_->Add(1);
+  }
+}
+
+PipelinedStore::CacheEntry* PipelinedStore::PickVictimLocked(
+    size_t shard, const std::vector<CacheEntry*>& skip) {
+  Shard& sh = shards_[shard];
+  const bool by_freq = sh.freq != nullptr;
+  const uint32_t window = std::max<uint32_t>(1, config_.evict_window);
+  CacheEntry* best = nullptr;
+  uint32_t best_freq = 0;
+  uint32_t examined = 0;
+  for (CacheEntry* e = sh.lru.Tail(); e != nullptr && examined < window;
+       e = sh.lru.MoreRecent(e), ++examined) {
+    if (e->pinned) {
+      // Lazy unpin: a pinned entry that drifted into the victim window has
+      // not been touched in a while — if its frequency has decayed below
+      // the hot threshold it stops being protected right here.
+      const uint32_t f = by_freq ? sh.freq->Estimate(e->key) : 0;
+      if (f * 2 >= config_.hot_pin_min_freq) continue;
+      e->pinned = false;
+      --sh.pinned_entries;
+      pinned_gauge_->Add(-1);
+    }
+    if (std::find(skip.begin(), skip.end(), e) != skip.end()) continue;
+    if (!by_freq) return e;  // plain LRU: least recent eligible entry
+    const uint32_t f = sh.freq->Estimate(e->key);
+    if (best == nullptr || f < best_freq) {  // ties keep the least recent
+      best = e;
+      best_freq = f;
+    }
+  }
+  return best;
+}
+
 void PipelinedStore::EvictIfNeededLocked(size_t shard) {
   Shard& sh = shards_[shard];
   if (sh.lru.size() <= sh.capacity) return;
   obs::ScopedSpan span("store", "evict");
+  // A victim whose version exceeds the pending checkpoint's batch means
+  // this shard holds no pre-checkpoint state anymore — acknowledge once up
+  // front so the flushes below defer superseded records against the right
+  // checkpoint (ProcessChunkLocked acks again at chunk end, so mid-loop
+  // re-acks would only repeat the scan).
+  AckCheckpointsLocked(shard);
+  std::vector<CacheEntry*> failed;  // flush-failed during this invocation
   while (sh.lru.size() > sh.capacity) {
-    CacheEntry* victim = sh.lru.Tail();
-    OE_CHECK(victim != nullptr);
-    // A victim whose version exceeds the pending checkpoint's batch means
-    // this shard holds no pre-checkpoint state anymore — acknowledge before
-    // the flush below defers the old record's free against the checkpoint.
-    AckCheckpointsLocked(shard);
+    CacheEntry* victim = PickVictimLocked(shard, failed);
+    if (victim == nullptr) {
+      // Every tail-window candidate is pinned or failed its flush this
+      // round: keep the excess cached rather than losing data. The next
+      // maintenance chunk retries with fresh candidates.
+      return;
+    }
     if (victim->dirty) {
       Status s = FlushEntryLocked(victim);
       if (!s.ok()) {
-        if (!device_->crashed()) {
-          OE_LOG_ERROR << "eviction flush failed: " << s.ToString();
+        // Bounded retry: pass over this victim and try the next tail-window
+        // candidate instead of giving up on eviction outright. Log a stuck
+        // victim once, not once per eviction attempt; crash-fault flushes
+        // are expected and stay silent.
+        if (!device_->crashed() && sh.logged_victim != victim->key) {
+          sh.logged_victim = victim->key;
+          OE_LOG_ERROR << "eviction flush failed for key " << victim->key
+                       << " (kept cached): " << s.ToString();
         }
-        return;  // keep the victim cached rather than losing data
+        failed.push_back(victim);
+        continue;
       }
     }
+    if (sh.logged_victim == victim->key) sh.logged_victim = kNoVictim;
     sh.index[victim->key] = TaggedPtr::FromPmem(victim->pmem_offset);
     sh.lru.Remove(victim);
     sh.cache_entries.erase(victim->key);
@@ -779,9 +899,19 @@ Status PipelinedStore::RecoverFromCrash() {
     shard.lru.Clear();
     shard.cache_entries.clear();
     shard.fresh_entries = 0;
+    shard.pinned_entries = 0;
+    shard.maint_batches = 0;
+    shard.logged_victim = kNoVictim;
+    if (shard.freq != nullptr) {
+      // Frequency observations describe pre-crash traffic; recovery replays
+      // from the checkpoint, so start the sketch cold like the cache.
+      shard.freq =
+          std::make_unique<cache::FreqEstimator>(config_.freq_counters);
+    }
     std::lock_guard<std::mutex> lock(shard.stage_mutex);
     shard.staged.clear();
   }
+  pinned_gauge_->Set(0);
 
   // Recovery per Section V-C: scan every entry record in PMem, discard
   // those newer than the Checkpointed Batch ID, keep the newest survivor
@@ -1039,6 +1169,22 @@ size_t PipelinedStore::CachedEntries() const {
     total += shard.cache_entries.size();
   }
   return total;
+}
+
+size_t PipelinedStore::PinnedEntries() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    ReadGuard guard(shard.lock);
+    total += shard.pinned_entries;
+  }
+  return total;
+}
+
+bool PipelinedStore::IsDramCached(EntryId key) const {
+  const Shard& sh = shards_[ShardOf(key)];
+  ReadGuard guard(sh.lock);
+  auto it = sh.index.find(key);
+  return it != sh.index.end() && it->second.load().is_dram();
 }
 
 Result<std::vector<float>> PipelinedStore::Peek(EntryId key) const {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cache/access_queue.h"
+#include "cache/freq_estimator.h"
 #include "cache/lru_list.h"
 #include "cache/tagged_ptr.h"
 #include "ckpt/checkpoint_log.h"
@@ -49,6 +50,16 @@ namespace oe::storage {
 ///     move to the shard's LRU head;
 ///   - not cached: load into DRAM; if the shard is over capacity, evict its
 ///     LRU tail.
+///
+/// With config.cache_policy == kFreqAware the maintenance path additionally
+/// keeps a per-shard count-min frequency sketch (one increment per key per
+/// batch, periodic halving decay): a miss is only admitted to DRAM if its
+/// observed frequency beats the would-be victim's, the eviction victim is
+/// the lowest-frequency entry within the LRU-tail window, and entries whose
+/// frequency crosses the hot threshold are pinned (never evicted, bounded
+/// by hot_pin_fraction of the shard's capacity). Victim selection removes
+/// entries without reordering, so the LRU-order == version-order invariant
+/// the checkpoint barrier relies on is untouched.
 ///
 /// Checkpoint publication is a cross-shard barrier: a shard acknowledges a
 /// pending checkpoint once every pre-checkpoint state it caches is durable
@@ -117,6 +128,14 @@ class PipelinedStore final : public EmbeddingStore {
   /// Entries currently resident in the DRAM cache (summed over shards).
   size_t CachedEntries() const;
 
+  /// Entries currently pinned by the frequency-aware policy (summed over
+  /// shards; 0 under kLru).
+  size_t PinnedEntries() const;
+
+  /// True if `key` is resident in the DRAM cache right now (tests/benches;
+  /// takes the shard's read lock).
+  bool IsDramCached(EntryId key) const;
+
   /// DRAM cache capacity in entries (config.cache_bytes / entry footprint).
   /// Per-shard capacities always sum to exactly this.
   size_t CacheCapacityEntries() const { return cache_capacity_; }
@@ -137,6 +156,7 @@ class PipelinedStore final : public EmbeddingStore {
     uint64_t pmem_offset = kNullOffset;  // latest PMem record, if any
     uint64_t pmem_version = ~0ULL;       // version held by that record
     bool dirty = false;          // weights differ from the PMem record
+    bool pinned = false;         // hot-head pin: never an eviction victim
     cache::LruNode lru;
     std::unique_ptr<float[]> data;  // weights + optimizer state
   };
@@ -157,9 +177,21 @@ class PipelinedStore final : public EmbeddingStore {
     // durability test, and may carry a version the checkpoint still needs.
     size_t fresh_entries = 0;
 
+    // Frequency-aware policy state (null / zero under kLru). The sketch is
+    // touched only under the shard write lock, so the pull path stays free
+    // of frequency bookkeeping.
+    std::unique_ptr<cache::FreqEstimator> freq;
+    uint64_t maint_batches = 0;   // decay clock
+    size_t pinned_entries = 0;    // entries with pinned == true
+    // Last victim whose flush failure was logged; resets on success so each
+    // stuck victim is reported once, not once per eviction attempt.
+    EntryId logged_victim = kNoVictim;
+
     std::mutex stage_mutex;
     std::vector<EntryId> staged;
   };
+
+  static constexpr EntryId kNoVictim = ~0ULL;
 
   PipelinedStore(const StoreConfig& config, pmem::PmemDevice* device);
 
@@ -189,6 +221,22 @@ class PipelinedStore final : public EmbeddingStore {
                           std::vector<EntryId>& keys);
   Status FlushEntryLocked(CacheEntry* entry);
   void EvictIfNeededLocked(size_t shard);
+
+  /// Selects this shard's eviction victim per the configured policy: the
+  /// LRU tail under kLru, else the lowest-frequency unpinned entry within
+  /// the evict_window LRU-tail candidates (ties keep the least recent).
+  /// Entries in `skip` (flush-failed this round) are passed over. Returns
+  /// nullptr if everything in the window is pinned or skipped.
+  CacheEntry* PickVictimLocked(size_t shard,
+                               const std::vector<CacheEntry*>& skip);
+
+  /// Max pinned entries a shard may hold (hot_pin_fraction of its
+  /// capacity, always leaving at least one unpinned slot).
+  size_t PinCapacity(const Shard& sh) const;
+
+  /// Re-evaluates `entry`'s pin bit against its frequency estimate `freq`
+  /// under the kFreqAware thresholds; updates the shard pin count.
+  void UpdatePinLocked(Shard& sh, CacheEntry* entry, uint32_t freq);
   CacheEntry* LoadToDramLocked(size_t shard, EntryId key,
                                uint64_t record_offset, uint64_t batch);
   Status PullPmemDirect(size_t shard, EntryId key, uint64_t batch, float* out);
@@ -264,6 +312,11 @@ class PipelinedStore final : public EmbeddingStore {
   obs::Distribution* pull_latency_;
   obs::Distribution* push_latency_;
   std::vector<obs::Distribution*> shard_maint_latency_;
+  // Cache health gauges, refreshed after each maintenance chunk:
+  // store.cache_hit_rate_bp (hit rate in basis points, 0..10000) and
+  // store.cache_pinned_entries (current freq-policy pin count).
+  obs::Gauge* hit_rate_gauge_;
+  obs::Gauge* pinned_gauge_;
 };
 
 }  // namespace oe::storage

@@ -53,10 +53,22 @@ SkewedKeySampler::SkewedKeySampler(uint64_t num_keys, std::vector<Tier> tiers)
   uint64_t rank = 0;
   for (const Tier& tier : tiers_) {
     mass += tier.access_mass;
+    if (rank >= num_keys_) {
+      // Small universes exhaust the keyspace before the tier table does
+      // (each materialized tier is clamped to >= 1 key below). A zero-width
+      // tier that still carried access mass would make Sample() return the
+      // out-of-range id num_keys_; fold the leftover mass into the last
+      // materialized tier instead (renormalization: masses still sum to 1).
+      OE_CHECK(!cumulative_mass_.empty());
+      cumulative_mass_.back() = mass;
+      continue;
+    }
     cumulative_mass_.push_back(mass);
     tier_begin_.push_back(rank);
     uint64_t size = static_cast<uint64_t>(
         tier.rank_fraction * static_cast<double>(num_keys_));
+    // Every materialized tier covers at least one key and at most the keys
+    // that remain.
     if (size == 0) size = 1;
     size = std::min(size, num_keys_ - rank);
     tier_size_.push_back(size);
@@ -89,10 +101,15 @@ double SkewedKeySampler::MassOfTopFraction(double rank_fraction) const {
   double mass = 0;
   double ranks = 0;
   constexpr double kLambda = 3.0;
-  for (size_t t = 0; t < tiers_.size(); ++t) {
+  // Iterate the *materialized* tiers: small universes may fold trailing
+  // tiers' mass into the last one (see the constructor), so tiers_ and
+  // tier_size_ can differ in length.
+  for (size_t t = 0; t < tier_size_.size(); ++t) {
+    const double tier_mass =
+        cumulative_mass_[t] - (t == 0 ? 0.0 : cumulative_mass_[t - 1]);
     const double size = static_cast<double>(tier_size_[t]);
     if (ranks + size <= target_ranks) {
-      mass += tiers_[t].access_mass;
+      mass += tier_mass;
       ranks += size;
       continue;
     }
@@ -100,7 +117,7 @@ double SkewedKeySampler::MassOfTopFraction(double rank_fraction) const {
     if (q > 0) {
       const double partial =
           (1.0 - std::exp(-kLambda * q)) / (1.0 - std::exp(-kLambda));
-      mass += tiers_[t].access_mass * partial;
+      mass += tier_mass * partial;
     }
     break;
   }

@@ -68,6 +68,25 @@ TEST(CrashSimTest, EnumerateAllSingleShard) { EnumerateAllAtShards(1); }
 
 TEST(CrashSimTest, EnumerateAllSixteenShards) { EnumerateAllAtShards(16); }
 
+// Crash-point enumeration under the frequency-aware cache policy with a
+// cache small enough that the admission filter and the windowed victim
+// scan fire at every maintenance chunk. The policy changes *which* entries
+// are DRAM-resident (and thus the flush/eviction persist schedule) at each
+// crash point, but every recovery invariant must hold unchanged.
+TEST(CrashSimTest, EnumerateAllWithFreqPolicy) {
+  CrashSimOptions options = BaseOptions(4);
+  options.store.cache_policy = oe::storage::CachePolicy::kFreqAware;
+  options.store.cache_bytes = 512;     // a handful of entries: constant churn
+  options.store.hot_pin_min_freq = 2;  // pin early in the short workload
+  CrashSim sim(options);
+  ASSERT_TRUE(sim.CountEvents().ok());
+  ASSERT_GT(sim.total_events(), 0u);
+  std::vector<CrashPointResult> results;
+  ASSERT_TRUE(sim.EnumerateAll(&results).ok());
+  ASSERT_EQ(results.size(), sim.total_events());
+  ExpectAllOk(sim, results);
+}
+
 // Randomized schedules (crash or torn write at a random event) must hold
 // the same invariants. The seed is overridable via OE_TEST_SEED and is
 // attached to every failure message for reproduction.

@@ -414,6 +414,129 @@ TEST_F(PipelinedStoreTest, HitRateHighForRepeatedKeys) {
   EXPECT_GT(store_->stats().HitRate(), 0.85);
 }
 
+// ---------- Frequency-aware cache policy ----------
+
+class FreqPolicyTest : public PipelinedStoreTest {
+ protected:
+  void SetUp() override {
+    device_ = MakeDevice();
+    config_ = SmallConfig();
+    config_.cache_policy = CachePolicy::kFreqAware;
+    store_ = PipelinedStore::Create(config_, device_.get()).ValueOrDie();
+  }
+
+  // `batches` rounds of: a fixed hot set (ids [0, hot)) plus a cold scan
+  // segment — the classic LRU-thrash workload. cold_universe == 0 makes
+  // cold ids never repeat (pure creation churn); a nonzero universe cycles
+  // through it, so revisits reload PMem-resident victims of earlier
+  // evictions and exercise the admission filter.
+  void RunSkewedScan(PipelinedStore* store, uint64_t batches, size_t hot,
+                     size_t cold_per_batch, uint64_t cold_universe = 0) {
+    uint64_t cold_cursor = 0;
+    for (uint64_t batch = 1; batch <= batches; ++batch) {
+      std::vector<EntryId> keys(hot);
+      std::iota(keys.begin(), keys.end(), 0);
+      for (size_t i = 0; i < cold_per_batch; ++i, ++cold_cursor) {
+        keys.push_back((1 << 20) + (cold_universe == 0
+                                        ? cold_cursor
+                                        : cold_cursor % cold_universe));
+      }
+      std::vector<float> w(keys.size() * kDim);
+      ASSERT_TRUE(
+          store->Pull(keys.data(), keys.size(), batch, w.data()).ok());
+      store->FinishPullPhase(batch);
+      std::vector<float> grads(keys.size() * kDim, 0.1f);
+      ASSERT_TRUE(
+          store->Push(keys.data(), keys.size(), grads.data(), batch).ok());
+    }
+    store->WaitMaintenance(batches);
+  }
+};
+
+TEST_F(FreqPolicyTest, HotSetSurvivesColdScans) {
+  const size_t capacity = store_->CacheCapacityEntries();
+  const size_t hot = capacity / 4;
+  RunSkewedScan(store_.get(), /*batches=*/24, hot, /*cold_per_batch=*/capacity,
+                /*cold_universe=*/2 * capacity);
+
+  // The hot head is still DRAM-resident despite 24 full-capacity scans.
+  for (EntryId key = 0; key < hot; ++key) {
+    EXPECT_TRUE(store_->IsDramCached(key)) << "hot key " << key << " evicted";
+  }
+  EXPECT_GT(store_->PinnedEntries(), 0u);
+  EXPECT_GT(store_->stats().admission_rejects.load(), 0u);
+  EXPECT_LE(store_->CachedEntries(), capacity);
+}
+
+TEST_F(FreqPolicyTest, BeatsPlainLruOnSkewedScan) {
+  const size_t capacity = store_->CacheCapacityEntries();
+  const size_t hot = capacity / 4;
+  RunSkewedScan(store_.get(), 24, hot, capacity, 2 * capacity);
+  const double freq_rate = store_->stats().HitRate();
+
+  auto lru_device = MakeDevice();
+  StoreConfig lru_config = SmallConfig();  // cache_policy defaults to kLru
+  auto lru_store =
+      PipelinedStore::Create(lru_config, lru_device.get()).ValueOrDie();
+  RunSkewedScan(lru_store.get(), 24, hot, capacity, 2 * capacity);
+  const double lru_rate = lru_store->stats().HitRate();
+
+  // Same workload, same capacity: the admission filter + pinning must keep
+  // the hot head cached while plain LRU thrashes it on every scan.
+  EXPECT_GT(freq_rate, lru_rate + 0.05)
+      << "freq=" << freq_rate << " lru=" << lru_rate;
+}
+
+TEST_F(FreqPolicyTest, EvictedEntriesStillReadBack) {
+  // Correctness under the new policy: every key keeps its value whether it
+  // was pinned, cached, rejected at admission, or evicted.
+  const size_t capacity = store_->CacheCapacityEntries();
+  const size_t hot = capacity / 4;
+  RunSkewedScan(store_.get(), 8, hot, capacity);
+  EXPECT_EQ(store_->EntryCount(), hot + 8 * capacity);
+  for (EntryId key = 0; key < hot; ++key) {
+    std::vector<float> init(kDim);
+    config_.initializer.Fill(key, init.data(), kDim);
+    auto got = store_->Peek(key).ValueOrDie();
+    for (uint32_t d = 0; d < kDim; ++d) {
+      // 8 pushes of grad 0.1 at lr 0.5.
+      EXPECT_NEAR(got[d], init[d] - 8 * 0.5f * 0.1f, 1e-5) << key;
+    }
+  }
+  const EntryId cold_probe = (1 << 20) + 3;
+  std::vector<float> init(kDim);
+  config_.initializer.Fill(cold_probe, init.data(), kDim);
+  auto got = store_->Peek(cold_probe).ValueOrDie();
+  for (uint32_t d = 0; d < kDim; ++d) {
+    EXPECT_NEAR(got[d], init[d] - 0.5f * 0.1f, 1e-5);
+  }
+}
+
+TEST_F(FreqPolicyTest, RecoveryResetsPinsAndFrequencies) {
+  const size_t capacity = store_->CacheCapacityEntries();
+  RunSkewedScan(store_.get(), 16, capacity / 4, capacity);
+  ASSERT_GT(store_->PinnedEntries(), 0u);
+
+  device_->SimulateCrash();
+  ASSERT_TRUE(store_->RecoverFromCrash().ok());
+  EXPECT_EQ(store_->PinnedEntries(), 0u);
+
+  // Training resumes and re-pins from fresh statistics.
+  RunSkewedScan(store_.get(), 16, capacity / 4, capacity);
+  EXPECT_GT(store_->PinnedEntries(), 0u);
+}
+
+TEST_F(FreqPolicyTest, CheckpointsPublishUnderFreqEviction) {
+  // The checkpoint ack barrier rides on LRU-order == version-order; the
+  // windowed victim scan removes entries mid-list but never reorders, so
+  // publication must still happen under eviction pressure.
+  const size_t capacity = store_->CacheCapacityEntries();
+  RunSkewedScan(store_.get(), 4, capacity / 4, capacity);
+  ASSERT_TRUE(store_->RequestCheckpoint(4).ok());
+  ASSERT_TRUE(store_->DrainCheckpoints().ok());
+  EXPECT_EQ(store_->PublishedCheckpoint(), 4u);
+}
+
 TEST_F(PipelinedStoreTest, CheckpointRequestIsLightweight) {
   std::vector<EntryId> keys = {1, 2, 3};
   RunBatch(1, keys, 0.1f);

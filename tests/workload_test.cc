@@ -47,6 +47,41 @@ TEST(SkewedKeySamplerTest, SamplesWithinRange) {
   }
 }
 
+// Regression: with a small universe the per-tier widths round to zero-width
+// ranges whose leftover mass used to make Sample() return ids >= num_keys
+// (and ids far beyond the hot ranks far too often). Every preset must stay
+// in range and conserve mass even when num_keys is tiny.
+TEST(SkewedKeySamplerTest, SmallUniverseStaysInRange) {
+  const SkewPreset presets[] = {SkewPreset::kLessSkew, SkewPreset::kOriginal,
+                                SkewPreset::kMoreSkew};
+  const uint64_t universes[] = {1, 3, 10, 100, 1500};
+  for (SkewPreset preset : presets) {
+    for (uint64_t num_keys : universes) {
+      SkewedKeySampler sampler(num_keys, preset);
+      EXPECT_NEAR(sampler.MassOfTopFraction(1.0), 1.0, 1e-9)
+          << "preset " << static_cast<int>(preset) << " keys " << num_keys;
+      Random rng(17 + num_keys);
+      for (int i = 0; i < 20000; ++i) {
+        EXPECT_LT(sampler.Sample(&rng), num_keys)
+            << "preset " << static_cast<int>(preset) << " keys " << num_keys;
+      }
+    }
+  }
+}
+
+// The folded tiers still prefer low ranks: in a 100-key universe the top
+// 10 ids must dominate the samples under the original preset.
+TEST(SkewedKeySamplerTest, SmallUniverseKeepsSkew) {
+  SkewedKeySampler sampler(100, SkewPreset::kOriginal);
+  Random rng(23);
+  int head_hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (sampler.Sample(&rng) < 10) ++head_hits;
+  }
+  EXPECT_GT(static_cast<double>(head_hits) / n, 0.5);
+}
+
 TEST(SkewedKeySamplerTest, ColdTailIsReached) {
   const uint64_t num_keys = 10000;
   SkewedKeySampler sampler(num_keys, SkewPreset::kOriginal);
