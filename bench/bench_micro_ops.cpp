@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -17,6 +18,8 @@
 #include "common/crc32.h"
 #include "common/random.h"
 #include "pmem/pool.h"
+#include "pmem/slab_allocator.h"
+#include "storage/kv_engine.h"
 #include "storage/pipelined_store.h"
 
 namespace {
@@ -28,8 +31,15 @@ using oe::pmem::CrashFidelity;
 using oe::pmem::PmemDevice;
 using oe::pmem::PmemDeviceOptions;
 using oe::pmem::PmemPool;
+using oe::pmem::SlabAllocator;
+using oe::pmem::SlabAllocatorOptions;
+using oe::storage::KvEngineKind;
 using oe::storage::PipelinedStore;
 using oe::storage::StoreConfig;
+
+/// --engine=<unordered|flat|pmem-bucket> narrows the BM_Engine* axis to one
+/// engine (default: all three, so a single --json run carries the race).
+std::string g_engine_filter;
 
 std::unique_ptr<PmemDevice> MakeDevice(uint64_t size) {
   PmemDeviceOptions options;
@@ -61,6 +71,25 @@ void BM_PoolAllocFree(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PoolAllocFree)->Arg(272)->Arg(4096);
+
+// The slab allocator's record path against BM_PoolAllocFree above: Alloc is
+// a volatile free-list pop and Commit is 2 persist events, vs the pool's 3
+// header round-trips per record.
+void BM_SlabAllocFree(benchmark::State& state) {
+  auto device = MakeDevice(256 << 20);
+  auto pool = PmemPool::Create(device.get()).ValueOrDie();
+  auto slab = SlabAllocator::Attach(pool.get(), SlabAllocatorOptions())
+                  .ValueOrDie();
+  const uint64_t size = static_cast<uint64_t>(state.range(0));
+  std::vector<uint8_t> payload(size, 1);
+  for (auto _ : state) {
+    uint64_t offset =
+        slab->AllocWrite(payload.data(), size, /*lane=*/0).ValueOrDie();
+    benchmark::DoNotOptimize(offset);
+    (void)slab->Free(offset);
+  }
+}
+BENCHMARK(BM_SlabAllocFree)->Arg(272)->Arg(4096);
 
 struct BenchEntry {
   uint64_t key;
@@ -168,6 +197,204 @@ void BM_PushSgd(benchmark::State& state) {
 }
 BENCHMARK(BM_PushSgd);
 
+// ---------------------------------------------------------------------------
+// KvEngine race (ISSUE 7): single-shard pull and push ops/s per index
+// engine. dim is small and the cache holds the whole working set, so the
+// index probe dominates each op — this is the apples-to-apples axis the
+// engine adoption decision (flat as default) is based on. Run with
+// --engine=<name> to narrow, or no flag for all three in one --json record.
+// ---------------------------------------------------------------------------
+
+constexpr KvEngineKind kEngineAxis[] = {KvEngineKind::kUnorderedMap,
+                                        KvEngineKind::kFlat,
+                                        KvEngineKind::kPmemBucket};
+constexpr uint32_t kEngineDim = 8;
+constexpr uint64_t kEngineKeys = 256 << 10;
+constexpr size_t kEngineBatch = 4096;
+
+struct EngineFixture {
+  std::unique_ptr<PmemDevice> device;
+  std::unique_ptr<PipelinedStore> store;
+  std::vector<std::vector<uint64_t>> batches;  // shuffled key batches
+  std::vector<float> weights;
+  std::vector<float> grads;
+
+  explicit EngineFixture(KvEngineKind engine) {
+    device = MakeDevice(512 << 20);
+    StoreConfig config;
+    config.dim = kEngineDim;
+    config.cache_bytes = 512ULL << 20;  // everything stays DRAM-resident
+    config.store_shards = 1;
+    config.kv_engine = engine;
+    config.kv_pmem_buckets = kEngineKeys / 8;  // 15-way slots: ~2x headroom
+    store = PipelinedStore::Create(config, device.get()).ValueOrDie();
+
+    // Materialize every key, then precompute shuffled batches so each
+    // timed op stream probes the index in cache-unfriendly order.
+    std::vector<uint64_t> all(kEngineKeys);
+    std::iota(all.begin(), all.end(), 0);
+    weights.resize(kEngineKeys * kEngineDim);
+    (void)store->Pull(all.data(), all.size(), 1, weights.data());
+    store->FinishPullPhase(1);
+    store->WaitMaintenance(1);
+
+    oe::Random rng(7);
+    for (size_t i = all.size() - 1; i > 0; --i) {
+      std::swap(all[i], all[rng.Uniform(i + 1)]);
+    }
+    for (size_t pos = 0; pos + kEngineBatch <= all.size();
+         pos += kEngineBatch) {
+      batches.emplace_back(all.begin() + pos, all.begin() + pos + kEngineBatch);
+    }
+    weights.resize(kEngineBatch * kEngineDim);
+    grads.assign(kEngineBatch * kEngineDim, 0.01f);
+  }
+};
+
+/// Engine + shuffled key stream, no store around it: the setup every pure
+/// index benchmark below shares.
+struct KvFixture {
+  std::unique_ptr<PmemDevice> device;
+  std::unique_ptr<PmemPool> pool;
+  std::unique_ptr<oe::storage::KvEngine> kv;
+  std::vector<uint64_t> keys;
+
+  explicit KvFixture(KvEngineKind engine) {
+    device = MakeDevice(512 << 20);
+    pool = PmemPool::Create(device.get()).ValueOrDie();
+    oe::storage::KvEngineOptions options;
+    options.pool = pool.get();
+    options.device = device.get();
+    options.pmem_buckets = kEngineKeys / 8;
+    kv = oe::storage::MakeKvEngine(engine, options).ValueOrDie();
+    for (uint64_t k = 0; k < kEngineKeys; ++k) {
+      kv->Upsert(k, TaggedPtr::FromPmem(k * 8));
+    }
+    keys.resize(kEngineKeys);
+    std::iota(keys.begin(), keys.end(), 0);
+    oe::Random rng(11);
+    for (size_t i = keys.size() - 1; i > 0; --i) {
+      std::swap(keys[i], keys[rng.Uniform(i + 1)]);
+    }
+  }
+};
+
+// Pure single-key probe: Find + slot load over a shuffled key stream — one
+// dependent chain per key, the latency the engines differ on.
+void RunKvFind(benchmark::State& state, KvEngineKind engine) {
+  KvFixture fixture(engine);
+  auto& kv = *fixture.kv;
+  const auto& keys = fixture.keys;
+  size_t pos = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kv.Find(keys[pos])->load());
+    pos = (pos + 1) & (kEngineKeys - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Single-shard index pull op, as the store's batched pull loop issues it:
+// FindBatch over a 4096-key shard batch, then a slot load per key. This is
+// the acceptance row — the adopted engine must beat the unordered_map
+// index >= 1.3x here and on the push twin below.
+void RunKvPullOps(benchmark::State& state, KvEngineKind engine) {
+  KvFixture fixture(engine);
+  auto& kv = *fixture.kv;
+  const auto& keys = fixture.keys;
+  std::vector<oe::cache::AtomicTaggedPtr*> slots(kEngineBatch);
+  size_t pos = 0;
+  for (auto _ : state) {
+    kv.FindBatch(keys.data() + pos, kEngineBatch, slots.data());
+    uint64_t sum = 0;
+    for (size_t i = 0; i < kEngineBatch; ++i) sum += slots[i]->load().bits();
+    benchmark::DoNotOptimize(sum);
+    pos = (pos + kEngineBatch) & (kEngineKeys - 1);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kEngineBatch));
+}
+
+// Single-shard index push op: FindBatch, then the push path's slot
+// read-modify-write (load the published pointer, store it back).
+void RunKvPushOps(benchmark::State& state, KvEngineKind engine) {
+  KvFixture fixture(engine);
+  auto& kv = *fixture.kv;
+  const auto& keys = fixture.keys;
+  std::vector<oe::cache::AtomicTaggedPtr*> slots(kEngineBatch);
+  size_t pos = 0;
+  for (auto _ : state) {
+    kv.FindBatch(keys.data() + pos, kEngineBatch, slots.data());
+    for (size_t i = 0; i < kEngineBatch; ++i) {
+      slots[i]->store(slots[i]->load());
+    }
+    pos = (pos + kEngineBatch) & (kEngineKeys - 1);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kEngineBatch));
+}
+
+void RunEnginePull(benchmark::State& state, KvEngineKind engine) {
+  EngineFixture fixture(engine);
+  uint64_t batch = 2;
+  size_t next = 0;
+  for (auto _ : state) {
+    const auto& keys = fixture.batches[next];
+    next = (next + 1) % fixture.batches.size();
+    (void)fixture.store->Pull(keys.data(), keys.size(), batch,
+                              fixture.weights.data());
+    state.PauseTiming();
+    fixture.store->FinishPullPhase(batch);
+    fixture.store->WaitMaintenance(batch);
+    ++batch;
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kEngineBatch));
+}
+
+void RunEnginePush(benchmark::State& state, KvEngineKind engine) {
+  EngineFixture fixture(engine);
+  uint64_t batch = 2;
+  size_t next = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto& keys = fixture.batches[next];
+    next = (next + 1) % fixture.batches.size();
+    (void)fixture.store->Pull(keys.data(), keys.size(), batch,
+                              fixture.weights.data());
+    fixture.store->FinishPullPhase(batch);
+    fixture.store->WaitMaintenance(batch);
+    state.ResumeTiming();
+    (void)fixture.store->Push(keys.data(), keys.size(), fixture.grads.data(),
+                              batch);
+    ++batch;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kEngineBatch));
+}
+
+void RegisterEngineBenchmarks() {
+  for (KvEngineKind engine : kEngineAxis) {
+    const std::string name{oe::storage::KvEngineKindToString(engine)};
+    if (!g_engine_filter.empty() && g_engine_filter != name) continue;
+    benchmark::RegisterBenchmark(
+        ("BM_KvFind/" + name).c_str(),
+        [engine](benchmark::State& state) { RunKvFind(state, engine); });
+    benchmark::RegisterBenchmark(
+        ("BM_KvPullOps/" + name).c_str(),
+        [engine](benchmark::State& state) { RunKvPullOps(state, engine); });
+    benchmark::RegisterBenchmark(
+        ("BM_KvPushOps/" + name).c_str(),
+        [engine](benchmark::State& state) { RunKvPushOps(state, engine); });
+    benchmark::RegisterBenchmark(
+        ("BM_EnginePull/" + name).c_str(),
+        [engine](benchmark::State& state) { RunEnginePull(state, engine); });
+    benchmark::RegisterBenchmark(
+        ("BM_EnginePush/" + name).c_str(),
+        [engine](benchmark::State& state) { RunEnginePush(state, engine); });
+  }
+}
+
 }  // namespace
 
 namespace {
@@ -196,8 +423,27 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
 
 int main(int argc, char** argv) {
   // BenchReport strips --json/--trace before benchmark::Initialize sees
-  // (and would reject) them.
-  oe::bench::BenchReport bench_report("bench_micro_ops", &argc, argv);
+  // (and would reject) them; --engine is stripped the same way. An
+  // --engine run gets its own record name ("bench_micro_ops.<engine>") so
+  // the CI A/B rows coexist in one merged baseline.
+  g_engine_filter =
+      oe::bench::BenchReport::TakeFlag("--engine", &argc, argv);
+  if (!g_engine_filter.empty()) {
+    oe::storage::KvEngineKind parsed;
+    if (!oe::storage::ParseKvEngineKind(g_engine_filter, &parsed)) {
+      std::fprintf(stderr, "unknown --engine '%s'\n",
+                   g_engine_filter.c_str());
+      return 1;
+    }
+  }
+  oe::bench::BenchReport bench_report(
+      g_engine_filter.empty() ? std::string("bench_micro_ops")
+                              : "bench_micro_ops." + g_engine_filter,
+      &argc, argv);
+  if (!g_engine_filter.empty()) {
+    bench_report.AddConfig("engine", g_engine_filter);
+  }
+  RegisterEngineBenchmarks();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   JsonCaptureReporter reporter(&bench_report);

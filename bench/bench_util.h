@@ -200,27 +200,10 @@ class BenchReport {
     std::fclose(file);
   }
 
- private:
-  static std::string NumberJson(double value) {
-    char buffer[64];
-    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-    return buffer;
-  }
-
-  static std::string DeriveTracePath(const std::string& json_path) {
-    const std::string suffix = ".json";
-    if (json_path.size() > suffix.size() &&
-        json_path.compare(json_path.size() - suffix.size(), suffix.size(),
-                          suffix) == 0) {
-      return json_path.substr(0, json_path.size() - suffix.size()) +
-             ".trace.json";
-    }
-    return json_path + ".trace.json";
-  }
-
   /// Removes `--flag value` / `--flag=value` from argv and returns the
   /// value ("" if absent). argv stays null-terminated for
-  /// benchmark::Initialize-style consumers.
+  /// benchmark::Initialize-style consumers. Public so benches with their
+  /// own axes (e.g. --engine) reuse the same stripping behavior.
   static std::string TakeFlag(const char* flag, int* argc, char** argv) {
     const size_t flag_len = std::strlen(flag);
     std::string value;
@@ -240,6 +223,24 @@ class BenchReport {
     *argc = out;
     argv[out] = nullptr;
     return value;
+  }
+
+ private:
+  static std::string NumberJson(double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return buffer;
+  }
+
+  static std::string DeriveTracePath(const std::string& json_path) {
+    const std::string suffix = ".json";
+    if (json_path.size() > suffix.size() &&
+        json_path.compare(json_path.size() - suffix.size(), suffix.size(),
+                          suffix) == 0) {
+      return json_path.substr(0, json_path.size() - suffix.size()) +
+             ".trace.json";
+    }
+    return json_path + ".trace.json";
   }
 
   std::string bench_;

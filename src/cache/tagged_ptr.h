@@ -49,6 +49,11 @@ class TaggedPtr {
     return a.bits_ == b.bits_;
   }
 
+  /// Raw representation, for index engines that keep slots in PMem and
+  /// need to write the value through the device (dirty-tracked).
+  uint64_t bits() const { return bits_; }
+  static TaggedPtr FromBits(uint64_t bits) { return TaggedPtr(bits); }
+
  private:
   friend class AtomicTaggedPtr;
 

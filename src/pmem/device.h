@@ -57,6 +57,15 @@ struct DeviceStats {
     write_bytes.fetch_add(bytes, std::memory_order_relaxed);
     write_ops.fetch_add(1, std::memory_order_relaxed);
   }
+  /// Batched accounting: charges `ops` reads totaling `bytes` with two
+  /// atomic adds instead of 2 * ops. Scan paths (pool/slab recovery, the
+  /// ForEachAllocated heap walk) batch their per-header charges through
+  /// this; the resulting totals are identical to per-call AddRead().
+  void AddReadBatch(uint64_t ops, uint64_t bytes) {
+    if (ops == 0) return;
+    read_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    read_ops.fetch_add(ops, std::memory_order_relaxed);
+  }
   void AddPersist() { persist_ops.fetch_add(1, std::memory_order_relaxed); }
 
   void Reset() {

@@ -58,6 +58,7 @@ Status PmemPool::Recover() {
   // Walk the heap block chain. Blocks are laid out contiguously, so the
   // chain ends at the first position without a valid block magic.
   uint64_t pos = heap_begin_;
+  uint64_t headers = 0;
   allocated_bytes_ = 0;
   free_lists_.clear();
   while (pos + sizeof(BlockHeader) <= device_->size()) {
@@ -84,11 +85,12 @@ Status PmemPool::Recover() {
       default:
         return Status::Corruption("unknown block state");
     }
-    device_->stats().AddRead(sizeof(BlockHeader));
+    ++headers;
     uint64_t next = payload + block->size;
     next = (next + kAlign - 1) / kAlign * kAlign;
     pos = next;
   }
+  device_->stats().AddReadBatch(headers, headers * sizeof(BlockHeader));
   heap_tail_ = pos;
   return Status::OK();
 }
@@ -199,28 +201,6 @@ void PmemPool::RootSet(int slot, uint64_t value) {
   const uint64_t offset =
       offsetof(PoolHeader, roots) + static_cast<uint64_t>(slot) * 8;
   device_->AtomicStore64(offset, value);
-}
-
-void PmemPool::ForEachAllocated(
-    uint64_t type_tag,
-    const std::function<void(uint64_t offset, uint64_t size)>& fn) const {
-  uint64_t pos = heap_begin_;
-  uint64_t tail;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    tail = heap_tail_;
-  }
-  while (pos + sizeof(BlockHeader) <= tail) {
-    const BlockHeader* block = HeaderAt(pos);
-    if (block->magic != kBlockMagic) break;
-    device_->stats().AddRead(sizeof(BlockHeader));
-    if (block->state == kAllocated && block->type_tag == type_tag) {
-      fn(pos + sizeof(BlockHeader), block->size);
-    }
-    uint64_t next = pos + sizeof(BlockHeader) + block->size;
-    next = (next + kAlign - 1) / kAlign * kAlign;
-    pos = next;
-  }
 }
 
 uint64_t PmemPool::AllocatedBytes() const {

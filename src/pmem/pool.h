@@ -2,7 +2,6 @@
 #define OE_PMEM_POOL_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -74,9 +73,30 @@ class PmemPool {
   /// Invokes `fn(payload_offset, payload_size)` for every committed block
   /// with the given tag, in heap order. This is the primitive behind the
   /// paper's recovery scan ("scan all the embedding entries in PMem").
-  void ForEachAllocated(
-      uint64_t type_tag,
-      const std::function<void(uint64_t offset, uint64_t size)>& fn) const;
+  /// Template callback: the scan is a recovery hot path, so the per-block
+  /// call inlines and the header-read accounting is charged once per scan.
+  template <typename Fn>
+  void ForEachAllocated(uint64_t type_tag, Fn&& fn) const {
+    uint64_t pos = heap_begin_;
+    uint64_t tail;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tail = heap_tail_;
+    }
+    uint64_t headers = 0;
+    while (pos + sizeof(BlockHeader) <= tail) {
+      const BlockHeader* block = HeaderAt(pos);
+      if (block->magic != kBlockMagic) break;
+      ++headers;
+      if (block->state == kAllocated && block->type_tag == type_tag) {
+        fn(pos + sizeof(BlockHeader), block->size);
+      }
+      uint64_t next = pos + sizeof(BlockHeader) + block->size;
+      next = (next + kAlign - 1) / kAlign * kAlign;
+      pos = next;
+    }
+    device_->stats().AddReadBatch(headers, headers * sizeof(BlockHeader));
+  }
 
   /// Payload bytes in committed blocks / bytes available for new blocks.
   uint64_t AllocatedBytes() const;

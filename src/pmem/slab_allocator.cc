@@ -1,0 +1,276 @@
+#include "pmem/slab_allocator.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace oe::pmem {
+
+SlabAllocator::SlabAllocator(PmemPool* pool,
+                             const SlabAllocatorOptions& options)
+    : pool_(pool), device_(pool->device()), options_(options) {
+  options_.blocks_per_slab = std::max<uint32_t>(1, options_.blocks_per_slab);
+  options_.lanes = std::max<uint32_t>(1, options_.lanes);
+  lanes_.reserve(options_.lanes);
+  for (uint32_t i = 0; i < options_.lanes; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+}
+
+uint64_t SlabAllocator::ExtentBytes(uint64_t block_size,
+                                    uint32_t block_count) {
+  return kHeaderBytes + BitmapWords(block_count) * 8 +
+         Stride(block_size) * block_count;
+}
+
+Result<std::unique_ptr<SlabAllocator>> SlabAllocator::Attach(
+    PmemPool* pool, const SlabAllocatorOptions& options) {
+  if (pool == nullptr) return Status::InvalidArgument("null pool");
+  auto slab =
+      std::unique_ptr<SlabAllocator>(new SlabAllocator(pool, options));
+  // Adopt existing extents: the bitmap is the authoritative allocation
+  // state, so this is the entire recovery — no log replay, no free-list
+  // persistence.
+  std::vector<std::pair<uint64_t, uint64_t>> found;
+  pool->ForEachAllocated(slab->options_.extent_tag,
+                         [&](uint64_t offset, uint64_t size) {
+                           found.emplace_back(offset, size);
+                         });
+  for (const auto& [offset, size] : found) {
+    OE_RETURN_IF_ERROR(slab->AdoptExtent(offset, size));
+  }
+  return slab;
+}
+
+Status SlabAllocator::AdoptExtent(uint64_t payload, uint64_t payload_size) {
+  SlabHeader header;
+  device_->Read(payload, &header, sizeof(header));
+  if (header.magic != kSlabMagic) {
+    return Status::Corruption("slab extent magic mismatch");
+  }
+  if (header.block_size == 0 || header.block_count == 0 ||
+      ExtentBytes(header.block_size, header.block_count) != payload_size) {
+    return Status::Corruption("slab extent geometry mismatch");
+  }
+  Extent ext;
+  ext.payload = payload;
+  ext.bitmap = payload + kHeaderBytes;
+  ext.blocks = ext.bitmap + BitmapWords(header.block_count) * 8;
+  ext.block_size = header.block_size;
+  ext.stride = Stride(header.block_size);
+  ext.block_count = header.block_count;
+  // Lane ids survive restarts with a different lane count (clamped).
+  ext.lane = header.lane % options_.lanes;
+
+  Lane& lane = *lanes_[ext.lane];
+  std::vector<uint64_t> bits(BitmapWords(ext.block_count));
+  device_->Read(ext.bitmap, bits.data(), bits.size() * 8);
+  uint64_t committed = 0;
+  {
+    std::lock_guard<std::mutex> lane_lock(lane.mutex);
+    auto& free = lane.free[ext.block_size];
+    for (uint32_t b = 0; b < ext.block_count; ++b) {
+      if ((bits[b / 64] >> (b % 64)) & 1) {
+        ++committed;
+      } else {
+        free.push_back(ext.blocks + b * ext.stride);
+      }
+    }
+  }
+  allocated_bytes_.fetch_add(committed * ext.block_size,
+                             std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(extents_mutex_);
+  extents_.emplace(ext.blocks, ext);
+  return Status::OK();
+}
+
+Status SlabAllocator::GrowLocked(uint64_t size, uint32_t lane_id) {
+  const uint32_t count = options_.blocks_per_slab;
+  const uint64_t bytes = ExtentBytes(size, count);
+  // The extent itself goes through the pool's 3-persist protocol — that
+  // cost is amortized over blocks_per_slab records.
+  PersistSiteGuard site("slab-format");
+  OE_ASSIGN_OR_RETURN(uint64_t payload,
+                      pool_->Alloc(bytes, options_.extent_tag));
+  SlabHeader header{};
+  header.magic = kSlabMagic;
+  header.block_size = size;
+  header.block_count = count;
+  header.lane = lane_id;
+  device_->Write(payload, &header, sizeof(header));
+  // Zero the bitmap: every block starts free. Block bodies stay untouched
+  // (their bits are clear, so their contents are never interpreted).
+  device_->Memset(payload + kHeaderBytes, 0, BitmapWords(count) * 8);
+  OE_RETURN_IF_ERROR(pool_->CommitAlloc(payload));
+
+  Extent ext;
+  ext.payload = payload;
+  ext.bitmap = payload + kHeaderBytes;
+  ext.blocks = ext.bitmap + BitmapWords(count) * 8;
+  ext.block_size = size;
+  ext.stride = Stride(size);
+  ext.block_count = count;
+  ext.lane = lane_id;
+
+  auto& free = lanes_[lane_id]->free[size];
+  free.reserve(free.size() + count);
+  // Push in reverse so blocks are handed out in address order.
+  for (uint32_t b = count; b > 0; --b) {
+    free.push_back(ext.blocks + (b - 1) * ext.stride);
+  }
+  std::lock_guard<std::mutex> lock(extents_mutex_);
+  extents_.emplace(ext.blocks, ext);
+  return Status::OK();
+}
+
+Result<uint64_t> SlabAllocator::Alloc(uint64_t size, uint32_t lane_id) {
+  if (size == 0) return Status::InvalidArgument("zero-size alloc");
+  lane_id %= options_.lanes;
+  Lane& lane = *lanes_[lane_id];
+  std::lock_guard<std::mutex> lock(lane.mutex);
+  auto it = lane.free.find(size);
+  if (it == lane.free.end() || it->second.empty()) {
+    OE_RETURN_IF_ERROR(GrowLocked(size, lane_id));
+    it = lane.free.find(size);
+    OE_CHECK(it != lane.free.end() && !it->second.empty());
+  }
+  const uint64_t offset = it->second.back();
+  it->second.pop_back();
+  return offset;
+}
+
+const SlabAllocator::Extent* SlabAllocator::FindExtentLocked(
+    uint64_t offset) const {
+  auto it = extents_.upper_bound(offset);
+  if (it == extents_.begin()) return nullptr;
+  --it;
+  const Extent& ext = it->second;
+  const uint64_t rel = offset - ext.blocks;
+  if (rel >= ext.stride * ext.block_count) return nullptr;
+  if (rel % ext.stride != 0) return nullptr;
+  return &ext;
+}
+
+Status SlabAllocator::Commit(uint64_t offset) {
+  Extent ext;
+  {
+    std::lock_guard<std::mutex> lock(extents_mutex_);
+    const Extent* found = FindExtentLocked(offset);
+    if (found == nullptr) {
+      return Status::InvalidArgument("Commit outside any slab extent");
+    }
+    ext = *found;
+  }
+  // Payload durable first; only then is the allocation published. With the
+  // opposite order a torn schedule could persist the bit but not the
+  // payload, resurrecting garbage as a committed block.
+  {
+    PersistSiteGuard site("slab-commit");
+    device_->Persist(offset, ext.block_size);
+  }
+  const uint64_t block = (offset - ext.blocks) / ext.stride;
+  const uint64_t word = ext.bitmap + (block / 64) * 8;
+  const uint64_t mask = 1ULL << (block % 64);
+  {
+    // The lane mutex serializes every read-modify-write of this extent's
+    // bitmap words (blocks of one extent always commit/free via its lane).
+    std::lock_guard<std::mutex> lock(lanes_[ext.lane]->mutex);
+    const uint64_t bits = device_->AtomicLoad64(word);
+    if ((bits & mask) != 0) {
+      return Status::FailedPrecondition("Commit on an already committed block");
+    }
+    PersistSiteGuard site("slab-publish");
+    device_->AtomicStore64(word, bits | mask);
+  }
+  allocated_bytes_.fetch_add(ext.block_size, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<uint64_t> SlabAllocator::AllocWrite(const void* data, uint64_t size,
+                                           uint32_t lane) {
+  OE_ASSIGN_OR_RETURN(uint64_t offset, Alloc(size, lane));
+  device_->Write(offset, data, size);
+  OE_RETURN_IF_ERROR(Commit(offset));
+  return offset;
+}
+
+Status SlabAllocator::Free(uint64_t offset) {
+  Extent ext;
+  {
+    std::lock_guard<std::mutex> lock(extents_mutex_);
+    const Extent* found = FindExtentLocked(offset);
+    if (found == nullptr) {
+      return Status::InvalidArgument("Free outside any slab extent");
+    }
+    ext = *found;
+  }
+  const uint64_t block = (offset - ext.blocks) / ext.stride;
+  const uint64_t word = ext.bitmap + (block / 64) * 8;
+  const uint64_t mask = 1ULL << (block % 64);
+  Lane& lane = *lanes_[ext.lane];
+  std::lock_guard<std::mutex> lock(lane.mutex);
+  const uint64_t bits = device_->AtomicLoad64(word);
+  if ((bits & mask) == 0) {
+    return Status::FailedPrecondition("Free on a non-committed block");
+  }
+  {
+    // Persist the clear before the block becomes reusable: if the next
+    // owner's commit tears, the rescan must not see this block as still
+    // holding the old record.
+    PersistSiteGuard site("slab-free");
+    device_->AtomicStore64(word, bits & ~mask);
+  }
+  lane.free[ext.block_size].push_back(offset);
+  allocated_bytes_.fetch_sub(ext.block_size, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status SlabAllocator::CheckConsistency() const {
+  // Gather every free-listed offset (and catch duplicates across lists).
+  std::unordered_map<uint64_t, int> listed;
+  for (const auto& lane : lanes_) {
+    std::lock_guard<std::mutex> lock(lane->mutex);
+    for (const auto& [size, offsets] : lane->free) {
+      for (const uint64_t off : offsets) {
+        if (++listed[off] > 1) {
+          return Status::Internal("block free-listed twice: " +
+                                  std::to_string(off));
+        }
+      }
+    }
+  }
+  uint64_t committed_bytes = 0;
+  uint64_t accounted = 0;
+  std::lock_guard<std::mutex> lock(extents_mutex_);
+  for (const auto& [begin, ext] : extents_) {
+    for (uint32_t b = 0; b < ext.block_count; ++b) {
+      const uint64_t word = ext.bitmap + (b / 64) * 8;
+      const bool set = (device_->AtomicLoad64(word) >> (b % 64)) & 1;
+      const uint64_t off = ext.blocks + b * ext.stride;
+      const auto it = listed.find(off);
+      if (set) {
+        committed_bytes += ext.block_size;
+        if (it != listed.end()) {
+          return Status::Internal("committed block is free-listed: " +
+                                  std::to_string(off));
+        }
+      } else {
+        if (it == listed.end()) {
+          return Status::Internal("free block missing from free lists: " +
+                                  std::to_string(off));
+        }
+        ++accounted;
+      }
+    }
+  }
+  if (accounted != listed.size()) {
+    return Status::Internal("free list holds offsets outside any extent");
+  }
+  if (committed_bytes != AllocatedBytes()) {
+    return Status::Internal("AllocatedBytes diverges from the bitmaps");
+  }
+  return Status::OK();
+}
+
+}  // namespace oe::pmem

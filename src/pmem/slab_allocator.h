@@ -1,0 +1,204 @@
+#ifndef OE_PMEM_SLAB_ALLOCATOR_H_
+#define OE_PMEM_SLAB_ALLOCATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "pmem/pool.h"
+
+namespace oe::pmem {
+
+struct SlabAllocatorOptions {
+  /// PmemPool type tag of the slab extents. Everything under this tag
+  /// belongs to the slab allocator; other tags in the pool are untouched.
+  uint64_t extent_tag = 0x51AB;
+  /// Blocks carved from each slab extent. Larger slabs amortize the extent
+  /// setup better; smaller slabs waste less space on rarely-used size
+  /// classes.
+  uint32_t blocks_per_slab = 256;
+  /// Free-list lanes. Callers pass a lane id per Alloc (the pipelined store
+  /// passes its shard index), so allocation contends per lane instead of on
+  /// one global pool mutex. A freed block returns to its slab's lane.
+  uint32_t lanes = 16;
+};
+
+/// Size-class slab allocator over a PmemPool, in the spirit of PetPS's
+/// persistent-memory allocator: the pool hands out large *extents* (one
+/// per size class per lane, grown on demand), each extent carves
+/// fixed-size blocks tracked by a persistent allocation bitmap, and the
+/// volatile per-lane free lists are rebuilt by scanning the bitmaps.
+///
+/// Extent layout (pool payload, tagged `extent_tag`):
+///
+///   +------------------+----------------------+------------------------+
+///   | SlabHeader (32B) | bitmap (u64 words,   | blocks[block_count],   |
+///   | magic/size/count |  1 bit per block,    |  stride = block_size   |
+///   | /lane            |  8B-aligned)         |  rounded up to 8B      |
+///   +------------------+----------------------+------------------------+
+///
+/// Allocation protocol (failure-atomic, 2 persist events per record vs the
+/// pool's 3 header round-trips):
+///   1. Alloc() pops a block from a volatile free list — NO persist.
+///   2. The caller fills the payload (device Write / store).
+///   3. Commit() persists the payload (site "slab-commit"), then sets the
+///      block's bitmap bit with one failure-atomic 8-byte store (site
+///      "slab-publish").
+/// A crash between 3a and 3b leaves the bit clear: the allocation never
+/// happened, exactly like the pool's kAllocating rollback. A block is only
+/// reusable after Free() has persisted the bit clear (site "slab-free"),
+/// so a torn reuse can never resurrect a stale record as committed.
+///
+/// Thread safety: Alloc/Commit/Free take the lane mutex of the block's
+/// extent (bitmap words are only mutated under it); extent growth takes
+/// extents_mutex_ plus the pool's own allocation lock. ForEachAllocated
+/// and CheckConsistency read bitmaps without lane locks — callers quiesce
+/// (recovery and export hold every store shard lock).
+class SlabAllocator {
+ public:
+  /// Attaches to `pool`, adopting any existing slab extents by scanning
+  /// their bitmaps (recovery) — a fresh pool simply starts with no extents.
+  static Result<std::unique_ptr<SlabAllocator>> Attach(
+      PmemPool* pool, const SlabAllocatorOptions& options);
+
+  SlabAllocator(const SlabAllocator&) = delete;
+  SlabAllocator& operator=(const SlabAllocator&) = delete;
+
+  /// Reserves a block of exactly `size` payload bytes from `lane`'s free
+  /// list (growing a new extent from the pool if the class is empty).
+  /// Volatile only: the block is not durable until Commit().
+  Result<uint64_t> Alloc(uint64_t size, uint32_t lane);
+
+  /// Persists the block payload, then publishes the allocation with one
+  /// failure-atomic bitmap-bit store.
+  Status Commit(uint64_t offset);
+
+  /// Single-call convenience: Alloc + device Write + Commit.
+  Result<uint64_t> AllocWrite(const void* data, uint64_t size, uint32_t lane);
+
+  /// Releases a committed block: persists the bit clear, then returns the
+  /// block to its slab's lane free list. Freeing an uncommitted or already
+  /// free block is FailedPrecondition (double-free detection).
+  Status Free(uint64_t offset);
+
+  /// Invokes `fn(offset, size)` for every committed block, extent by
+  /// extent. `size` is the exact size passed to Alloc (slabs are per size
+  /// class, so no rounding is visible to the caller). This is the recovery
+  /// scan primitive — it reads only the bitmaps and is independent of any
+  /// volatile index.
+  template <typename Fn>
+  void ForEachAllocated(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(extents_mutex_);
+    uint64_t words = 0;
+    for (const auto& [begin, ext] : extents_) {
+      const uint64_t word_count = BitmapWords(ext.block_count);
+      words += word_count;
+      for (uint64_t w = 0; w < word_count; ++w) {
+        // Raw acquire load (not AtomicLoad64, which charges per call): the
+        // whole scan is charged once below, like the pool's header walk.
+        uint64_t bits = reinterpret_cast<const std::atomic<uint64_t>*>(
+                            device_->base() + ext.bitmap + w * 8)
+                            ->load(std::memory_order_acquire);
+        while (bits != 0) {
+          const int b = __builtin_ctzll(bits);
+          bits &= bits - 1;
+          const uint64_t block = w * 64 + static_cast<uint64_t>(b);
+          if (block >= ext.block_count) break;
+          fn(ext.blocks + block * ext.stride, ext.block_size);
+        }
+      }
+    }
+    device_->stats().AddReadBatch(words, words * 8);
+  }
+
+  /// Payload bytes in committed blocks (exact sizes, not strides).
+  uint64_t AllocatedBytes() const {
+    return allocated_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Extents currently owned (one per touched size class per lane, plus
+  /// growth).
+  size_t ExtentCount() const {
+    std::lock_guard<std::mutex> lock(extents_mutex_);
+    return extents_.size();
+  }
+
+  /// Test hook: cross-checks volatile state against the persistent bitmaps
+  /// at a quiescent point (no in-flight Alloc-without-Commit). Verifies no
+  /// leaked block (bit clear but absent from its lane free list), no
+  /// double-owned block (listed twice, or listed while its bit is set), and
+  /// that AllocatedBytes() equals the bitmap population count.
+  Status CheckConsistency() const;
+
+  PmemPool* pool() { return pool_; }
+
+ private:
+  struct SlabHeader {
+    uint64_t magic;
+    uint64_t block_size;  // exact Alloc size, NOT rounded to the stride
+    uint32_t block_count;
+    uint32_t lane;
+  };
+  static_assert(sizeof(SlabHeader) == 24);
+  /// Header footprint inside the extent; 32 keeps the bitmap 8B-aligned
+  /// (pool payloads start 8B-aligned).
+  static constexpr uint64_t kHeaderBytes = 32;
+  static constexpr uint64_t kSlabMagic = 0x0e51ab0e51ab0e51ULL;
+
+  struct Extent {
+    uint64_t payload;     // pool payload offset of the extent
+    uint64_t bitmap;      // device offset of the bitmap words
+    uint64_t blocks;      // device offset of block 0
+    uint64_t block_size;  // exact size handed back to callers
+    uint64_t stride;      // block_size rounded up to 8
+    uint32_t block_count;
+    uint32_t lane;
+  };
+
+  struct Lane {
+    std::mutex mutex;
+    // Exact size -> free block offsets (blocks whose bitmap bit is clear).
+    std::unordered_map<uint64_t, std::vector<uint64_t>> free;
+  };
+
+  SlabAllocator(PmemPool* pool, const SlabAllocatorOptions& options);
+
+  static uint64_t BitmapWords(uint32_t block_count) {
+    return (static_cast<uint64_t>(block_count) + 63) / 64;
+  }
+  static uint64_t Stride(uint64_t block_size) {
+    return (block_size + 7) & ~7ULL;
+  }
+  static uint64_t ExtentBytes(uint64_t block_size, uint32_t block_count);
+
+  /// Adopts one extent found by the recovery scan.
+  Status AdoptExtent(uint64_t payload, uint64_t payload_size);
+
+  /// Allocates and formats a new extent for (size, lane) from the pool and
+  /// pushes its blocks onto the lane free list. Requires lane.mutex.
+  Status GrowLocked(uint64_t size, uint32_t lane);
+
+  /// Extent owning `offset`, or nullptr. Requires extents_mutex_.
+  const Extent* FindExtentLocked(uint64_t offset) const;
+
+  PmemPool* pool_;
+  PmemDevice* device_;
+  SlabAllocatorOptions options_;
+
+  mutable std::mutex extents_mutex_;
+  // Keyed by block-region begin offset so FindExtentLocked is one
+  // upper_bound; values are pointer-stable across inserts.
+  std::map<uint64_t, Extent> extents_;
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::atomic<uint64_t> allocated_bytes_{0};
+};
+
+}  // namespace oe::pmem
+
+#endif  // OE_PMEM_SLAB_ALLOCATOR_H_

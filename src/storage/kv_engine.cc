@@ -1,0 +1,66 @@
+#include "storage/kv_engine.h"
+
+#include <unordered_map>
+
+#include "storage/kv_flat.h"
+#include "storage/kv_pethash.h"
+
+namespace oe::storage {
+namespace {
+
+/// The pre-engine index verbatim: std::unordered_map. Kept as the race
+/// baseline and as the reference implementation for the engine tests.
+class UnorderedKvEngine final : public KvEngine {
+ public:
+  cache::AtomicTaggedPtr* Find(EntryId key) override {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  cache::AtomicTaggedPtr* Upsert(EntryId key, cache::TaggedPtr value) override {
+    auto& slot = map_[key];
+    slot.store(value);
+    return &slot;
+  }
+
+  bool Erase(EntryId key) override { return map_.erase(key) > 0; }
+
+  void Clear() override { map_.clear(); }
+
+  void Reserve(size_t n) override { map_.reserve(n); }
+
+  size_t Size() const override { return map_.size(); }
+
+  void ForEach(const std::function<void(EntryId, cache::TaggedPtr)>& fn)
+      const override {
+    for (const auto& [key, slot] : map_) fn(key, slot.load());
+  }
+
+  KvEngineKind kind() const override { return KvEngineKind::kUnorderedMap; }
+
+ private:
+  // Node-based, so slot pointers additionally survive rehash — the other
+  // engines only promise validity until the next mutation, and callers
+  // must (and do) assume the weaker contract.
+  std::unordered_map<EntryId, cache::AtomicTaggedPtr> map_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<KvEngine>> MakeKvEngine(KvEngineKind kind,
+                                               const KvEngineOptions& options) {
+  switch (kind) {
+    case KvEngineKind::kUnorderedMap:
+      return std::unique_ptr<KvEngine>(new UnorderedKvEngine());
+    case KvEngineKind::kFlat:
+      return std::unique_ptr<KvEngine>(new FlatKvEngine());
+    case KvEngineKind::kPmemBucket: {
+      auto engine = PethashKvEngine::Create(options);
+      if (!engine.ok()) return engine.status();
+      return std::unique_ptr<KvEngine>(std::move(engine).value());
+    }
+  }
+  return Status::InvalidArgument("unknown kv engine kind");
+}
+
+}  // namespace oe::storage

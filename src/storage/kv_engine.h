@@ -1,0 +1,113 @@
+#ifndef OE_STORAGE_KV_ENGINE_H_
+#define OE_STORAGE_KV_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "cache/tagged_ptr.h"
+#include "common/status.h"
+#include "storage/embedding_store.h"
+
+namespace oe::pmem {
+class PmemDevice;
+class PmemPool;
+}  // namespace oe::pmem
+
+namespace oe::storage {
+
+/// Everything an engine may need; engines ignore fields that do not apply
+/// (the DRAM engines never touch the pool).
+struct KvEngineOptions {
+  /// kPmemBucket: pool hosting the bucket-array extent and its device.
+  pmem::PmemPool* pool = nullptr;
+  pmem::PmemDevice* device = nullptr;
+  /// kPmemBucket: bucket count, rounded up to a power of two. Capacity is
+  /// 15 entries per bucket and the table never grows.
+  uint64_t pmem_buckets = 1 << 12;
+  /// kPmemBucket: pool type tag of the bucket-array extent, so the owner
+  /// can find (and free) stale extents by tag after a crash.
+  uint64_t bucket_extent_tag = 0xE6;
+};
+
+/// Per-shard key -> TaggedPtr index behind the pipelined store, pluggable
+/// so engines can be raced against each other (DESIGN.md §5d).
+///
+/// Lock contract (enforced by the caller, PipelinedStore, which wraps each
+/// engine in its shard RW lock):
+///   - Find / Size / ForEach require at least the shard *read* lock.
+///   - Upsert / Erase / Clear / Reserve require the shard *write* lock.
+/// Returned slot pointers stay valid until the next Upsert/Erase/Clear on
+/// the same engine — mutations need the write lock, which excludes every
+/// reader still holding a slot pointer. The slots themselves are atomics:
+/// the push path stores through a slot while concurrent readers (shared
+/// lock only) load it, and that 8-byte exchange must be tear-free.
+///
+/// Persist sites: the DRAM engines never persist. kPmemBucket anchors its
+/// slots in PMem and emits sites "kv-format" (bucket-array creation, wraps
+/// the pool's alloc protocol), "kv-upsert" (insert/update of a PMem-valued
+/// slot), "kv-erase" and "kv-clear". Crash recovery never trusts engine
+/// contents: the store frees stale bucket extents by tag, recreates the
+/// engines and rebuilds them from the authoritative record scan.
+class KvEngine {
+ public:
+  virtual ~KvEngine() = default;
+
+  /// Slot holding `key`, or nullptr if absent. Requires >= read lock.
+  virtual cache::AtomicTaggedPtr* Find(EntryId key) = 0;
+
+  /// Batched Find: out[i] = Find(keys[i]) for i < n. The store's pull/push
+  /// loops are batched per shard, which open-addressing engines exploit by
+  /// software-pipelining the probe — hash and prefetch a stride of home
+  /// lines ahead of the tag scans, which in turn run ahead of the key
+  /// compares. The probe address is computable from the hash alone, before
+  /// any memory is touched, so the dependent loads of successive keys
+  /// overlap instead of serializing; one virtual call covers the whole
+  /// batch. Same contract as Find (>= read lock; slot pointers valid until
+  /// the next mutation). Default: a per-key Find loop — the unordered-map
+  /// baseline stays deliberately unimproved, its chain addresses being
+  /// unknowable before the bucket-head load.
+  virtual void FindBatch(const EntryId* keys, size_t n,
+                         cache::AtomicTaggedPtr** out) {
+    for (size_t i = 0; i < n; ++i) out[i] = Find(keys[i]);
+  }
+
+  /// Inserts or updates `key` and returns its slot. Returns nullptr only
+  /// when a fixed-capacity engine is full (callers surface OutOfSpace).
+  /// Requires the write lock.
+  virtual cache::AtomicTaggedPtr* Upsert(EntryId key, cache::TaggedPtr value) = 0;
+
+  /// Removes `key`; false if absent. Requires the write lock.
+  virtual bool Erase(EntryId key) = 0;
+
+  /// Drops every entry. Requires the write lock.
+  virtual void Clear() = 0;
+
+  /// Size hint before a bulk rebuild (recovery). Requires the write lock.
+  virtual void Reserve(size_t n) { (void)n; }
+
+  /// Live entry count. Requires >= read lock.
+  virtual size_t Size() const = 0;
+
+  /// Cold scan over every (key, value). Requires >= read lock, and no
+  /// concurrent mutator (the store only scans under all-shard locks).
+  virtual void ForEach(
+      const std::function<void(EntryId, cache::TaggedPtr)>& fn) const = 0;
+
+  virtual KvEngineKind kind() const = 0;
+
+  /// Persist sites this engine can emit, for crash-schedule enumeration
+  /// coverage checks. Empty for pure-DRAM engines.
+  virtual std::vector<std::string_view> PersistSites() const { return {}; }
+};
+
+/// Builds an engine of `kind`. kPmemBucket requires options.pool/device and
+/// allocates its bucket array immediately (can fail with OutOfSpace).
+Result<std::unique_ptr<KvEngine>> MakeKvEngine(KvEngineKind kind,
+                                               const KvEngineOptions& options);
+
+}  // namespace oe::storage
+
+#endif  // OE_STORAGE_KV_ENGINE_H_

@@ -1,0 +1,67 @@
+#ifndef OE_STORAGE_KV_FLAT_H_
+#define OE_STORAGE_KV_FLAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/kv_engine.h"
+
+namespace oe::storage {
+
+/// F14-style open-addressing flat table (the adopted default engine).
+///
+/// Layout: the table is an array of 16-slot *chunks*. A parallel tag array
+/// keeps one byte per slot — 0 = empty, 1 = tombstone, 0x80 | fp7 for an
+/// occupied slot, where fp7 is 7 hash bits not used for chunk selection.
+/// A probe SWAR-scans a chunk's 16 tag bytes (two u64 words) for the
+/// fingerprint and only touches the 16-byte Slot {key, value} on a tag
+/// match, so misses cost two word compares instead of a bucket walk, and
+/// hits average ~1 key compare. Probing is linear over chunks and stops at
+/// the first chunk containing an empty tag (tombstones keep probes going).
+///
+/// Growth: doubles when occupied + tombstones reach 7/8 of capacity
+/// (rehash drops tombstones). Growth invalidates slot pointers, which is
+/// why the contract ties slot lifetime to the caller's write lock.
+class FlatKvEngine final : public KvEngine {
+ public:
+  FlatKvEngine();
+
+  cache::AtomicTaggedPtr* Find(EntryId key) override;
+  void FindBatch(const EntryId* keys, size_t n,
+                 cache::AtomicTaggedPtr** out) override;
+  cache::AtomicTaggedPtr* Upsert(EntryId key, cache::TaggedPtr value) override;
+  bool Erase(EntryId key) override;
+  void Clear() override;
+  void Reserve(size_t n) override;
+  size_t Size() const override { return size_; }
+  void ForEach(const std::function<void(EntryId, cache::TaggedPtr)>& fn)
+      const override;
+  KvEngineKind kind() const override { return KvEngineKind::kFlat; }
+
+ private:
+  struct Slot {
+    EntryId key = 0;
+    cache::AtomicTaggedPtr value;
+  };
+  static constexpr size_t kChunkSlots = 16;
+  static constexpr size_t kInitialSlots = 64;
+  static constexpr uint8_t kEmpty = 0;
+  static constexpr uint8_t kTombstone = 1;
+
+  /// Index of the slot `key` occupies, or SIZE_MAX.
+  size_t FindSlot(EntryId key) const;
+  /// Rehashes into `new_slots` capacity (power of two, >= kInitialSlots).
+  void Rehash(size_t new_slots);
+  /// Inserts a key known to be absent into a table with no tombstones.
+  void InsertFresh(EntryId key, cache::TaggedPtr value);
+
+  std::vector<uint8_t> tags_;  // capacity_ bytes, chunk-contiguous
+  std::vector<Slot> slots_;    // parallel to tags_
+  size_t capacity_ = 0;        // slots; power of two, multiple of 16
+  size_t size_ = 0;            // occupied
+  size_t used_ = 0;            // occupied + tombstones (load-factor gate)
+};
+
+}  // namespace oe::storage
+
+#endif  // OE_STORAGE_KV_FLAT_H_

@@ -1,0 +1,292 @@
+#include "storage/kv_pethash.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace oe::storage {
+namespace {
+
+constexpr uint64_t kLsb = 0x0101010101010101ULL;
+constexpr uint64_t kMsb = 0x8080808080808080ULL;
+
+inline uint64_t MatchByte(uint64_t word, uint8_t byte) {
+  const uint64_t x = word ^ (kLsb * byte);
+  return (x - kLsb) & ~x & kMsb;
+}
+
+inline uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline uint8_t Fingerprint(uint64_t hash) {
+  return static_cast<uint8_t>(0x80 | (hash & 0x7F));
+}
+
+uint64_t RoundUpPow2(uint64_t v) {
+  uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+static_assert(sizeof(cache::AtomicTaggedPtr) == 8,
+              "PMem slots alias AtomicTaggedPtr");
+
+PethashKvEngine::PethashKvEngine(pmem::PmemPool* pool, uint64_t extent,
+                                 uint64_t buckets)
+    : pool_(pool),
+      device_(pool->device()),
+      extent_(extent),
+      buckets_(buckets),
+      tags_(buckets * kTagBytes, kEmpty) {
+  for (uint64_t b = 0; b < buckets_; ++b) {
+    tags_[b * kTagBytes + kBucketSlots] = kTombstone;  // slot-15 sentinel
+  }
+}
+
+Result<std::unique_ptr<PethashKvEngine>> PethashKvEngine::Create(
+    const KvEngineOptions& options) {
+  if (options.pool == nullptr || options.device == nullptr) {
+    return Status::InvalidArgument("pmem-bucket engine needs a pool/device");
+  }
+  const uint64_t buckets = RoundUpPow2(std::max<uint64_t>(1, options.pmem_buckets));
+  pmem::PmemPool* pool = options.pool;
+  // The whole bucket array is one pool extent; creation wraps the pool's
+  // alloc protocol so a crash mid-format rolls the extent back.
+  pmem::PersistSiteGuard site("kv-format");
+  OE_ASSIGN_OR_RETURN(
+      uint64_t extent,
+      pool->Alloc(buckets * kBucketBytes, options.bucket_extent_tag));
+  options.device->Memset(extent, 0, buckets * kBucketBytes);
+  OE_RETURN_IF_ERROR(pool->CommitAlloc(extent));
+  return std::unique_ptr<PethashKvEngine>(
+      new PethashKvEngine(pool, extent, buckets));
+}
+
+Result<std::unique_ptr<PethashKvEngine>> PethashKvEngine::Attach(
+    const KvEngineOptions& options, uint64_t extent, uint64_t buckets) {
+  if (options.pool == nullptr || options.device == nullptr) {
+    return Status::InvalidArgument("pmem-bucket engine needs a pool/device");
+  }
+  buckets = RoundUpPow2(std::max<uint64_t>(1, buckets));
+  auto engine = std::unique_ptr<PethashKvEngine>(
+      new PethashKvEngine(options.pool, extent, buckets));
+  pmem::PmemDevice* device = engine->device_;
+  for (uint64_t b = 0; b < buckets; ++b) {
+    uint8_t tags[kTagBytes];
+    std::memcpy(tags, device->base() + engine->BucketOffset(b), kTagBytes);
+    device->ChargeRead(kTagBytes);
+    for (size_t slot = 0; slot < kBucketSlots; ++slot) {
+      if (!(tags[slot] & 0x80)) {
+        engine->tags_[b * kTagBytes + slot] = tags[slot];
+        continue;
+      }
+      const EntryId key = engine->KeyAt(b, slot);
+      const cache::TaggedPtr value = engine->ValueSlot(b, slot)->load();
+      if (!value.is_pmem() || Fingerprint(Mix(key)) != tags[slot]) {
+        // A DRAM pointer or a torn entry is meaningless after restart;
+        // tombstone (never empty) keeps longer probe chains intact.
+        engine->tags_[b * kTagBytes + slot] = kTombstone;
+        continue;
+      }
+      engine->tags_[b * kTagBytes + slot] = tags[slot];
+      ++engine->size_;
+    }
+  }
+  return engine;
+}
+
+EntryId PethashKvEngine::KeyAt(uint64_t b, size_t slot) const {
+  EntryId key;
+  std::memcpy(&key, device_->base() + EntryOffset(b, slot), sizeof(key));
+  device_->ChargeRead(sizeof(key));
+  return key;
+}
+
+cache::AtomicTaggedPtr* PethashKvEngine::ValueSlot(uint64_t b,
+                                                   size_t slot) const {
+  // The value word is 8B-aligned (extent payloads start 8B-aligned, entry
+  // offsets are 16B-granular), so aliasing it as an atomic is sound.
+  return reinterpret_cast<cache::AtomicTaggedPtr*>(
+      const_cast<uint8_t*>(device_->base()) + EntryOffset(b, slot) + 8);
+}
+
+void PethashKvEngine::Prefetch(EntryId key) const {
+  const uint64_t b = (Mix(key) >> 8) & (buckets_ - 1);
+  __builtin_prefetch(tags_.data() + b * kTagBytes, 0, 1);
+  const uint8_t* bucket = device_->base() + BucketOffset(b);
+  for (uint64_t line = 0; line < kBucketBytes; line += 64) {
+    __builtin_prefetch(bucket + line, 0, 1);
+  }
+}
+
+void PethashKvEngine::FindBatch(const EntryId* keys, size_t n,
+                                cache::AtomicTaggedPtr** out) {
+  // Two-stage pipeline: warm a stride of home buckets (mirror line + the
+  // PMem bucket itself), then probe them. The bucket address is computable
+  // from the hash alone — PetHash's trick for overlapping PMem read
+  // latency across a batch of lookups.
+  constexpr size_t kStride = 8;
+  for (size_t base = 0; base < n; base += kStride) {
+    const size_t block = n - base < kStride ? n - base : kStride;
+    for (size_t i = 0; i < block; ++i) Prefetch(keys[base + i]);
+    for (size_t i = 0; i < block; ++i) out[base + i] = Find(keys[base + i]);
+  }
+}
+
+cache::AtomicTaggedPtr* PethashKvEngine::Find(EntryId key) {
+  const uint64_t h = Mix(key);
+  const uint8_t fp = Fingerprint(h);
+  uint64_t b = (h >> 8) & (buckets_ - 1);
+  for (uint64_t probes = 0; probes < buckets_; ++probes) {
+    const uint8_t* tags = tags_.data() + b * kTagBytes;
+    uint64_t words[2];
+    std::memcpy(words, tags, sizeof(words));
+    for (int half = 0; half < 2; ++half) {
+      uint64_t m = MatchByte(words[half], fp);
+      while (m != 0) {
+        const size_t slot = static_cast<size_t>(half) * 8 +
+                            static_cast<size_t>(__builtin_ctzll(m) >> 3);
+        if (KeyAt(b, slot) == key) return ValueSlot(b, slot);
+        m &= m - 1;
+      }
+    }
+    if ((MatchByte(words[0], kEmpty) | MatchByte(words[1], kEmpty)) != 0) {
+      return nullptr;
+    }
+    b = (b + 1) & (buckets_ - 1);
+  }
+  return nullptr;
+}
+
+cache::AtomicTaggedPtr* PethashKvEngine::Upsert(EntryId key,
+                                                cache::TaggedPtr value) {
+  const uint64_t h = Mix(key);
+  const uint8_t fp = Fingerprint(h);
+  uint64_t b = (h >> 8) & (buckets_ - 1);
+  uint64_t insert_bucket = UINT64_MAX;
+  size_t insert_slot = 0;
+  for (uint64_t probes = 0; probes < buckets_; ++probes) {
+    uint8_t* tags = tags_.data() + b * kTagBytes;
+    uint64_t words[2];
+    std::memcpy(words, tags, sizeof(words));
+    for (int half = 0; half < 2; ++half) {
+      uint64_t m = MatchByte(words[half], fp);
+      while (m != 0) {
+        const size_t slot = static_cast<size_t>(half) * 8 +
+                            static_cast<size_t>(__builtin_ctzll(m) >> 3);
+        if (KeyAt(b, slot) == key) {
+          // In-place value update through the device so dirty tracking and
+          // write accounting see it (Upsert holds the shard write lock, so
+          // no reader can race the memcpy inside Write).
+          const uint64_t bits = value.bits();
+          device_->Write(EntryOffset(b, slot) + 8, &bits, sizeof(bits));
+          if (value.is_pmem()) {
+            pmem::PersistSiteGuard site("kv-upsert");
+            device_->Persist(EntryOffset(b, slot), 16);
+          }
+          return ValueSlot(b, slot);
+        }
+        m &= m - 1;
+      }
+    }
+    if (insert_bucket == UINT64_MAX) {
+      const uint64_t f0 =
+          MatchByte(words[0], kEmpty) | MatchByte(words[0], kTombstone);
+      const uint64_t f1 =
+          MatchByte(words[1], kEmpty) | MatchByte(words[1], kTombstone);
+      // Mask off the slot-15 sentinel byte (always kTombstone).
+      const uint64_t f1_usable = f1 & ~(0x80ULL << 56);
+      if ((f0 | f1_usable) != 0) {
+        insert_bucket = b;
+        insert_slot =
+            f0 != 0 ? static_cast<size_t>(__builtin_ctzll(f0) >> 3)
+                    : 8 + static_cast<size_t>(__builtin_ctzll(f1_usable) >> 3);
+      }
+    }
+    if ((MatchByte(words[0], kEmpty) | MatchByte(words[1], kEmpty)) != 0) {
+      break;  // absent beyond the first empty-bearing bucket
+    }
+    b = (b + 1) & (buckets_ - 1);
+  }
+  if (insert_bucket == UINT64_MAX) return nullptr;  // table full
+
+  const uint64_t entry[2] = {key, value.bits()};
+  device_->Write(EntryOffset(insert_bucket, insert_slot), entry,
+                 sizeof(entry));
+  device_->Write(BucketOffset(insert_bucket) + insert_slot, &fp, 1);
+  tags_[insert_bucket * kTagBytes + insert_slot] = fp;
+  ++size_;
+  if (value.is_pmem()) {
+    pmem::PersistSiteGuard site("kv-upsert");
+    device_->Persist(BucketOffset(insert_bucket), kBucketBytes);
+  }
+  return ValueSlot(insert_bucket, insert_slot);
+}
+
+bool PethashKvEngine::Erase(EntryId key) {
+  const uint64_t h = Mix(key);
+  const uint8_t fp = Fingerprint(h);
+  uint64_t b = (h >> 8) & (buckets_ - 1);
+  for (uint64_t probes = 0; probes < buckets_; ++probes) {
+    const uint8_t* tags = tags_.data() + b * kTagBytes;
+    uint64_t words[2];
+    std::memcpy(words, tags, sizeof(words));
+    for (int half = 0; half < 2; ++half) {
+      uint64_t m = MatchByte(words[half], fp);
+      while (m != 0) {
+        const size_t slot = static_cast<size_t>(half) * 8 +
+                            static_cast<size_t>(__builtin_ctzll(m) >> 3);
+        if (KeyAt(b, slot) == key) {
+          const uint8_t tomb = kTombstone;
+          const uint64_t zero[2] = {0, 0};
+          device_->Write(EntryOffset(b, slot), zero, sizeof(zero));
+          device_->Write(BucketOffset(b) + slot, &tomb, 1);
+          tags_[b * kTagBytes + slot] = kTombstone;
+          --size_;
+          pmem::PersistSiteGuard site("kv-erase");
+          device_->Persist(BucketOffset(b), kBucketBytes);
+          return true;
+        }
+        m &= m - 1;
+      }
+    }
+    if ((MatchByte(words[0], kEmpty) | MatchByte(words[1], kEmpty)) != 0) {
+      return false;
+    }
+    b = (b + 1) & (buckets_ - 1);
+  }
+  return false;
+}
+
+void PethashKvEngine::Clear() {
+  device_->Memset(extent_, 0, buckets_ * kBucketBytes);
+  {
+    pmem::PersistSiteGuard site("kv-clear");
+    device_->Persist(extent_, buckets_ * kBucketBytes);
+  }
+  std::fill(tags_.begin(), tags_.end(), kEmpty);
+  for (uint64_t b = 0; b < buckets_; ++b) {
+    tags_[b * kTagBytes + kBucketSlots] = kTombstone;
+  }
+  size_ = 0;
+}
+
+void PethashKvEngine::ForEach(
+    const std::function<void(EntryId, cache::TaggedPtr)>& fn) const {
+  for (uint64_t b = 0; b < buckets_; ++b) {
+    for (size_t slot = 0; slot < kBucketSlots; ++slot) {
+      if (tags_[b * kTagBytes + slot] & 0x80) {
+        fn(KeyAt(b, slot), ValueSlot(b, slot)->load());
+      }
+    }
+  }
+}
+
+}  // namespace oe::storage

@@ -1,0 +1,105 @@
+#ifndef OE_STORAGE_KV_PETHASH_H_
+#define OE_STORAGE_KV_PETHASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pmem/device.h"
+#include "pmem/pool.h"
+#include "storage/kv_engine.h"
+
+namespace oe::storage {
+
+/// PetHash-style PMem-native bucket hash (PetPS, ATC'23): the index slots
+/// themselves live in persistent memory, so after a clean shutdown the
+/// index needs no rebuild at all — only the DRAM tag mirror is rescanned.
+///
+/// Bucket layout (256 B, XPLine-sized, `pmem_buckets` of them in one pool
+/// extent tagged `bucket_extent_tag`):
+///
+///   +------------------+--------------------------------------------+
+///   | tags[16] (16 B)  | entries[15]: { u64 key, u64 value_bits }   |
+///   +------------------+--------------------------------------------+
+///
+/// Tag bytes follow the flat engine's encoding (0 empty, 1 tombstone,
+/// 0x80|fp7 occupied); tag slot 15 pads the line and is pinned to 1 so it
+/// never matches a fingerprint and never reads as empty. A DRAM *mirror*
+/// of the tag bytes serves every probe, so a lookup touches PMem only for
+/// the final key compare + value load (~1 line), the PetHash trick for
+/// hiding PMem read latency.
+///
+/// The table is fixed-capacity: buckets never split and entries never
+/// relocate, which is what makes an in-PMem slot address stable enough to
+/// hand out. Upsert returns nullptr when every candidate bucket is full.
+///
+/// Durability: only PMem-valued slots are persisted (site "kv-upsert") —
+/// a DRAM-valued slot is meaningless after a crash anyway, and skipping
+/// the persist keeps hot cache-resident churn off the persist path. The
+/// store's recovery still treats the record scan as authoritative and
+/// rebuilds engines from scratch; the persisted slots exist to keep the
+/// crash-schedule surface honest (torn bucket lines must be tolerated,
+/// and are, because stale/torn slots are discarded with the extent).
+class PethashKvEngine final : public KvEngine {
+ public:
+  static Result<std::unique_ptr<PethashKvEngine>> Create(
+      const KvEngineOptions& options);
+
+  /// Re-attaches to an already-formatted bucket array (clean restart): no
+  /// rebuild, just a rescan of the persisted tag bytes into the DRAM
+  /// mirror. Slots that did not survive the restart intact — DRAM-valued,
+  /// or with a fingerprint that no longer matches their key — are
+  /// tombstoned so the remaining probe chains stay reachable.
+  static Result<std::unique_ptr<PethashKvEngine>> Attach(
+      const KvEngineOptions& options, uint64_t extent, uint64_t buckets);
+
+  cache::AtomicTaggedPtr* Find(EntryId key) override;
+  void FindBatch(const EntryId* keys, size_t n,
+                 cache::AtomicTaggedPtr** out) override;
+  cache::AtomicTaggedPtr* Upsert(EntryId key, cache::TaggedPtr value) override;
+  bool Erase(EntryId key) override;
+  void Clear() override;
+  size_t Size() const override { return size_; }
+  void ForEach(const std::function<void(EntryId, cache::TaggedPtr)>& fn)
+      const override;
+  KvEngineKind kind() const override { return KvEngineKind::kPmemBucket; }
+  std::vector<std::string_view> PersistSites() const override {
+    return {"kv-format", "kv-upsert", "kv-erase", "kv-clear"};
+  }
+
+  /// Device offset of the bucket-array extent (test hook).
+  uint64_t extent_offset() const { return extent_; }
+
+ private:
+  static constexpr uint64_t kBucketBytes = 256;
+  static constexpr size_t kBucketSlots = 15;
+  static constexpr size_t kTagBytes = 16;
+  static constexpr uint8_t kEmpty = 0;
+  static constexpr uint8_t kTombstone = 1;
+
+  PethashKvEngine(pmem::PmemPool* pool, uint64_t extent, uint64_t buckets);
+
+  uint64_t BucketOffset(uint64_t b) const { return extent_ + b * kBucketBytes; }
+  uint64_t EntryOffset(uint64_t b, size_t slot) const {
+    return BucketOffset(b) + kTagBytes + slot * 16;
+  }
+  /// Key stored at (bucket, slot), read through the working image and
+  /// charged as a PMem read.
+  EntryId KeyAt(uint64_t b, size_t slot) const;
+  cache::AtomicTaggedPtr* ValueSlot(uint64_t b, size_t slot) const;
+  /// Warms a key's home lines for FindBatch: the DRAM tag-mirror line and
+  /// the 256 B PMem bucket (through the working image; a hint, not a
+  /// charged device read — the Find that follows still charges its loads).
+  void Prefetch(EntryId key) const;
+
+  pmem::PmemPool* pool_;
+  pmem::PmemDevice* device_;
+  uint64_t extent_ = 0;   // device offset of bucket 0
+  uint64_t buckets_ = 0;  // power of two
+  /// DRAM mirror of every bucket's 16 tag bytes (slot 15 pinned to 1).
+  std::vector<uint8_t> tags_;
+  size_t size_ = 0;
+};
+
+}  // namespace oe::storage
+
+#endif  // OE_STORAGE_KV_PETHASH_H_

@@ -9,6 +9,7 @@ namespace oe::storage {
 
 using cache::TaggedPtr;
 
+
 size_t PipelinedStore::ShardCount(const StoreConfig& config) {
   return static_cast<size_t>(std::max(1, config.store_shards));
 }
@@ -68,9 +69,40 @@ Result<std::unique_ptr<PipelinedStore>> PipelinedStore::Open(
   return store;
 }
 
+Result<std::unique_ptr<KvEngine>> PipelinedStore::MakeShardEngine() {
+  KvEngineOptions options;
+  options.pool = pool_.get();
+  options.device = device_;
+  options.pmem_buckets = config_.kv_pmem_buckets;
+  options.bucket_extent_tag = kKvBucketTag;
+  return MakeKvEngine(config_.kv_engine, options);
+}
+
+Result<uint64_t> PipelinedStore::AllocRecord(const void* data, size_t size,
+                                             size_t shard) {
+  if (slab_ != nullptr) {
+    return slab_->AllocWrite(data, size, static_cast<uint32_t>(shard));
+  }
+  return pool_->AllocWrite(data, size, kEntryTag);
+}
+
+Status PipelinedStore::FreeRecord(uint64_t offset) {
+  if (slab_ != nullptr) return slab_->Free(offset);
+  return pool_->Free(offset);
+}
+
 Status PipelinedStore::Init() {
   if (pool_ == nullptr) {
     OE_ASSIGN_OR_RETURN(pool_, pmem::PmemPool::Create(device_));
+  }
+  if (config_.slab_alloc) {
+    pmem::SlabAllocatorOptions slab_options;
+    slab_options.lanes = static_cast<uint32_t>(shards_.size());
+    OE_ASSIGN_OR_RETURN(slab_,
+                        pmem::SlabAllocator::Attach(pool_.get(), slab_options));
+  }
+  for (auto& sh : shards_) {
+    OE_ASSIGN_OR_RETURN(sh.index, MakeShardEngine());
   }
   if (config_.cache_enabled) {
     cache_capacity_ = std::max<size_t>(
@@ -169,8 +201,10 @@ PipelinedStore::CacheEntry* PipelinedStore::CreateCachedEntryLocked(
   config_.initializer.Fill(key, entry->data.get(), config_.dim);
   dram_stats_.AddWrite(layout_.data_bytes());
   CacheEntry* raw = entry.get();
+  if (sh.index->Upsert(key, TaggedPtr::FromDram(raw)) == nullptr) {
+    return nullptr;  // fixed-capacity engine full; caller reports OutOfSpace
+  }
   sh.cache_entries.emplace(key, std::move(entry));
-  sh.index[key] = TaggedPtr::FromDram(raw);
   ++sh.fresh_entries;
   stats_.new_entries.fetch_add(1, std::memory_order_relaxed);
   return raw;
@@ -192,20 +226,31 @@ Status PipelinedStore::Pull(const EntryId* keys, size_t n, uint64_t batch,
   // (construction order below preserves the shard grouping of `order`).
   std::vector<size_t> missing;
   std::vector<EntryId> present;
+  // Per-shard scratch for the batched index probe (gathered outside the
+  // shard lock; FindBatch pipelines the lookups under it).
+  std::vector<EntryId> shard_keys;
+  std::vector<cache::AtomicTaggedPtr*> shard_slots;
 
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (begin[s] == begin[s + 1]) continue;
     Shard& sh = shards_[s];
     present.clear();
+    const size_t count = begin[s + 1] - begin[s];
+    shard_keys.resize(count);
+    shard_slots.resize(count);
+    for (size_t k = 0; k < count; ++k) {
+      shard_keys[k] = keys[order[begin[s] + k]];
+    }
     ReadGuard guard(sh.lock);
+    sh.index->FindBatch(shard_keys.data(), count, shard_slots.data());
     for (size_t j = begin[s]; j < begin[s + 1]; ++j) {
       const size_t i = order[j];
-      auto it = sh.index.find(keys[i]);
-      if (it == sh.index.end()) {
+      cache::AtomicTaggedPtr* slot = shard_slots[j - begin[s]];
+      if (slot == nullptr) {
         missing.push_back(i);
         continue;
       }
-      const TaggedPtr ptr = it->second.load();
+      const TaggedPtr ptr = slot->load();
       if (ptr.is_dram()) {
         const CacheEntry* entry = ptr.dram<CacheEntry>();
         std::memcpy(out + i * config_.dim, entry->data.get(), weight_bytes);
@@ -243,10 +288,13 @@ Status PipelinedStore::Pull(const EntryId* keys, size_t n, uint64_t batch,
     for (size_t j = m; j < m_end; ++j) {
       const size_t i = missing[j];
       const EntryId key = keys[i];
-      auto it = sh.index.find(key);
-      if (it == sh.index.end()) {
+      cache::AtomicTaggedPtr* slot = sh.index->Find(key);
+      if (slot == nullptr) {
         if (config_.cache_enabled) {
           CacheEntry* entry = CreateCachedEntryLocked(s, key, batch);
+          if (entry == nullptr) {
+            return Status::OutOfSpace("kv engine index full");
+          }
           std::memcpy(out + i * config_.dim, entry->data.get(), weight_bytes);
           dram_stats_.AddRead(weight_bytes);
         } else {
@@ -257,7 +305,7 @@ Status PipelinedStore::Pull(const EntryId* keys, size_t n, uint64_t batch,
       }
       // Raced with another puller (or a duplicate earlier in this batch)
       // that created it; serve and count it like the read-locked pass.
-      const TaggedPtr ptr = it->second.load();
+      const TaggedPtr ptr = slot->load();
       if (ptr.is_dram()) {
         std::memcpy(out + i * config_.dim, ptr.dram<CacheEntry>()->data.get(),
                     weight_bytes);
@@ -287,10 +335,13 @@ Status PipelinedStore::PullPmemDirect(size_t shard, EntryId key,
   config_.initializer.Fill(key, EntryLayout::RecordData(record.data()),
                            config_.dim);
   pmem::PersistSiteGuard site("direct-create");
-  OE_ASSIGN_OR_RETURN(
-      uint64_t offset,
-      pool_->AllocWrite(record.data(), record.size(), kEntryTag));
-  shards_[shard].index[key] = TaggedPtr::FromPmem(offset);
+  OE_ASSIGN_OR_RETURN(uint64_t offset,
+                      AllocRecord(record.data(), record.size(), shard));
+  if (shards_[shard].index->Upsert(key, TaggedPtr::FromPmem(offset)) ==
+      nullptr) {
+    OE_CHECK_OK(FreeRecord(offset));
+    return Status::OutOfSpace("kv engine index full");
+  }
   stats_.new_entries.fetch_add(1, std::memory_order_relaxed);
   std::memcpy(out, EntryLayout::RecordData(record.data()),
               config_.dim * sizeof(float));
@@ -426,7 +477,7 @@ void PipelinedStore::AckCheckpointsLocked(size_t shard) {
     to_free = PublishReadyLocked();
   }
   pmem::PersistSiteGuard site("ckpt-gc");
-  for (uint64_t offset : to_free) OE_CHECK_OK(pool_->Free(offset));
+  for (uint64_t offset : to_free) OE_CHECK_OK(FreeRecord(offset));
 }
 
 void PipelinedStore::ProcessChunkLocked(size_t shard, uint64_t batch,
@@ -459,14 +510,14 @@ void PipelinedStore::ProcessChunkLocked(size_t shard, uint64_t batch,
   static const std::vector<CacheEntry*> kNoSkip;
 
   for (const EntryId key : keys) {
-    auto it = sh.index.find(key);
-    if (it == sh.index.end()) continue;  // evaporated (should not happen)
+    cache::AtomicTaggedPtr* slot = sh.index->Find(key);
+    if (slot == nullptr) continue;  // evaporated (should not happen)
     const uint32_t f = by_freq ? sh.freq->Record(key) : 0;
-    const TaggedPtr ptr = it->second.load();
+    const TaggedPtr ptr = slot->load();
     if (ptr.is_dram()) {
       CacheEntry* entry = ptr.dram<CacheEntry>();
       if (has_gate && entry->version <= flush_gate && entry->dirty) {
-        Status s = FlushEntryLocked(entry);
+        Status s = FlushEntryLocked(shard, entry);
         // Flush failures are expected while a simulated crash fault is
         // suppressing device writes; only real ones are worth logging.
         if (!s.ok() && !device_->crashed()) {
@@ -543,12 +594,14 @@ PipelinedStore::CacheEntry* PipelinedStore::LoadToDramLocked(
 
   CacheEntry* raw = entry.get();
   sh.cache_entries[key] = std::move(entry);
-  sh.index[key] = TaggedPtr::FromDram(raw);
+  // The key is present (it was PMem-valued), so this is an in-place slot
+  // update and cannot hit the fixed-capacity ceiling.
+  OE_CHECK(sh.index->Upsert(key, TaggedPtr::FromDram(raw)) != nullptr);
   sh.lru.PushFront(raw);
   return raw;
 }
 
-Status PipelinedStore::FlushEntryLocked(CacheEntry* entry) {
+Status PipelinedStore::FlushEntryLocked(size_t shard, CacheEntry* entry) {
   obs::ScopedSpan span("store", "flush");
   // Copy-on-write: never overwrite a record a checkpoint may still need.
   std::vector<uint8_t> record(layout_.record_bytes());
@@ -557,16 +610,15 @@ Status PipelinedStore::FlushEntryLocked(CacheEntry* entry) {
               layout_.data_bytes());
   dram_stats_.AddRead(layout_.data_bytes());
   pmem::PersistSiteGuard site("write-back");
-  OE_ASSIGN_OR_RETURN(
-      uint64_t offset,
-      pool_->AllocWrite(record.data(), record.size(), kEntryTag));
+  OE_ASSIGN_OR_RETURN(uint64_t offset,
+                      AllocRecord(record.data(), record.size(), shard));
 
   const uint64_t old_offset = entry->pmem_offset;
   if (old_offset != kNullOffset) {
     if (published_ckpt_.load(std::memory_order_acquire) >= entry->version) {
       // The new record already supersedes the old one for every current and
       // future checkpoint: recycle immediately.
-      OE_CHECK_OK(pool_->Free(old_offset));
+      OE_CHECK_OK(FreeRecord(old_offset));
     } else {
       std::lock_guard<std::mutex> lock(ckpt_mutex_);
       deferred_free_[entry->version].push_back(old_offset);
@@ -657,7 +709,7 @@ void PipelinedStore::EvictIfNeededLocked(size_t shard) {
       return;
     }
     if (victim->dirty) {
-      Status s = FlushEntryLocked(victim);
+      Status s = FlushEntryLocked(shard, victim);
       if (!s.ok()) {
         // Bounded retry: pass over this victim and try the next tail-window
         // candidate instead of giving up on eviction outright. Log a stuck
@@ -673,7 +725,10 @@ void PipelinedStore::EvictIfNeededLocked(size_t shard) {
       }
     }
     if (sh.logged_victim == victim->key) sh.logged_victim = kNoVictim;
-    sh.index[victim->key] = TaggedPtr::FromPmem(victim->pmem_offset);
+    // Demotion is an in-place update of an existing slot, never a growth.
+    OE_CHECK(sh.index->Upsert(victim->key,
+                              TaggedPtr::FromPmem(victim->pmem_offset)) !=
+             nullptr);
     sh.lru.Remove(victim);
     sh.cache_entries.erase(victim->key);
     stats_.evictions.fetch_add(1, std::memory_order_relaxed);
@@ -700,15 +755,24 @@ Status PipelinedStore::Push(const EntryId* keys, size_t n, const float* grads,
   std::vector<size_t> begin;
   GroupByShard(keys, n, &order, &begin);
 
+  std::vector<EntryId> shard_keys;
+  std::vector<cache::AtomicTaggedPtr*> shard_slots;
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (begin[s] == begin[s + 1]) continue;
     Shard& sh = shards_[s];
+    const size_t count = begin[s + 1] - begin[s];
+    shard_keys.resize(count);
+    shard_slots.resize(count);
+    for (size_t k = 0; k < count; ++k) {
+      shard_keys[k] = keys[order[begin[s] + k]];
+    }
     ReadGuard guard(sh.lock);
+    sh.index->FindBatch(shard_keys.data(), count, shard_slots.data());
     for (size_t j = begin[s]; j < begin[s + 1]; ++j) {
       const size_t i = order[j];
       const EntryId key = keys[i];
-      auto it = sh.index.find(key);
-      if (it == sh.index.end()) {
+      cache::AtomicTaggedPtr* slot = shard_slots[j - begin[s]];
+      if (slot == nullptr) {
         return Status::NotFound(
             "push to unknown key (pull must precede push)");
       }
@@ -718,7 +782,7 @@ Status PipelinedStore::Push(const EntryId* keys, size_t n, const float* grads,
       // pusher of the same key may have COW-remapped the record, and
       // applying this gradient to the superseded offset would silently
       // lose its update.
-      const TaggedPtr ptr = it->second.load();
+      const TaggedPtr ptr = slot->load();
       if (ptr.is_dram()) {
         CacheEntry* entry = ptr.dram<CacheEntry>();
         config_.optimizer.Apply(entry->data.get(),
@@ -729,7 +793,7 @@ Status PipelinedStore::Push(const EntryId* keys, size_t n, const float* grads,
         dram_stats_.AddWrite(layout_.data_bytes());
         stripe.unlock();
       } else {
-        Status status = PushPmemRecord(&it->second, ptr.pmem_offset(),
+        Status status = PushPmemRecord(s, slot, ptr.pmem_offset(),
                                        grads + i * config_.dim, batch);
         stripe.unlock();
         OE_RETURN_IF_ERROR(status);
@@ -740,7 +804,8 @@ Status PipelinedStore::Push(const EntryId* keys, size_t n, const float* grads,
   return Status::OK();
 }
 
-Status PipelinedStore::PushPmemRecord(cache::AtomicTaggedPtr* slot,
+Status PipelinedStore::PushPmemRecord(size_t shard,
+                                      cache::AtomicTaggedPtr* slot,
                                       uint64_t record_offset,
                                       const float* grad,
                                       uint64_t batch) {
@@ -761,9 +826,8 @@ Status PipelinedStore::PushPmemRecord(cache::AtomicTaggedPtr* slot,
   }
   if (record_version <= newest_cp) {
     pmem::PersistSiteGuard site("push-cow");
-    OE_ASSIGN_OR_RETURN(
-        uint64_t offset,
-        pool_->AllocWrite(record.data(), record.size(), kEntryTag));
+    OE_ASSIGN_OR_RETURN(uint64_t offset,
+                        AllocRecord(record.data(), record.size(), shard));
     {
       std::lock_guard<std::mutex> lock(ckpt_mutex_);
       deferred_free_[batch].push_back(record_offset);
@@ -839,7 +903,7 @@ Status PipelinedStore::DrainCheckpoints() {
     for (size_t s = 0; s < shards_.size(); ++s) {
       for (auto& [key, entry] : shards_[s].cache_entries) {
         if (entry->version <= cp && entry->dirty) {
-          status = FlushEntryLocked(entry.get());
+          status = FlushEntryLocked(s, entry.get());
           if (!status.ok()) break;
         }
       }
@@ -853,7 +917,7 @@ Status PipelinedStore::DrainCheckpoints() {
       to_free = PublishReadyLocked();
     }
     pmem::PersistSiteGuard site("ckpt-gc");
-    for (uint64_t offset : to_free) OE_CHECK_OK(pool_->Free(offset));
+    for (uint64_t offset : to_free) OE_CHECK_OK(FreeRecord(offset));
   }
   for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
     it->lock.ReleaseWrite();
@@ -893,8 +957,36 @@ Status PipelinedStore::RecoverFromCrash() {
     deferred_free_.clear();
     std::fill(shard_acked_.begin(), shard_acked_.end(), cp);
   }
+  // Index engines are rebuilt from scratch: stale kPmemBucket extents from
+  // the pre-crash engines (whose DRAM mirrors are gone) are freed by tag,
+  // the slab allocator re-attaches to the reopened pool, and each shard
+  // gets a fresh engine. The record scan below is the authoritative state.
+  {
+    std::vector<uint64_t> stale_extents;
+    pool_->ForEachAllocated(kKvBucketTag, [&](uint64_t offset, uint64_t size) {
+      (void)size;
+      stale_extents.push_back(offset);
+    });
+    pmem::PersistSiteGuard site("recover-gc");
+    for (uint64_t offset : stale_extents) OE_CHECK_OK(pool_->Free(offset));
+  }
+  if (config_.slab_alloc) {
+    pmem::SlabAllocatorOptions slab_options;
+    slab_options.lanes = static_cast<uint32_t>(shards_.size());
+    auto slab = pmem::SlabAllocator::Attach(pool_.get(), slab_options);
+    if (!slab.ok()) {
+      release_all();
+      return slab.status();
+    }
+    slab_ = std::move(slab).ValueOrDie();
+  }
   for (auto& shard : shards_) {
-    shard.index.clear();
+    auto engine = MakeShardEngine();
+    if (!engine.ok()) {
+      release_all();
+      return engine.status();
+    }
+    shard.index = std::move(engine).ValueOrDie();
     // Unlink LRU nodes before the entries that embed them are freed.
     shard.lru.Clear();
     shard.cache_entries.clear();
@@ -923,7 +1015,7 @@ Status PipelinedStore::RecoverFromCrash() {
     uint64_t version;
   };
   std::vector<std::pair<uint64_t, uint64_t>> blocks;  // offset, size
-  pool_->ForEachAllocated(kEntryTag, [&](uint64_t offset, uint64_t size) {
+  ForEachEntryRecord([&](uint64_t offset, uint64_t size) {
     blocks.emplace_back(offset, size);
   });
 
@@ -998,7 +1090,7 @@ Status PipelinedStore::RecoverFromCrash() {
 
   {
     pmem::PersistSiteGuard site("recover-gc");
-    for (uint64_t offset : discard) OE_CHECK_OK(pool_->Free(offset));
+    for (uint64_t offset : discard) OE_CHECK_OK(FreeRecord(offset));
   }
 
   // Partition survivors by shard, then rebuild the per-shard indexes in
@@ -1009,12 +1101,16 @@ Status PipelinedStore::RecoverFromCrash() {
   for (const auto& [key, b] : best) {
     per_shard[ShardOf(key)].emplace_back(key, b.offset);
   }
+  std::atomic<bool> rebuild_full{false};
   auto build = [&](size_t t, size_t stride) {
     for (size_t s = t; s < shards_.size(); s += stride) {
       Shard& sh = shards_[s];
-      sh.index.reserve(per_shard[s].size());
+      sh.index->Reserve(per_shard[s].size());
       for (const auto& [key, offset] : per_shard[s]) {
-        sh.index[key] = TaggedPtr::FromPmem(offset);
+        if (sh.index->Upsert(key, TaggedPtr::FromPmem(offset)) == nullptr) {
+          rebuild_full.store(true, std::memory_order_relaxed);
+          return;
+        }
         dram_stats_.AddWrite(sizeof(EntryId) + sizeof(TaggedPtr));
       }
     }
@@ -1032,6 +1128,10 @@ Status PipelinedStore::RecoverFromCrash() {
     for (auto& w : workers) w.join();
   }
   release_all();
+  if (rebuild_full.load(std::memory_order_relaxed)) {
+    return Status::OutOfSpace(
+        "kv engine index full during recovery rebuild");
+  }
   {
     // Training progress is now exactly the recovered checkpoint; without
     // this rewind a rollback deeper than one checkpoint interval would
@@ -1063,7 +1163,7 @@ Status PipelinedStore::ExportCheckpoint(ckpt::CheckpointLog* log) {
     uint64_t version;
   };
   std::unordered_map<EntryId, Best> best;
-  pool_->ForEachAllocated(kEntryTag, [&](uint64_t offset, uint64_t size) {
+  ForEachEntryRecord([&](uint64_t offset, uint64_t size) {
     if (size != layout_.record_bytes()) return;
     const uint8_t* record = pool_->Translate(offset);
     device_->ChargeRead(EntryLayout::kHeaderBytes);
@@ -1104,7 +1204,7 @@ Status PipelinedStore::ImportCheckpoint(const ckpt::CheckpointLog& log) {
     }
   };
   for (const auto& shard : shards_) {
-    if (!shard.index.empty()) {
+    if (shard.index->Size() != 0) {
       release_all();
       return Status::FailedPrecondition(
           "import requires a freshly created (empty) store");
@@ -1124,21 +1224,24 @@ Status PipelinedStore::ImportCheckpoint(const ckpt::CheckpointLog& log) {
         EntryLayout::SetRecordHeader(record.data(), key, version);
         std::memcpy(EntryLayout::RecordData(record.data()), data,
                     layout_.data_bytes());
+        const size_t s = ShardOf(key);
         pmem::PersistSiteGuard site("import-entry");
-        auto r = pool_->AllocWrite(record.data(), record.size(), kEntryTag);
+        auto r = AllocRecord(record.data(), record.size(), s);
         if (!r.ok()) {
           status = r.status();
           return;
         }
         const uint64_t offset = std::move(r).ValueOrDie();
-        auto& index = shards_[ShardOf(key)].index;
-        auto it = index.find(key);
-        if (it != index.end()) {
+        KvEngine& index = *shards_[s].index;
+        cache::AtomicTaggedPtr* slot = index.Find(key);
+        if (slot != nullptr) {
           // Later chunks override earlier ones.
-          OE_CHECK_OK(pool_->Free(it->second.load().pmem_offset()));
-          it->second = TaggedPtr::FromPmem(offset);
-        } else {
-          index[key] = TaggedPtr::FromPmem(offset);
+          OE_CHECK_OK(FreeRecord(slot->load().pmem_offset()));
+          slot->store(TaggedPtr::FromPmem(offset));
+        } else if (index.Upsert(key, TaggedPtr::FromPmem(offset)) ==
+                   nullptr) {
+          OE_CHECK_OK(FreeRecord(offset));
+          status = Status::OutOfSpace("kv engine index full");
         }
       });
   if (status.ok()) status = replay;
@@ -1157,7 +1260,7 @@ size_t PipelinedStore::EntryCount() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
     ReadGuard guard(shard.lock);
-    total += shard.index.size();
+    total += shard.index->Size();
   }
   return total;
 }
@@ -1183,17 +1286,17 @@ size_t PipelinedStore::PinnedEntries() const {
 bool PipelinedStore::IsDramCached(EntryId key) const {
   const Shard& sh = shards_[ShardOf(key)];
   ReadGuard guard(sh.lock);
-  auto it = sh.index.find(key);
-  return it != sh.index.end() && it->second.load().is_dram();
+  cache::AtomicTaggedPtr* slot = sh.index->Find(key);
+  return slot != nullptr && slot->load().is_dram();
 }
 
 Result<std::vector<float>> PipelinedStore::Peek(EntryId key) const {
   const Shard& sh = shards_[ShardOf(key)];
   ReadGuard guard(sh.lock);
-  auto it = sh.index.find(key);
-  if (it == sh.index.end()) return Status::NotFound("no such key");
+  cache::AtomicTaggedPtr* slot = sh.index->Find(key);
+  if (slot == nullptr) return Status::NotFound("no such key");
   std::vector<float> out(config_.dim);
-  const TaggedPtr ptr = it->second.load();
+  const TaggedPtr ptr = slot->load();
   if (ptr.is_dram()) {
     const CacheEntry* entry = ptr.dram<CacheEntry>();
     std::copy_n(entry->data.get(), config_.dim, out.begin());

@@ -20,7 +20,9 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "pmem/pool.h"
+#include "pmem/slab_allocator.h"
 #include "storage/embedding_store.h"
+#include "storage/kv_engine.h"
 
 namespace oe::storage {
 
@@ -79,6 +81,10 @@ class PipelinedStore final : public EmbeddingStore {
   /// pool independently of the DRAM index (see src/testing/crash_sim.h).
   static constexpr int kRootCheckpointId = 0;
   static constexpr uint64_t kEntryTag = 0xE5;
+  /// Pool type tag of kPmemBucket index extents. Bucket contents are never
+  /// trusted across a crash: recovery frees every extent under this tag and
+  /// rebuilds fresh engines from the record scan.
+  static constexpr uint64_t kKvBucketTag = 0xE6;
 
   /// Formats `device` with a fresh pool and starts the maintainer threads.
   static Result<std::unique_ptr<PipelinedStore>> Create(
@@ -149,6 +155,24 @@ class PipelinedStore final : public EmbeddingStore {
 
   pmem::PmemPool* pool() { return pool_.get(); }
 
+  /// The slab allocator serving entry records, or nullptr when
+  /// config.slab_alloc is off (records then come from the pool's exact-fit
+  /// lists).
+  pmem::SlabAllocator* slab() { return slab_.get(); }
+
+  /// Invokes `fn(offset, size)` for every committed entry record,
+  /// independent of the DRAM index: via the slab bitmaps when slab_alloc
+  /// is on, else via the pool's kEntryTag header walk. Crash harnesses
+  /// rescan through this instead of assuming a particular allocator.
+  template <typename Fn>
+  void ForEachEntryRecord(Fn&& fn) const {
+    if (slab_ != nullptr) {
+      slab_->ForEachAllocated(std::forward<Fn>(fn));
+    } else {
+      pool_->ForEachAllocated(kEntryTag, std::forward<Fn>(fn));
+    }
+  }
+
  private:
   struct CacheEntry {
     EntryId key = 0;
@@ -166,7 +190,9 @@ class PipelinedStore final : public EmbeddingStore {
   /// under the shard read lock do not race FinishPullPhase's seal.
   struct Shard {
     mutable InstrumentedRwLock lock;
-    std::unordered_map<EntryId, cache::AtomicTaggedPtr> index;
+    /// Key -> TaggedPtr engine (see kv_engine.h for the lock contract);
+    /// selected by config.kv_engine, recreated from scratch on recovery.
+    std::unique_ptr<KvEngine> index;
     std::unordered_map<EntryId, std::unique_ptr<CacheEntry>> cache_entries;
     cache::LruList<CacheEntry, &CacheEntry::lru> lru;
     size_t capacity = 0;  // this shard's slice of the cache budget
@@ -214,12 +240,25 @@ class PipelinedStore final : public EmbeddingStore {
   Status Init();
   void MaintainerLoop();
 
+  /// Builds one shard's index engine per config_.kv_engine (kPmemBucket
+  /// allocates its bucket array from the pool and can fail).
+  Result<std::unique_ptr<KvEngine>> MakeShardEngine();
+
+  /// Writes one entry record durably: through the slab allocator (lane =
+  /// `shard`, 2 persist events) when slab_alloc is on, else through the
+  /// pool's kEntryTag protocol (3 header persists).
+  Result<uint64_t> AllocRecord(const void* data, size_t size, size_t shard);
+  /// Releases an entry record to whichever allocator owns it.
+  Status FreeRecord(uint64_t offset);
+
   // --- All *Locked methods require the write lock of shards_[shard]. ---
+  /// Returns nullptr when the shard's fixed-capacity engine is full
+  /// (callers surface OutOfSpace).
   CacheEntry* CreateCachedEntryLocked(size_t shard, EntryId key,
                                       uint64_t batch);
   void ProcessChunkLocked(size_t shard, uint64_t batch,
                           std::vector<EntryId>& keys);
-  Status FlushEntryLocked(CacheEntry* entry);
+  Status FlushEntryLocked(size_t shard, CacheEntry* entry);
   void EvictIfNeededLocked(size_t shard);
 
   /// Selects this shard's eviction victim per the configured policy: the
@@ -258,8 +297,9 @@ class PipelinedStore final : public EmbeddingStore {
   /// shared (read) lock plus the key's push_locks_ stripe; a COW remap
   /// publishes the new record through the atomic index slot so concurrent
   /// readers never observe a torn pointer.
-  Status PushPmemRecord(cache::AtomicTaggedPtr* slot, uint64_t record_offset,
-                        const float* grad, uint64_t batch);
+  Status PushPmemRecord(size_t shard, cache::AtomicTaggedPtr* slot,
+                        uint64_t record_offset, const float* grad,
+                        uint64_t batch);
 
   /// Head of the checkpoint request queue; false if empty.
   bool PendingHead(uint64_t* cp) const;
@@ -268,6 +308,9 @@ class PipelinedStore final : public EmbeddingStore {
   EntryLayout layout_;
   pmem::PmemDevice* device_;
   std::unique_ptr<pmem::PmemPool> pool_;
+  // Declared after pool_ (and before shards_) so destruction order is
+  // engines -> slab -> pool.
+  std::unique_ptr<pmem::SlabAllocator> slab_;
   size_t cache_capacity_ = 0;
 
   // Locking protocol (see DESIGN.md §8): shards_[s].lock (shared for

@@ -45,7 +45,7 @@ Status PmemHashStore::Init() {
   std::vector<uint8_t> zeros(bucket_bytes, 0xff);  // kNullOffset everywhere
   device_->Write(buckets_offset_, zeros.data(), zeros.size());
   OE_RETURN_IF_ERROR(pool_->CommitAlloc(buckets_offset_));
-  pool_->RootSet(kRootBuckets, buckets_offset_);
+  pool_->RootSet(kRootBucketArray, buckets_offset_);
   return Status::OK();
 }
 
@@ -134,7 +134,7 @@ Status PmemHashStore::RequestCheckpoint(uint64_t batch) {
 Status PmemHashStore::RecoverFromCrash() {
   std::lock_guard<std::mutex> lock(mutex_);
   OE_ASSIGN_OR_RETURN(pool_, pmem::PmemPool::Open(device_));
-  buckets_offset_ = pool_->RootGet(kRootBuckets);
+  buckets_offset_ = pool_->RootGet(kRootBucketArray);
   if (buckets_offset_ == 0) {
     return Status::Corruption("bucket array root missing");
   }

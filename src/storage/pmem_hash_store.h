@@ -17,6 +17,16 @@ namespace oe::storage {
 /// persisted PMem write. This is what makes it 1.16x-3.17x slower than
 /// DRAM-PS in the paper.
 ///
+/// This engine is a *deliberately unimproved* baseline and must stay that
+/// way: it exists so the paper's Table III gap (and our KvEngine race in
+/// EXPERIMENTS.md) is measured against the design the paper criticizes —
+/// chained buckets, a global mutex, per-record pool allocations, no
+/// fingerprints, no DRAM mirror. The modern replacements live behind the
+/// pipelined store's KvEngine layer (kv_pethash.h); do not backport them
+/// here. The one tunable is config.pmem_hash_buckets (chain length is the
+/// dominant cost — benchmarks sweep it down to 1 bucket to show the
+/// worst case).
+///
 /// Records chain per bucket:
 ///   [ next : u64 | key : u64 | version : u64 | data : f32[...] ]
 class PmemHashStore final : public EmbeddingStore {
@@ -48,7 +58,9 @@ class PmemHashStore final : public EmbeddingStore {
  private:
   static constexpr uint64_t kBucketTag = 0xB0;
   static constexpr uint64_t kRecordTag = 0xB1;
-  static constexpr int kRootBuckets = 1;
+  /// Pool *root-slot index* holding the bucket array's offset (not a
+  /// bucket count — that is config.pmem_hash_buckets).
+  static constexpr int kRootBucketArray = 1;
   static constexpr uint64_t kRecordHeaderBytes = 24;  // next + key + version
 
   PmemHashStore(const StoreConfig& config, pmem::PmemDevice* device);

@@ -193,8 +193,9 @@ std::string CrashSim::Verify(PipelinedStore* store) const {
   };
   std::unordered_map<EntryId, Rec> newest;
   std::string violation;
-  store->pool()->ForEachAllocated(
-      PipelinedStore::kEntryTag, [&](uint64_t offset, uint64_t size) {
+  // Scans through the store's allocator-independent walk (slab bitmaps or
+  // pool tag headers, whichever backs entry records in this config).
+  store->ForEachEntryRecord([&](uint64_t offset, uint64_t size) {
         if (!violation.empty()) return;
         if (size != layout_.record_bytes()) {
           violation = "foreign-size entry record survived recovery";
