@@ -1,0 +1,274 @@
+// Online inference serving tier: open-loop skewed MultiGet streams against
+// a 2-node cluster, concurrent with training pushes.
+//
+// Three rows share one preloaded model (every key pulled/pushed once, then
+// checkpointed so snapshot reads have a published version to serve):
+//
+//   read-only     - serving threads only, ServingCache enabled
+//   interference  - identical serving stream while a training thread drives
+//                   pull/push batches and periodic checkpoint publishes
+//   no-cache      - the interference row with the ServingCache disabled
+//
+// The request stream is open-loop (Poisson arrivals at a configured QPS;
+// see workload/open_loop.h): latency is charged from the scheduled arrival,
+// so server slowdowns surface as queueing delay in p99/p999 instead of
+// silently throttling the offered rate. Reported per row: achieved
+// throughput, p50/p99/p999 request latency, serving-cache hit rate, and
+// how many requests gave up with kUnavailable (cluster checkpoint versions
+// diverged past the client's bounded retry).
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "ps/ps_cluster.h"
+#include "workload/open_loop.h"
+
+using oe::Histogram;
+using oe::Nanos;
+using oe::WallNowNanos;
+using oe::ps::ClusterOptions;
+using oe::ps::PsClient;
+using oe::ps::PsCluster;
+using oe::workload::OpenLoopConfig;
+using oe::workload::OpenLoopGenerator;
+using oe::workload::OpenLoopRequest;
+using oe::workload::SkewPreset;
+
+namespace {
+
+struct BenchParams {
+  uint64_t num_keys = 1ULL << 16;
+  uint32_t dim = 16;
+  double qps = 20000.0;
+  uint32_t keys_per_request = 16;
+  uint32_t serving_threads = 4;
+  uint64_t duration_ms = 2000;
+  uint64_t preload_chunk = 8192;
+  size_t cache_bytes = 4ULL << 20;
+  uint64_t train_batch_keys = 2048;
+};
+
+struct RowStats {
+  double achieved_qps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  double hit_rate = 0;
+  uint64_t unavailable = 0;
+  uint64_t requests = 0;
+};
+
+void Die(const char* what) {
+  std::fprintf(stderr, "%s\n", what);
+  std::exit(1);
+}
+
+/// Creates every key and publishes checkpoint 1, so serving reads have a
+/// consistent snapshot from the first request.
+uint64_t Preload(const BenchParams& params, PsCluster* cluster) {
+  auto& client = cluster->client();
+  std::vector<uint64_t> keys;
+  std::vector<float> weights;
+  std::vector<float> grads;
+  for (uint64_t base = 0; base < params.num_keys;
+       base += params.preload_chunk) {
+    const uint64_t end = std::min(params.num_keys, base + params.preload_chunk);
+    keys.clear();
+    for (uint64_t k = base; k < end; ++k) keys.push_back(k);
+    weights.resize(keys.size() * params.dim);
+    if (!client.Pull(keys.data(), keys.size(), /*batch=*/1, weights.data())
+             .ok()) {
+      Die("preload pull failed");
+    }
+  }
+  if (!client.FinishPullPhase(1).ok()) Die("preload finish failed");
+  if (!client.RequestCheckpoint(1).ok() || !client.DrainCheckpoints().ok()) {
+    Die("preload checkpoint failed");
+  }
+  return 1;
+}
+
+/// Training loop: skewed pull/push batches with a checkpoint publish every
+/// few batches, starting after the preload batch. Runs until *stop.
+void TrainLoop(const BenchParams& params, PsCluster* cluster,
+               std::atomic<bool>* stop) {
+  auto client = cluster->NewClient();
+  oe::Random rng(99);
+  oe::workload::SkewedKeySampler sampler(params.num_keys,
+                                         SkewPreset::kOriginal);
+  std::vector<uint64_t> keys(params.train_batch_keys);
+  std::vector<float> weights;
+  std::vector<float> grads;
+  uint64_t batch = 1;  // preload used batch 1
+  while (!stop->load(std::memory_order_relaxed)) {
+    ++batch;
+    for (auto& key : keys) key = sampler.Sample(&rng);
+    weights.resize(keys.size() * params.dim);
+    if (!client->Pull(keys.data(), keys.size(), batch, weights.data()).ok()) {
+      Die("train pull failed");
+    }
+    if (!client->FinishPullPhase(batch).ok()) Die("train finish failed");
+    grads.assign(keys.size() * params.dim, 0.01f);
+    if (!client->Push(keys.data(), keys.size(), grads.data(), batch).ok()) {
+      Die("train push failed");
+    }
+    if (batch % 4 == 0 && !client->RequestCheckpoint(batch).ok()) {
+      Die("train checkpoint failed");
+    }
+    if (batch % 8 == 0 && !client->DrainCheckpoints().ok()) {
+      Die("train drain failed");
+    }
+  }
+}
+
+RowStats RunRow(const BenchParams& params, bool with_training,
+                bool with_cache) {
+  ClusterOptions options;
+  options.num_nodes = 2;
+  options.store.dim = params.dim;
+  options.store.cache_bytes = 1ULL << 20;
+  options.store.maintainer_threads = 2;
+  options.serving_cache_bytes = with_cache ? params.cache_bytes : 0;
+  options.pmem_bytes_per_node = 256ULL << 20;
+  auto cluster = PsCluster::Create(options).ValueOrDie();
+  Preload(params, cluster.get());
+
+  std::atomic<bool> stop{false};
+  std::thread trainer;
+  if (with_training) {
+    trainer = std::thread(TrainLoop, params, cluster.get(), &stop);
+  }
+
+  const uint32_t threads = params.serving_threads;
+  std::vector<Histogram> latency(threads);
+  std::vector<uint64_t> unavailable(threads, 0);
+  std::vector<uint64_t> completed(threads, 0);
+  const uint64_t duration_ns = params.duration_ms * 1000000ULL;
+  const Nanos base = WallNowNanos();
+
+  std::vector<std::thread> servers;
+  for (uint32_t t = 0; t < threads; ++t) {
+    servers.emplace_back([&, t] {
+      auto client = cluster->NewClient();
+      OpenLoopConfig config;
+      config.qps = params.qps / threads;
+      config.keys_per_request = params.keys_per_request;
+      config.num_keys = params.num_keys;
+      config.seed = 1000 + t;
+      OpenLoopGenerator generator(config);
+      std::vector<float> out(params.keys_per_request * params.dim);
+      std::vector<uint8_t> found(params.keys_per_request);
+      while (true) {
+        const OpenLoopRequest request = generator.Next();
+        if (request.arrival_ns >= duration_ns) break;
+        // Open-loop pacing: hold until the scheduled arrival, then charge
+        // latency from that schedule (not from the send), so server-side
+        // queueing shows up in the tail.
+        while (static_cast<uint64_t>(WallNowNanos() - base) <
+               request.arrival_ns) {
+          std::this_thread::yield();
+        }
+        uint64_t cp = 0;
+        const oe::Status status =
+            client->MultiGet(request.keys.data(), request.keys.size(),
+                             out.data(), found.data(), &cp);
+        if (!status.ok()) {
+          if (status.code() == oe::StatusCode::kUnavailable) {
+            ++unavailable[t];
+            continue;
+          }
+          Die("multi-get failed");
+        }
+        const uint64_t now = static_cast<uint64_t>(WallNowNanos() - base);
+        latency[t].Add(static_cast<double>(now - request.arrival_ns) / 1e3);
+        ++completed[t];
+      }
+    });
+  }
+  for (auto& server : servers) server.join();
+  const double elapsed_s =
+      static_cast<double>(WallNowNanos() - base) / 1e9;
+  stop.store(true, std::memory_order_relaxed);
+  if (trainer.joinable()) trainer.join();
+
+  Histogram merged;
+  RowStats stats;
+  for (uint32_t t = 0; t < threads; ++t) {
+    merged.Merge(latency[t]);
+    stats.unavailable += unavailable[t];
+    stats.requests += completed[t];
+  }
+  stats.achieved_qps = static_cast<double>(stats.requests) / elapsed_s;
+  stats.p50_us = merged.Percentile(50);
+  stats.p99_us = merged.Percentile(99);
+  stats.p999_us = merged.Percentile(99.9);
+  if (with_cache) {
+    double rate = 0;
+    for (uint32_t node = 0; node < options.num_nodes; ++node) {
+      rate += cluster->service(node)->serving_cache()->HitRate();
+    }
+    stats.hit_rate = rate / options.num_nodes;
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  oe::bench::BenchReport report("bench_serving", &argc, argv);
+  BenchParams params;
+  if (oe::bench::FastMode()) {
+    params.num_keys = 1ULL << 13;
+    params.qps = 4000.0;
+    params.serving_threads = 2;
+    params.duration_ms = 300;
+    params.cache_bytes = 1ULL << 20;
+    params.train_batch_keys = 512;
+  }
+  report.AddConfig("num_keys", static_cast<double>(params.num_keys));
+  report.AddConfig("qps_offered", params.qps);
+  report.AddConfig("keys_per_request",
+                   static_cast<double>(params.keys_per_request));
+  report.AddConfig("serving_threads",
+                   static_cast<double>(params.serving_threads));
+  report.AddConfig("duration_ms", static_cast<double>(params.duration_ms));
+
+  oe::bench::PrintHeader(
+      "Online serving: open-loop skewed MultiGet vs training pushes",
+      "snapshot reads off the published checkpoint; latency charged from "
+      "the Poisson arrival schedule");
+
+  const struct {
+    const char* name;
+    bool training;
+    bool cache;
+  } rows[] = {{"read-only", false, true},
+              {"interference", true, true},
+              {"no-cache", true, false}};
+
+  std::printf("  %-13s | %9s | %8s %8s %8s | %7s | %11s\n", "row", "qps",
+              "p50us", "p99us", "p999us", "hit", "unavailable");
+  for (const auto& row : rows) {
+    const RowStats stats = RunRow(params, row.training, row.cache);
+    std::printf("  %-13s | %9.0f | %8.1f %8.1f %8.1f | %6.2f%% | %11llu\n",
+                row.name, stats.achieved_qps, stats.p50_us, stats.p99_us,
+                stats.p999_us, 100.0 * stats.hit_rate,
+                static_cast<unsigned long long>(stats.unavailable));
+    const std::string key = row.name;
+    report.AddMetric("qps." + key, stats.achieved_qps);
+    report.AddMetric("p50_us." + key, stats.p50_us);
+    report.AddMetric("p99_us." + key, stats.p99_us);
+    report.AddMetric("p999_us." + key, stats.p999_us);
+    report.AddMetric("hit_rate." + key, stats.hit_rate);
+    report.AddMetric("unavailable." + key,
+                     static_cast<double>(stats.unavailable));
+  }
+  return 0;
+}

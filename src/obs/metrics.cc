@@ -230,6 +230,7 @@ std::string MetricsSnapshot::ToJson() const {
         json.Key("p50").Double(d.Percentile(50));
         json.Key("p90").Double(d.Percentile(90));
         json.Key("p99").Double(d.Percentile(99));
+        json.Key("p999").Double(d.Percentile(99.9));
         break;
       }
     }

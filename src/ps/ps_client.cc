@@ -138,6 +138,80 @@ Status PsClient::Push(const storage::EntryId* keys, size_t n,
   return transport_->ParallelCall(&calls);
 }
 
+Status PsClient::MultiGet(const storage::EntryId* keys, size_t n, float* out,
+                          uint8_t* found, uint64_t* snapshot_version) {
+  if (snapshot_version != nullptr) *snapshot_version = 0;
+  if (n == 0) return Status::OK();
+  // Ownership routing only: replica nodes publish checkpoints on their own
+  // maintenance cadence, so round-robining hot keys across them would make
+  // the per-node version agreement below spuriously fail.
+  std::vector<std::vector<size_t>> positions(router_.num_nodes());
+  for (size_t i = 0; i < n; ++i) {
+    positions[router_.NodeFor(keys[i])].push_back(i);
+  }
+  std::vector<uint32_t> nodes;
+  for (uint32_t node = 0; node < router_.num_nodes(); ++node) {
+    if (!positions[node].empty()) nodes.push_back(node);
+  }
+
+  std::vector<Buffer> requests(nodes.size());
+  for (size_t c = 0; c < nodes.size(); ++c) {
+    const auto& pos = positions[nodes[c]];
+    Writer writer(&requests[c]);
+    PutHeader(&writer, client_id_, /*seq=*/0);  // read: no dedup
+    writer.PutU32(static_cast<uint32_t>(pos.size()));
+    for (size_t i : pos) writer.PutRaw(&keys[i], sizeof(keys[i]));
+  }
+
+  // Each node serves its own last published checkpoint; a response set is a
+  // cluster-consistent snapshot only when they all name the same version.
+  // Disagreement means a cluster-wide publish was mid-flight — short-lived,
+  // so a bounded retry of the whole fan-out resolves it.
+  constexpr int kMaxAttempts = 3;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    std::vector<Buffer> responses(nodes.size());
+    std::vector<RpcCall> calls(nodes.size());
+    for (size_t c = 0; c < nodes.size(); ++c) {
+      calls[c] = {nodes[c], static_cast<uint32_t>(PsMethod::kMultiGet),
+                  &requests[c], &responses[c], Status::OK()};
+    }
+    OE_RETURN_IF_ERROR(transport_->ParallelCall(&calls));
+
+    bool agree = true;
+    uint64_t cluster_cp = 0;
+    for (size_t c = 0; c < nodes.size(); ++c) {
+      const auto& pos = positions[nodes[c]];
+      Reader reader(responses[c]);
+      uint64_t node_cp = 0;
+      OE_RETURN_IF_ERROR(reader.GetU64(&node_cp));
+      if (c == 0) {
+        cluster_cp = node_cp;
+      } else if (node_cp != cluster_cp) {
+        agree = false;
+        break;
+      }
+      std::vector<uint8_t> node_found(pos.size());
+      OE_RETURN_IF_ERROR(reader.GetRaw(node_found.data(), node_found.size()));
+      std::vector<float> weights;
+      OE_RETURN_IF_ERROR(reader.GetFloatSpan(&weights));
+      if (weights.size() != pos.size() * dim_) {
+        return Status::Corruption("multi-get response size mismatch");
+      }
+      for (size_t j = 0; j < pos.size(); ++j) {
+        found[pos[j]] = node_found[j];
+        std::memcpy(out + pos[j] * dim_, weights.data() + j * dim_,
+                    dim_ * sizeof(float));
+      }
+    }
+    if (agree) {
+      if (snapshot_version != nullptr) *snapshot_version = cluster_cp;
+      return Status::OK();
+    }
+  }
+  return Status::Unavailable(
+      "PS nodes did not converge on a published checkpoint");
+}
+
 Status PsClient::WarmReplicas(uint64_t batch) {
   if (placement_ == nullptr || placement_->replicas() <= 1) {
     return Status::OK();

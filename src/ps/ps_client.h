@@ -78,6 +78,18 @@ class PsClient {
   Status Push(const storage::EntryId* keys, size_t n, const float* grads,
               uint64_t batch);
 
+  /// Online-serving batched lookup: reads snapshot weights for `n` keys
+  /// into `out` (n * dim floats, key order; zeros for keys no checkpoint
+  /// knows), sets found[i] per key, and reports the checkpoint version the
+  /// values came from in *snapshot_version. Every per-node response must
+  /// come from the same published checkpoint; when nodes disagree (a
+  /// cluster-wide publish is mid-flight) the fan-out retries, and after
+  /// bounded attempts returns Unavailable rather than torn data. Routes by
+  /// key ownership only — replicas may lag on checkpoint publication, so
+  /// serving reads skip the hot-key round-robin that Pull uses.
+  Status MultiGet(const storage::EntryId* keys, size_t n, float* out,
+                  uint8_t* found, uint64_t* snapshot_version);
+
   /// Broadcasts to all nodes.
   Status FinishPullPhase(uint64_t batch);
   Status WaitMaintenance(uint64_t batch);

@@ -58,6 +58,9 @@ Status PsCluster::Init() {
 
     OE_ASSIGN_OR_RETURN(auto store, BuildStore(node, /*fresh=*/true));
     auto service = std::make_unique<PsService>(store.get());
+    if (options_.serving_cache_bytes > 0) {
+      service->EnableServingCache(options_.serving_cache_bytes);
+    }
     transport_->RegisterNode(node, service->AsHandler());
     stores_.push_back(std::move(store));
     services_.push_back(std::move(service));
@@ -217,6 +220,9 @@ Status PsCluster::RestartNode(uint32_t node) {
   }
   OE_ASSIGN_OR_RETURN(auto store, BuildStore(node, /*fresh=*/false));
   auto service = std::make_unique<PsService>(store.get());
+  if (options_.serving_cache_bytes > 0) {
+    service->EnableServingCache(options_.serving_cache_bytes);
+  }
   stores_[node] = std::move(store);
   services_[node] = std::move(service);
   transport_->RegisterNode(node, services_[node]->AsHandler());

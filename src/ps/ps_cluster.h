@@ -48,6 +48,11 @@ struct ClusterOptions {
   uint32_t hot_replicas = 2;
   std::vector<storage::EntryId> hot_keys;
 
+  /// Per-node hot-embedding ServingCache capacity for MultiGet serving
+  /// reads (0 disables). Survives node restart (a restarted node gets a
+  /// fresh, empty cache).
+  size_t serving_cache_bytes = 0;
+
   /// Wraps the in-process transport in a FaultyTransport so RPC traffic
   /// runs through a deterministic network-fault schedule; the wrapped
   /// transport is what rpc_transport() (and thus every PsClient) uses.

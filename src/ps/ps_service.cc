@@ -37,6 +37,8 @@ const char* PsMethodName(uint32_t method) {
       return "peek";
     case PsMethod::kWaitMaintenance:
       return "wait_maintenance";
+    case PsMethod::kMultiGet:
+      return "multi_get";
   }
   return "unknown";
 }
@@ -150,6 +152,8 @@ Status PsService::Dispatch(uint32_t method, Reader* reader,
       }
       return Status::OK();
     }
+    case PsMethod::kMultiGet:
+      return HandleMultiGet(reader, response);
   }
   return Status::NotSupported("unknown method " + std::to_string(method));
 }
@@ -179,6 +183,76 @@ Status PsService::HandlePush(Reader* reader) {
     return Status::InvalidArgument("gradient span size mismatch");
   }
   return store_->Push(keys.data(), keys.size(), grads.data(), batch);
+}
+
+Status PsService::HandleMultiGet(Reader* reader, net::Buffer* response) {
+  std::vector<uint64_t> keys;
+  OE_RETURN_IF_ERROR(reader->GetU64Span(&keys));
+  const uint32_t dim = store_->config().dim;
+  std::vector<float> values(keys.size() * dim);
+  std::vector<uint8_t> found(keys.size(), 0);
+  uint64_t cp = 0;
+  bool resolved = false;
+
+  if (serving_cache_ != nullptr) {
+    // Probe the cache at the current serving checkpoint, fetch the misses
+    // from the store's snapshot path, and keep the response only when both
+    // agree on the checkpoint — a publish that lands between the probe and
+    // the fetch would otherwise mix two versions. Bounded retries; training
+    // publishes are batch-paced, so two consecutive collisions are rare.
+    std::vector<size_t> miss_pos;
+    std::vector<uint64_t> miss_keys;
+    std::vector<float> fetched;
+    std::vector<uint8_t> miss_found;
+    for (int attempt = 0; attempt < 3 && !resolved; ++attempt) {
+      const uint64_t cp_now = store_->PublishedCheckpoint();
+      miss_pos.clear();
+      miss_keys.clear();
+      for (size_t i = 0; i < keys.size(); ++i) {
+        if (serving_cache_->Lookup(keys[i], cp_now, values.data() + i * dim)) {
+          found[i] = 1;
+        } else {
+          found[i] = 0;
+          miss_pos.push_back(i);
+          miss_keys.push_back(keys[i]);
+        }
+      }
+      if (miss_keys.empty()) {
+        cp = cp_now;
+        resolved = true;
+        break;
+      }
+      fetched.assign(miss_keys.size() * dim, 0.0f);
+      miss_found.assign(miss_keys.size(), 0);
+      uint64_t fetch_cp = 0;
+      OE_RETURN_IF_ERROR(store_->MultiGet(miss_keys.data(), miss_keys.size(),
+                                          fetched.data(), miss_found.data(),
+                                          &fetch_cp));
+      if (fetch_cp != cp_now) continue;
+      for (size_t m = 0; m < miss_pos.size(); ++m) {
+        const size_t i = miss_pos[m];
+        std::copy_n(fetched.data() + m * dim, dim, values.data() + i * dim);
+        found[i] = miss_found[m];
+        if (found[i]) {
+          serving_cache_->Insert(keys[i], cp_now, fetched.data() + m * dim);
+        }
+      }
+      cp = cp_now;
+      resolved = true;
+    }
+  }
+  if (!resolved) {
+    // Cache disabled, or the publish rate outran the probe/fetch window:
+    // one store read is consistent by construction (single snapshot pin).
+    OE_RETURN_IF_ERROR(store_->MultiGet(keys.data(), keys.size(),
+                                        values.data(), found.data(), &cp));
+  }
+
+  Writer writer(response);
+  writer.PutU64(cp);
+  writer.PutRaw(found.data(), found.size());
+  writer.PutFloatSpan(values.data(), values.size());
+  return Status::OK();
 }
 
 Status PsService::HandlePeek(Reader* reader, net::Buffer* response) {

@@ -12,6 +12,7 @@
 #include "net/message.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
+#include "ps/serving_cache.h"
 #include "storage/embedding_store.h"
 
 namespace oe::ps {
@@ -32,6 +33,12 @@ enum class PsMethod : uint32_t {
   /// (pipelined engine only; no-op elsewhere). The simulation driver uses
   /// it to time the maintenance phase.
   kWaitMaintenance = 10,
+  /// Online-serving batched lookup. Read-only (dedup-exempt, never enters
+  /// the push critical section); served from the node's last published
+  /// checkpoint snapshot, optionally through the ServingCache. Request:
+  /// header + u64 key span. Response: [snapshot cp : u64] + one found byte
+  /// per key + float span of keys*dim weights (zeros where not found).
+  kMultiGet = 11,
 };
 
 /// Idempotency header prepended to every PS request payload:
@@ -91,6 +98,17 @@ class PsService {
   /// Mutating requests short-circuited by the dedup window (for tests).
   uint64_t DedupHits() const;
 
+  /// Puts a hot-embedding ServingCache (capacity in bytes) in front of the
+  /// store's snapshot read path for kMultiGet. Call before serving traffic;
+  /// not thread-safe against in-flight handlers.
+  void EnableServingCache(size_t capacity_bytes) {
+    serving_cache_ = std::make_unique<ServingCache>(capacity_bytes,
+                                                    store_->config().dim);
+  }
+
+  /// The serving cache, or nullptr when disabled.
+  ServingCache* serving_cache() { return serving_cache_.get(); }
+
  private:
   /// Replies remembered per client; evicted FIFO beyond this.
   static constexpr size_t kDedupWindow = 256;
@@ -109,12 +127,14 @@ class PsService {
   Status HandlePull(net::Reader* reader, net::Buffer* response);
   Status HandlePush(net::Reader* reader);
   Status HandlePeek(net::Reader* reader, net::Buffer* response);
+  Status HandleMultiGet(net::Reader* reader, net::Buffer* response);
 
   /// Lazily registered "ps.handle_ns" distribution for `method`, labeled
   /// with this service's instance id. Lock-free after first use per method.
   obs::Distribution* HandleLatencyFor(uint32_t method);
 
   storage::EmbeddingStore* store_;
+  std::unique_ptr<ServingCache> serving_cache_;
 
   static constexpr size_t kMaxMethodId = 16;
   const uint64_t obs_id_ = obs::NextInstanceId();

@@ -1,0 +1,123 @@
+#include "ps/serving_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace oe::ps {
+
+namespace {
+
+constexpr size_t kShards = 8;
+/// Halve the frequency sketch after this many recorded probes per shard, so
+/// yesterday's hot users cool off (same decay idea as the store cache).
+constexpr uint64_t kDecayEvery = 1 << 14;
+
+}  // namespace
+
+ServingCache::ServingCache(size_t capacity_bytes, uint32_t dim) : dim_(dim) {
+  const size_t entry_bytes = sizeof(Entry) + dim * sizeof(float);
+  const size_t total_entries = std::max<size_t>(capacity_bytes / entry_bytes,
+                                                kShards);
+  per_shard_capacity_ = std::max<size_t>(total_entries / kShards, 1);
+  shards_.reserve(kShards);
+  for (size_t s = 0; s < kShards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    // Sketch width ~4x the resident set keeps collision over-counting low.
+    shard->freq =
+        std::make_unique<cache::FreqEstimator>(per_shard_capacity_ * 4);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+size_t ServingCache::ShardOf(uint64_t key) const {
+  uint64_t h = key * 0x9E3779B97F4A7C15ULL;
+  h ^= h >> 32;
+  return static_cast<size_t>(h % kShards);
+}
+
+void ServingCache::RemoveLocked(Shard* shard, Entry* entry) {
+  shard->lru.Remove(entry);
+  shard->map.erase(entry->key);  // frees the entry
+}
+
+bool ServingCache::Lookup(uint64_t key, uint64_t cp, float* out) {
+  Shard& shard = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.freq->Record(key);
+  if (++shard.samples % kDecayEvery == 0) shard.freq->Decay();
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Entry* entry = it->second.get();
+  if (entry->cp != cp) {
+    // Training published a newer checkpoint since this value was cached (or
+    // the caller pinned an older one): the tag no longer names the serving
+    // version, so the entry is dead weight — drop it now.
+    RemoveLocked(&shard, entry);
+    stats_.invalidated.fetch_add(1, std::memory_order_relaxed);
+    stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::memcpy(out, entry->data.get(), dim_ * sizeof(float));
+  shard.lru.Touch(entry);
+  stats_.hits.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ServingCache::Insert(uint64_t key, uint64_t cp, const float* weights) {
+  Shard& shard = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    // Refresh in place (typically a newer checkpoint tag after the old one
+    // was served stale).
+    Entry* entry = it->second.get();
+    entry->cp = cp;
+    std::memcpy(entry->data.get(), weights, dim_ * sizeof(float));
+    shard.lru.Touch(entry);
+    return;
+  }
+  if (shard.map.size() >= per_shard_capacity_) {
+    // TinyLFU admission: the candidate must beat the LRU victim on the
+    // frequency sketch, else it is not worth a hot slot.
+    Entry* victim = shard.lru.Tail();
+    if (victim != nullptr &&
+        shard.freq->Estimate(key) <= shard.freq->Estimate(victim->key)) {
+      stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (victim != nullptr) {
+      RemoveLocked(&shard, victim);
+      stats_.evicted.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->key = key;
+  entry->cp = cp;
+  entry->data = std::make_unique<float[]>(dim_);
+  std::memcpy(entry->data.get(), weights, dim_ * sizeof(float));
+  shard.lru.PushFront(entry.get());
+  shard.map.emplace(key, std::move(entry));
+  stats_.admitted.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t ServingCache::entries() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+double ServingCache::HitRate() const {
+  const uint64_t hits = stats_.hits.load(std::memory_order_relaxed);
+  const uint64_t misses = stats_.misses.load(std::memory_order_relaxed);
+  return hits + misses == 0
+             ? 0.0
+             : static_cast<double>(hits) / static_cast<double>(hits + misses);
+}
+
+}  // namespace oe::ps

@@ -1,6 +1,7 @@
 #ifndef OE_STORAGE_EMBEDDING_STORE_H_
 #define OE_STORAGE_EMBEDDING_STORE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -243,6 +244,32 @@ class EmbeddingStore {
   /// Test/debug read of current weights without accounting; NotFound if the
   /// key does not exist.
   virtual Result<std::vector<float>> Peek(EntryId key) const = 0;
+
+  /// Online-serving batched lookup: fills `out` with n * dim weight floats
+  /// (zeros for missing keys) and found[i] = 1 for each key that exists.
+  /// Engines with versioned storage serve a consistent snapshot of the last
+  /// published checkpoint and report its batch id in *snapshot_version (see
+  /// PipelinedStore); this default serves live values, which is only
+  /// coherent for engines without concurrent maintenance.
+  virtual Status MultiGet(const EntryId* keys, size_t n, float* out,
+                          uint8_t* found, uint64_t* snapshot_version) {
+    const uint32_t dim = config().dim;
+    for (size_t i = 0; i < n; ++i) {
+      auto value = Peek(keys[i]);
+      if (value.ok()) {
+        const std::vector<float> weights = std::move(value).ValueOrDie();
+        std::copy(weights.begin(), weights.begin() + dim, out + i * dim);
+        found[i] = 1;
+      } else {
+        std::fill(out + i * dim, out + (i + 1) * dim, 0.0f);
+        found[i] = 0;
+      }
+    }
+    if (snapshot_version != nullptr) {
+      *snapshot_version = PublishedCheckpoint();
+    }
+    return Status::OK();
+  }
 
   virtual const StoreStats& stats() const = 0;
   virtual const StoreConfig& config() const = 0;

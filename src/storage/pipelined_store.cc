@@ -27,6 +27,7 @@ PipelinedStore::PipelinedStore(const StoreConfig& config,
   auto& registry = obs::MetricsRegistry::Default();
   pull_latency_ = registry.GetDistribution("store.pull_ns", labels);
   push_latency_ = registry.GetDistribution("store.push_ns", labels);
+  multiget_latency_ = registry.GetDistribution("store.multiget_ns", labels);
   hit_rate_gauge_ = registry.GetGauge("store.cache_hit_rate_bp", labels);
   pinned_gauge_ = registry.GetGauge("store.cache_pinned_entries", labels);
   shard_maint_latency_.reserve(shards_.size());
@@ -450,15 +451,83 @@ std::vector<uint64_t> PipelinedStore::PublishReadyLocked() {
     published_ckpt_.store(cp, std::memory_order_release);
     pending_ckpts_.pop_front();
     // Records superseded by versions <= cp are now unreachable by any
-    // current or future checkpoint: recycle their space.
+    // current or future checkpoint: recycle their space — unless a snapshot
+    // reader is pinned to an older published checkpoint, in which case the
+    // GC (and the snapshot_index_ prune) parks in limbo_ until the last
+    // reader releases. Publication itself is never delayed by readers.
     auto end = deferred_free_.upper_bound(cp);
     for (auto it = deferred_free_.begin(); it != end; ++it) {
-      to_free.insert(to_free.end(), it->second.begin(), it->second.end());
+      for (const DeferredRecord& record : it->second) {
+        if (snapshot_pins_ > 0) {
+          limbo_.push_back(record);
+        } else {
+          PruneSnapshotIndexLocked(record);
+          to_free.push_back(record.offset);
+        }
+      }
     }
     deferred_free_.erase(deferred_free_.begin(), end);
     stats_.checkpoints_published.fetch_add(1, std::memory_order_relaxed);
   }
   return to_free;
+}
+
+uint64_t PipelinedStore::AcquireSnapshot() {
+  std::lock_guard<std::mutex> lock(ckpt_mutex_);
+  ++snapshot_pins_;
+  return published_ckpt_.load(std::memory_order_acquire);
+}
+
+void PipelinedStore::ReleaseSnapshot() {
+  std::vector<uint64_t> to_free;
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mutex_);
+    OE_CHECK(snapshot_pins_ > 0);
+    if (--snapshot_pins_ == 0 && !limbo_.empty()) {
+      for (const DeferredRecord& record : limbo_) {
+        PruneSnapshotIndexLocked(record);
+        to_free.push_back(record.offset);
+      }
+      limbo_.clear();
+    }
+  }
+  if (to_free.empty()) return;
+  pmem::PersistSiteGuard site("ckpt-gc");
+  for (uint64_t offset : to_free) OE_CHECK_OK(FreeRecord(offset));
+}
+
+void PipelinedStore::PruneSnapshotIndexLocked(const DeferredRecord& record) {
+  auto it = snapshot_index_.find(record.key);
+  if (it == snapshot_index_.end()) return;
+  auto& records = it->second;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].offset == record.offset) {
+      records[i] = records.back();
+      records.pop_back();
+      break;
+    }
+  }
+  if (records.empty()) snapshot_index_.erase(it);
+}
+
+void PipelinedStore::DeferRecordLocked(const DeferredRecord& record,
+                                       uint64_t gc_after) {
+  snapshot_index_[record.key].push_back(
+      SnapshotRecord{record.offset, record.version});
+  if (gc_after <= published_ckpt_.load(std::memory_order_acquire)) {
+    // Already superseded for every current and future checkpoint; only the
+    // currently-pinned readers can still reach it.
+    limbo_.push_back(record);
+  } else {
+    deferred_free_[gc_after].push_back(record);
+  }
+}
+
+size_t PipelinedStore::SnapshotIndexRecords() const {
+  std::lock_guard<std::mutex> lock(ckpt_mutex_);
+  size_t total = 0;
+  for (const auto& [key, records] : snapshot_index_) total += records.size();
+  return total;
 }
 
 void PipelinedStore::AckCheckpointsLocked(size_t shard) {
@@ -615,14 +684,24 @@ Status PipelinedStore::FlushEntryLocked(size_t shard, CacheEntry* entry) {
 
   const uint64_t old_offset = entry->pmem_offset;
   if (old_offset != kNullOffset) {
-    if (published_ckpt_.load(std::memory_order_acquire) >= entry->version) {
-      // The new record already supersedes the old one for every current and
-      // future checkpoint: recycle immediately.
-      OE_CHECK_OK(FreeRecord(old_offset));
-    } else {
+    const DeferredRecord old_record{entry->key, old_offset,
+                                    entry->pmem_version};
+    bool free_now = false;
+    {
       std::lock_guard<std::mutex> lock(ckpt_mutex_);
-      deferred_free_[entry->version].push_back(old_offset);
+      if (snapshot_pins_ == 0 &&
+          published_ckpt_.load(std::memory_order_acquire) >= entry->version) {
+        // The new record already supersedes the old one for every current
+        // and future checkpoint, and no snapshot reader is in flight (any
+        // future one pins a checkpoint >= the current published one, whose
+        // newest-record-per-key set excludes the old record): recycle
+        // immediately.
+        free_now = true;
+      } else {
+        DeferRecordLocked(old_record, entry->version);
+      }
     }
+    if (free_now) OE_CHECK_OK(FreeRecord(old_offset));
   }
   entry->pmem_offset = offset;
   entry->pmem_version = entry->version;
@@ -830,14 +909,26 @@ Status PipelinedStore::PushPmemRecord(size_t shard,
                         AllocRecord(record.data(), record.size(), shard));
     {
       std::lock_guard<std::mutex> lock(ckpt_mutex_);
-      deferred_free_[batch].push_back(record_offset);
+      DeferRecordLocked(DeferredRecord{EntryLayout::RecordKey(record.data()),
+                                       record_offset, record_version},
+                        batch);
     }
     // One atomic 8-byte store: concurrent Pull readers holding the shared
     // lock observe either the old or the new record, never a torn slot.
     slot->store(TaggedPtr::FromPmem(offset));
   } else {
+    // In-place update of a record no checkpoint needs (version > newest_cp
+    // >= every published checkpoint, so no snapshot reader may touch its
+    // data either — MultiGet checks the version first). The version field
+    // is the synchronization point: plain-write the payload, then
+    // release-store the new version so a concurrent snapshot reader's
+    // acquire-load either sees the old version or the new one, both > its
+    // pinned checkpoint, and never reads the payload bytes.
     pmem::PersistSiteGuard site("push-inplace");
-    device_->Write(record_offset, record.data(), record.size());
+    device_->Write(record_offset + EntryLayout::kHeaderBytes,
+                   record.data() + EntryLayout::kHeaderBytes,
+                   record.size() - EntryLayout::kHeaderBytes);
+    device_->AtomicStore64(record_offset + 8, batch);
     device_->Persist(record_offset, record.size());
   }
   stats_.flushes.fetch_add(1, std::memory_order_relaxed);
@@ -955,6 +1046,8 @@ Status PipelinedStore::RecoverFromCrash() {
     std::lock_guard<std::mutex> lock(ckpt_mutex_);
     pending_ckpts_.clear();
     deferred_free_.clear();
+    snapshot_index_.clear();
+    limbo_.clear();
     std::fill(shard_acked_.begin(), shard_acked_.end(), cp);
   }
   // Index engines are rebuilt from scratch: stale kPmemBucket extents from
@@ -1288,6 +1381,117 @@ bool PipelinedStore::IsDramCached(EntryId key) const {
   ReadGuard guard(sh.lock);
   cache::AtomicTaggedPtr* slot = sh.index->Find(key);
   return slot != nullptr && slot->load().is_dram();
+}
+
+Status PipelinedStore::MultiGet(const EntryId* keys, size_t n, float* out,
+                                uint8_t* found, uint64_t* snapshot_version) {
+  const Nanos start = WallNowNanos();
+  obs::ScopedSpan span("store", "multi_get");
+  // Pin the published checkpoint: from here until ReleaseSnapshot no PMem
+  // record is freed (publish-time GC and flush-time frees both park in
+  // limbo_ while snapshot_pins_ > 0), so every record offset resolved below
+  // stays readable without holding the push critical section.
+  const uint64_t cp = AcquireSnapshot();
+  if (snapshot_version != nullptr) *snapshot_version = cp;
+  const size_t weight_bytes = config_.dim * sizeof(float);
+
+  std::vector<size_t> order;
+  std::vector<size_t> begin;
+  GroupByShard(keys, n, &order, &begin);
+  std::vector<EntryId> shard_keys;
+  std::vector<cache::AtomicTaggedPtr*> shard_slots;
+  // Positions whose slot-reachable record is newer than the pinned
+  // checkpoint; the superseded record they need is in snapshot_index_.
+  std::vector<size_t> fallback;
+  std::vector<uint64_t> fallback_offsets;
+
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (begin[s] == begin[s + 1]) continue;
+    Shard& sh = shards_[s];
+    const size_t count = begin[s + 1] - begin[s];
+    shard_keys.resize(count);
+    shard_slots.resize(count);
+    for (size_t k = 0; k < count; ++k) {
+      shard_keys[k] = keys[order[begin[s] + k]];
+    }
+    fallback.clear();
+    ReadGuard guard(sh.lock);
+    sh.index->FindBatch(shard_keys.data(), count, shard_slots.data());
+    for (size_t j = begin[s]; j < begin[s + 1]; ++j) {
+      const size_t i = order[j];
+      cache::AtomicTaggedPtr* slot = shard_slots[j - begin[s]];
+      if (slot == nullptr) {
+        std::fill(out + i * config_.dim, out + (i + 1) * config_.dim, 0.0f);
+        found[i] = 0;
+        continue;
+      }
+      const TaggedPtr ptr = slot->load();
+      uint64_t record_offset = kNullOffset;
+      uint64_t record_version = ~0ULL;
+      if (ptr.is_dram()) {
+        // Only the entry's flushed-record fields are touched: they mutate
+        // under the shard write lock, so the read lock makes the pair
+        // consistent. entry->data/version race with pushers (read lock +
+        // key stripe) and are never needed here — every cached entry's
+        // live version is newer than any published checkpoint.
+        const CacheEntry* entry = ptr.dram<CacheEntry>();
+        record_offset = entry->pmem_offset;
+        record_version = entry->pmem_version;
+      } else {
+        record_offset = ptr.pmem_offset();
+        // Acquire-load pairs with the release version store of an in-place
+        // push; data bytes are only dereferenced when the version shows
+        // the record is frozen (<= a published checkpoint).
+        record_version = device_->AtomicLoad64(record_offset + 8);
+      }
+      if (record_offset != kNullOffset && record_version <= cp) {
+        device_->Read(record_offset + EntryLayout::kHeaderBytes,
+                      out + i * config_.dim, weight_bytes);
+        found[i] = 1;
+      } else {
+        fallback.push_back(i);
+      }
+    }
+    if (!fallback.empty()) {
+      // Newest superseded record with version <= cp; it exists whenever the
+      // key had durable state at cp (immediate frees require the
+      // superseding version to be published, which would make *it* the
+      // newest <= cp record — contradiction). Offsets resolve under
+      // ckpt_mutex_; the copies happen after dropping it, still under the
+      // shard read lock and the snapshot pin.
+      fallback_offsets.assign(fallback.size(), kNullOffset);
+      {
+        std::lock_guard<std::mutex> lock(ckpt_mutex_);
+        for (size_t f = 0; f < fallback.size(); ++f) {
+          auto it = snapshot_index_.find(keys[fallback[f]]);
+          if (it == snapshot_index_.end()) continue;
+          uint64_t best_version = 0;
+          for (const SnapshotRecord& record : it->second) {
+            if (record.version <= cp &&
+                (fallback_offsets[f] == kNullOffset ||
+                 record.version > best_version)) {
+              fallback_offsets[f] = record.offset;
+              best_version = record.version;
+            }
+          }
+        }
+      }
+      for (size_t f = 0; f < fallback.size(); ++f) {
+        const size_t i = fallback[f];
+        if (fallback_offsets[f] == kNullOffset) {
+          std::fill(out + i * config_.dim, out + (i + 1) * config_.dim, 0.0f);
+          found[i] = 0;
+        } else {
+          device_->Read(fallback_offsets[f] + EntryLayout::kHeaderBytes,
+                        out + i * config_.dim, weight_bytes);
+          found[i] = 1;
+        }
+      }
+    }
+  }
+  ReleaseSnapshot();
+  multiget_latency_->Record(static_cast<double>(WallNowNanos() - start));
+  return Status::OK();
 }
 
 Result<std::vector<float>> PipelinedStore::Peek(EntryId key) const {

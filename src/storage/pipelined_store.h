@@ -74,6 +74,17 @@ namespace oe::storage {
 /// pending checkpoint is never overwritten; superseded records are freed
 /// when a newer checkpoint publishes ("the space manager will recycle the
 /// space of these entries once the new checkpoint is done").
+///
+/// Serving reads (MultiGet) run against the last *published* checkpoint
+/// without taking the push critical section: per key, the newest PMem
+/// record with version <= checkpoint is immutable by the COW invariant
+/// (in-place pushes require version > every published/pending checkpoint),
+/// so a snapshot reader only ever touches frozen bytes. Records superseded
+/// since the checkpoint are found through snapshot_index_, and a pin
+/// (AcquireSnapshot/ReleaseSnapshot) keeps deferred records alive while a
+/// read is in flight — checkpoint publication is never blocked, only the
+/// GC of superseded records is parked in limbo_ until the last reader
+/// releases its pin.
 class PipelinedStore final : public EmbeddingStore {
  public:
   /// Pool root slot holding the Checkpointed Batch ID and the type tag of
@@ -121,6 +132,20 @@ class PipelinedStore final : public EmbeddingStore {
   Status ImportCheckpoint(const ckpt::CheckpointLog& log);
   size_t EntryCount() const override;
   Result<std::vector<float>> Peek(EntryId key) const override;
+
+  /// Read-only batched lookup served from the last published checkpoint
+  /// (see the class comment): every returned value reflects exactly the
+  /// state checkpoint `*snapshot_version` captured, even while training
+  /// pushes, maintenance flushes and seals proceed concurrently. Keys that
+  /// did not exist at that checkpoint come back with found[i] == 0 and
+  /// zeroed weights. With no published checkpoint yet, *snapshot_version
+  /// is 0 and nothing is found.
+  Status MultiGet(const EntryId* keys, size_t n, float* out, uint8_t* found,
+                  uint64_t* snapshot_version) override;
+
+  /// Superseded records currently tracked for snapshot readers (tests:
+  /// bounded-growth / GC assertions). Takes ckpt_mutex_.
+  size_t SnapshotIndexRecords() const;
 
   const StoreStats& stats() const override { return stats_; }
   const StoreConfig& config() const override { return config_; }
@@ -304,6 +329,39 @@ class PipelinedStore final : public EmbeddingStore {
   /// Head of the checkpoint request queue; false if empty.
   bool PendingHead(uint64_t* cp) const;
 
+  // --- Snapshot-read support (MultiGet) ---
+
+  /// A superseded record awaiting GC. Until a newer checkpoint publishes
+  /// (and no reader is pinned to an older one) it is still the newest
+  /// record at or below some published checkpoint, so snapshot readers
+  /// resolve it through snapshot_index_.
+  struct DeferredRecord {
+    EntryId key;
+    uint64_t offset;
+    uint64_t version;  // the record's own header version
+  };
+  struct SnapshotRecord {
+    uint64_t offset;
+    uint64_t version;
+  };
+
+  /// Pins the current published checkpoint for a read: while any pin is
+  /// held, publication parks superseded-record GC in limbo_ instead of
+  /// freeing, so every record a reader at the returned version can reach
+  /// stays allocated. Returns the pinned checkpoint batch id.
+  uint64_t AcquireSnapshot();
+  /// Drops one pin; the last release drains limbo_ (prunes snapshot_index_
+  /// and frees the parked records).
+  void ReleaseSnapshot();
+
+  /// Removes `record`'s snapshot_index_ entry. Requires ckpt_mutex_.
+  void PruneSnapshotIndexLocked(const DeferredRecord& record);
+  /// Records a superseded record for snapshot readers and queues its GC:
+  /// into deferred_free_[gc_after] normally, or straight into limbo_ when
+  /// only currently-pinned readers can still need it (gc_after already
+  /// published). Requires ckpt_mutex_.
+  void DeferRecordLocked(const DeferredRecord& record, uint64_t gc_after);
+
   StoreConfig config_;
   EntryLayout layout_;
   pmem::PmemDevice* device_;
@@ -339,7 +397,21 @@ class PipelinedStore final : public EmbeddingStore {
   mutable std::mutex ckpt_mutex_;
   std::deque<uint64_t> pending_ckpts_;
   std::vector<uint64_t> shard_acked_;
-  std::map<uint64_t, std::vector<uint64_t>> deferred_free_;
+  /// Superseded records keyed by the version whose publication makes them
+  /// unreachable by any current or future checkpoint.
+  std::map<uint64_t, std::vector<DeferredRecord>> deferred_free_;
+  /// Snapshot-read side index: per key, the superseded-but-not-yet-freed
+  /// records (parallel to deferred_free_ + limbo_), so a MultiGet pinned at
+  /// checkpoint cp can find the newest record <= cp after the live slot
+  /// moved past it. Guarded by ckpt_mutex_; entries are pruned exactly when
+  /// the record is freed.
+  std::unordered_map<EntryId, std::vector<SnapshotRecord>> snapshot_index_;
+  /// In-flight snapshot reads (MultiGet pins). While > 0, publication moves
+  /// would-be-freed records to limbo_ instead of freeing them.
+  size_t snapshot_pins_ = 0;
+  /// Records whose GC was parked because readers were pinned; drained by
+  /// the last ReleaseSnapshot.
+  std::vector<DeferredRecord> limbo_;
   std::atomic<uint64_t> published_ckpt_{0};
 
   static constexpr size_t kPushShards = 256;
@@ -354,6 +426,7 @@ class PipelinedStore final : public EmbeddingStore {
   // Registered once in the constructor; recording is lock-free.
   obs::Distribution* pull_latency_;
   obs::Distribution* push_latency_;
+  obs::Distribution* multiget_latency_;
   std::vector<obs::Distribution*> shard_maint_latency_;
   // Cache health gauges, refreshed after each maintenance chunk:
   // store.cache_hit_rate_bp (hit rate in basis points, 0..10000) and

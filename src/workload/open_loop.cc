@@ -1,0 +1,36 @@
+#include "workload/open_loop.h"
+
+#include "common/logging.h"
+
+namespace oe::workload {
+
+OpenLoopGenerator::OpenLoopGenerator(const OpenLoopConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      sampler_(config.num_keys, config.preset) {
+  OE_CHECK(config.qps > 0.0);
+  OE_CHECK(config.keys_per_request > 0);
+}
+
+OpenLoopRequest OpenLoopGenerator::Next() {
+  // Exponential gap with mean 1/qps seconds, kept in ns on a double-valued
+  // virtual clock so fractional-ns remainders never skew the offered rate.
+  clock_ns_ += rng_.NextExponential(config_.qps / 1e9);
+  OpenLoopRequest request;
+  request.arrival_ns = static_cast<uint64_t>(clock_ns_);
+  request.keys.reserve(config_.keys_per_request);
+  for (uint32_t k = 0; k < config_.keys_per_request; ++k) {
+    request.keys.push_back(sampler_.Sample(&rng_));
+  }
+  ++generated_;
+  return request;
+}
+
+std::vector<OpenLoopRequest> OpenLoopGenerator::Take(size_t n) {
+  std::vector<OpenLoopRequest> requests;
+  requests.reserve(n);
+  for (size_t i = 0; i < n; ++i) requests.push_back(Next());
+  return requests;
+}
+
+}  // namespace oe::workload

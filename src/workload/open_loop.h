@@ -1,0 +1,71 @@
+#ifndef OE_WORKLOAD_OPEN_LOOP_H_
+#define OE_WORKLOAD_OPEN_LOOP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/entry_layout.h"
+#include "workload/skew.h"
+
+namespace oe::workload {
+
+/// Shape of the online-serving request stream the generator emits.
+struct OpenLoopConfig {
+  /// Offered load in requests per second. Arrivals are Poisson: inter-
+  /// arrival gaps are exponential with mean 1/qps, the standard open-loop
+  /// model of independent users (requests keep arriving on schedule no
+  /// matter how slow the server is, which is what makes tail latency under
+  /// interference measurable at all — a closed loop would self-throttle).
+  double qps = 10000.0;
+  /// Embedding lookups per request (one per slot of the ranking model).
+  uint32_t keys_per_request = 16;
+  /// Embedding-id universe; keys are drawn rank-skewed from it.
+  uint64_t num_keys = 100000;
+  SkewPreset preset = SkewPreset::kOriginal;
+  uint64_t seed = 1;
+};
+
+/// One generated request: an arrival deadline on the generator's virtual
+/// clock plus the keys to look up.
+struct OpenLoopRequest {
+  /// Nanoseconds since stream start at which this request arrives. The
+  /// driver sends at max(now, arrival_ns) and charges latency from
+  /// arrival_ns, so queueing delay from a slow server counts against it.
+  uint64_t arrival_ns = 0;
+  std::vector<storage::EntryId> keys;
+};
+
+/// Closed-form open-loop request generator: a deterministic function of
+/// (config, seed) producing a Poisson arrival schedule over skewed keys.
+/// Closed-form means the whole schedule is computable without running a
+/// server — tests can check offered rate and determinism, and concurrent
+/// bench driver threads can each own an independent generator (split the
+/// target qps across them and vary the seed).
+class OpenLoopGenerator {
+ public:
+  explicit OpenLoopGenerator(const OpenLoopConfig& config);
+
+  /// The next request in arrival order. Arrival times are strictly
+  /// monotone non-decreasing across calls.
+  OpenLoopRequest Next();
+
+  /// Convenience: the first `n` requests of the stream (resets nothing;
+  /// continues from the current position).
+  std::vector<OpenLoopRequest> Take(size_t n);
+
+  const OpenLoopConfig& config() const { return config_; }
+  /// Requests generated so far.
+  uint64_t generated() const { return generated_; }
+
+ private:
+  OpenLoopConfig config_;
+  Random rng_;
+  SkewedKeySampler sampler_;
+  double clock_ns_ = 0.0;  // double: sub-ns remainders must not accumulate
+  uint64_t generated_ = 0;
+};
+
+}  // namespace oe::workload
+
+#endif  // OE_WORKLOAD_OPEN_LOOP_H_

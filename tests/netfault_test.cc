@@ -251,6 +251,143 @@ TEST(ExactlyOnceTest, DuplicatedPushAppliesOnce) {
   EXPECT_GT(dedup_hits, 0u);
 }
 
+// ---------- Serving reads under network faults ----------
+
+// Trains `batches` checkpointed batches on `keys`, then pushes two more
+// un-checkpointed batches so live weights diverge from the published
+// snapshot. Returns the per-key weights at the published checkpoint.
+std::vector<std::vector<float>> TrainPastCheckpoint(
+    ps::PsCluster* cluster, const std::vector<storage::EntryId>& keys,
+    uint64_t batches) {
+  ps::PsClient& client = cluster->client();
+  std::vector<float> weights(keys.size() * 4);
+  auto step = [&](uint64_t batch) {
+    ASSERT_TRUE(
+        client.Pull(keys.data(), keys.size(), batch, weights.data()).ok());
+    ASSERT_TRUE(client.FinishPullPhase(batch).ok());
+    std::vector<float> grads(keys.size() * 4,
+                             0.1f * static_cast<float>(batch));
+    ASSERT_TRUE(
+        client.Push(keys.data(), keys.size(), grads.data(), batch).ok());
+  };
+  for (uint64_t batch = 1; batch <= batches; ++batch) step(batch);
+  EXPECT_TRUE(client.RequestCheckpoint(batches).ok());
+  EXPECT_TRUE(client.DrainCheckpoints().ok());
+  std::vector<std::vector<float>> snapshot;
+  for (storage::EntryId key : keys) {
+    snapshot.push_back(client.Peek(key).ValueOrDie());
+  }
+  // Live state moves past the published checkpoint: a torn or non-snapshot
+  // read would leak these newer values into a MultiGet response.
+  step(batches + 1);
+  step(batches + 2);
+  return snapshot;
+}
+
+TEST(ServingFaultsTest, MultiGetNeverTornUnderLossyDelayingNetwork) {
+  ps::ClusterOptions options = SmallClusterOptions();
+  options.inject_net_faults = true;
+  options.net_fault_seed = 77;
+  options.net_fault_spec.drop_rate = 0.15;
+  options.net_fault_spec.fail_response_rate = 0.1;
+  options.net_fault_spec.duplicate_rate = 0.2;
+  options.net_fault_spec.delay_rate = 0.1;
+  options.net_fault_spec.delay_ms = 1;
+  options.rpc_options.max_retries = 50;
+  options.rpc_options.backoff_initial_ms = 0;
+  options.serving_cache_bytes = 64 << 10;
+  auto cluster = ps::PsCluster::Create(options).ValueOrDie();
+
+  std::vector<storage::EntryId> keys(32);
+  std::iota(keys.begin(), keys.end(), 0);
+  const auto snapshot = TrainPastCheckpoint(cluster.get(), keys, 3);
+
+  ps::PsClient& client = cluster->client();
+  std::vector<float> out(keys.size() * 4);
+  std::vector<uint8_t> found(keys.size());
+  int successes = 0;
+  for (int round = 0; round < 40; ++round) {
+    uint64_t cp = 0;
+    const Status status =
+        client.MultiGet(keys.data(), keys.size(), out.data(), found.data(),
+                        &cp);
+    if (!status.ok()) {
+      // The only acceptable failures are transient transport outcomes: the
+      // retry budget ran dry on drops (kUnavailable) or a lost response
+      // (kIoError). Anything else means the read path broke.
+      EXPECT_TRUE(status.IsUnavailable() ||
+                  status.code() == StatusCode::kIoError)
+          << status.ToString();
+      continue;
+    }
+    ++successes;
+    // A successful response is the published snapshot, bit-exact — never a
+    // mix of checkpoint versions and never the newer un-checkpointed state.
+    EXPECT_EQ(cp, 3u) << "round " << round;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      ASSERT_EQ(found[i], 1) << "key " << keys[i];
+      const std::vector<float> got(out.begin() + static_cast<long>(i) * 4,
+                                   out.begin() + static_cast<long>(i + 1) * 4);
+      EXPECT_EQ(got, snapshot[i]) << "round " << round << " key " << keys[i];
+    }
+  }
+  // 50 retries against a 15% drop schedule: effectively every read lands.
+  EXPECT_GT(successes, 30);
+  EXPECT_GT(cluster->net_stats().retries.load(), 0u);
+}
+
+TEST(ServingFaultsTest, ReadsAreExemptFromPushDedupWindow) {
+  // Duplicate EVERY request. Mutating RPCs must be absorbed by the dedup
+  // window (hits grow during training); MultiGet is a read with seq 0, so
+  // the server must answer both deliveries and the window must not move.
+  ps::ClusterOptions options = SmallClusterOptions();
+  options.inject_net_faults = true;
+  options.net_fault_spec.duplicate_rate = 1.0;
+  auto cluster = ps::PsCluster::Create(options).ValueOrDie();
+
+  std::vector<storage::EntryId> keys(16);
+  std::iota(keys.begin(), keys.end(), 0);
+  const auto snapshot = TrainPastCheckpoint(cluster.get(), keys, 2);
+
+  auto dedup_hits = [&] {
+    uint64_t hits = 0;
+    for (uint32_t node = 0; node < cluster->num_nodes(); ++node) {
+      hits += cluster->service(node)->DedupHits();
+    }
+    return hits;
+  };
+  const uint64_t hits_after_training = dedup_hits();
+  EXPECT_GT(hits_after_training, 0u);  // duplicated pushes were absorbed
+
+  ps::PsClient& client = cluster->client();
+  std::vector<float> out(keys.size() * 4);
+  std::vector<uint8_t> found(keys.size());
+  for (int round = 0; round < 20; ++round) {
+    uint64_t cp = 0;
+    ASSERT_TRUE(client
+                    .MultiGet(keys.data(), keys.size(), out.data(),
+                              found.data(), &cp)
+                    .ok());
+    EXPECT_EQ(cp, 2u);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const std::vector<float> got(out.begin() + static_cast<long>(i) * 4,
+                                   out.begin() + static_cast<long>(i + 1) * 4);
+      EXPECT_EQ(got, snapshot[i]) << "key " << keys[i];
+    }
+  }
+  // 20 duplicated reads, zero new dedup hits: reads bypass the window.
+  EXPECT_EQ(dedup_hits(), hits_after_training);
+
+  // And the window is still live for mutations: one more duplicated push
+  // batch raises the hit count.
+  std::vector<float> weights(keys.size() * 4);
+  ASSERT_TRUE(client.Pull(keys.data(), keys.size(), 5, weights.data()).ok());
+  ASSERT_TRUE(client.FinishPullPhase(5).ok());
+  std::vector<float> grads(keys.size() * 4, 0.1f);
+  ASSERT_TRUE(client.Push(keys.data(), keys.size(), grads.data(), 5).ok());
+  EXPECT_GT(dedup_hits(), hits_after_training);
+}
+
 // ---------- Node lifecycle ----------
 
 TEST(NodeLifecycleTest, KilledNodeIsUnavailableUntilRestart) {

@@ -272,6 +272,8 @@ TEST(MetricsRegistryTest, SnapshotJsonIsValid) {
   EXPECT_TRUE(JsonChecker(json).Valid()) << json;
   EXPECT_NE(json.find("\"pulls\""), std::string::npos);
   EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  // Serving SLOs are quoted at p999; the exported snapshot must carry it.
+  EXPECT_NE(json.find("\"p999\""), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
@@ -312,7 +314,45 @@ TEST(DistributionTest, EmptyAndSingleValue) {
   // Percentiles are clamped to the observed [min, max].
   EXPECT_DOUBLE_EQ(snap.Percentile(0), 123.0);
   EXPECT_DOUBLE_EQ(snap.Percentile(50), 123.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(99.9), 123.0);
   EXPECT_DOUBLE_EQ(snap.Percentile(100), 123.0);
+}
+
+TEST(DistributionTest, TailPercentileAccurateWithFewSamples) {
+  // The p999 regime for a short bench run: the threshold count (99.9% of
+  // ten samples = 9.99) lands inside the single outlier's bucket, so the
+  // estimate must interpolate within that bucket and clamp to the observed
+  // max — never report a value the distribution cannot contain.
+  MetricsRegistry registry;
+  Distribution* dist = registry.GetDistribution("lat");
+  for (int i = 0; i < 9; ++i) dist->Record(1.0);
+  dist->Record(1000.0);
+  const DistributionSnapshot snap = dist->Snapshot();
+
+  const int bucket = Histogram::BucketFor(1000.0);
+  const double bucket_left = Histogram::BucketLimit(bucket - 1);
+  const double p999 = snap.Percentile(99.9);
+  EXPECT_GE(p999, bucket_left);  // came from the outlier's bucket...
+  EXPECT_LE(p999, 1000.0);       // ...and clamped to the true max
+  // One-bucket accuracy: at the histogram's geometric bucket ratio that
+  // bounds the relative error of a tail estimate from sparse samples.
+  EXPECT_NEAR(p999, 1000.0, 1000.0 - bucket_left);
+}
+
+TEST(DistributionTest, PercentilesMonotoneInP) {
+  MetricsRegistry registry;
+  Distribution* dist = registry.GetDistribution("lat");
+  std::mt19937_64 rng(7);
+  std::lognormal_distribution<double> lognormal(5.0, 1.5);
+  for (int i = 0; i < 200; ++i) dist->Record(lognormal(rng));
+  const DistributionSnapshot snap = dist->Snapshot();
+  double previous = snap.min;
+  for (const double p : {0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    const double value = snap.Percentile(p);
+    EXPECT_GE(value, previous) << "p" << p << " regressed";
+    previous = value;
+  }
+  EXPECT_LE(previous, snap.max);
 }
 
 // ---------------------------------------------------------------------------

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "workload/criteo.h"
+#include "workload/open_loop.h"
 #include "workload/skew.h"
 #include "workload/trace.h"
 
@@ -172,6 +173,64 @@ TEST(BurstTimelineTest, PullsAndUpdatesPairUp) {
   const double mean =
       static_cast<double>(total) / timeline.pull_per_ms.size();
   EXPECT_GT(static_cast<double>(peak), 4 * mean);
+}
+
+TEST(OpenLoopGeneratorTest, OfferedRateMatchesConfiguredQps) {
+  OpenLoopConfig config;
+  config.qps = 50000.0;
+  config.keys_per_request = 8;
+  config.num_keys = 10000;
+  OpenLoopGenerator generator(config);
+  const size_t n = 20000;
+  const auto requests = generator.Take(n);
+  ASSERT_EQ(requests.size(), n);
+  EXPECT_EQ(generator.generated(), n);
+  // Poisson arrivals with mean gap 1/qps: over 20k draws the empirical rate
+  // concentrates around the configured one (std error ~1/sqrt(n) < 1%).
+  const double span_s =
+      static_cast<double>(requests.back().arrival_ns) / 1e9;
+  const double offered = static_cast<double>(n) / span_s;
+  EXPECT_NEAR(offered, config.qps, 0.05 * config.qps);
+  for (const auto& request : requests) {
+    EXPECT_EQ(request.keys.size(), config.keys_per_request);
+    for (uint64_t key : request.keys) EXPECT_LT(key, config.num_keys);
+  }
+}
+
+TEST(OpenLoopGeneratorTest, ArrivalsAreMonotoneAndSpread) {
+  OpenLoopConfig config;
+  config.qps = 1000.0;
+  OpenLoopGenerator generator(config);
+  uint64_t previous = 0;
+  std::set<uint64_t> gaps;
+  for (int i = 0; i < 500; ++i) {
+    const auto request = generator.Next();
+    EXPECT_GE(request.arrival_ns, previous);
+    gaps.insert(request.arrival_ns - previous);
+    previous = request.arrival_ns;
+  }
+  // Exponential gaps, not a fixed tick: nearly every gap is distinct.
+  EXPECT_GT(gaps.size(), 450u);
+}
+
+TEST(OpenLoopGeneratorTest, DeterministicForSeed) {
+  OpenLoopConfig config;
+  config.qps = 10000.0;
+  config.seed = 11;
+  OpenLoopGenerator a(config), b(config);
+  OpenLoopConfig other = config;
+  other.seed = 12;
+  OpenLoopGenerator c(other);
+  bool diverged = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto ra = a.Next();
+    const auto rb = b.Next();
+    const auto rc = c.Next();
+    EXPECT_EQ(ra.arrival_ns, rb.arrival_ns) << "request " << i;
+    EXPECT_EQ(ra.keys, rb.keys) << "request " << i;
+    diverged = diverged || ra.arrival_ns != rc.arrival_ns;
+  }
+  EXPECT_TRUE(diverged);  // the seed actually matters
 }
 
 TEST(CriteoSynthTest, ShapeMatchesConfig) {

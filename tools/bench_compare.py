@@ -87,9 +87,24 @@ def cmd_compare(args):
             failures.append(name)
         print(f"  {name:<28} baseline={base_ms:10.1f}ms "
               f"current={cur_ms:10.1f}ms  {ratio - 1.0:+7.1%}  {verdict}")
+        # Tail-latency visibility row: p99/p999 metrics (the serving SLO
+        # numbers) are always shown when both sides carry them, but never
+        # gated — tail latencies on shared CI runners are too noisy for a
+        # hard threshold, while a large sustained jump should still be
+        # visible in the job log without re-running with --metrics.
+        base_metrics = baseline[name].get("metrics", {})
+        cur_metrics = current[name].get("metrics", {})
+        for key in sorted(set(base_metrics) & set(cur_metrics)):
+            if not key.startswith(("p99_", "p999_")):
+                continue
+            try:
+                b, c = float(base_metrics[key]), float(cur_metrics[key])
+            except (TypeError, ValueError):
+                continue
+            delta = (c / b - 1.0) if b else float("inf")
+            print(f"      tail {key:<35} {b:11.1f} -> {c:11.1f} "
+                  f"({delta:+.1%}, informational)")
         if args.metrics:
-            base_metrics = baseline[name].get("metrics", {})
-            cur_metrics = current[name].get("metrics", {})
             for key in sorted(set(base_metrics) & set(cur_metrics)):
                 try:
                     b, c = float(base_metrics[key]), float(cur_metrics[key])
