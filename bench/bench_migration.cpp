@@ -1,0 +1,243 @@
+// Elastic scale-out under load: training throughput dip and recovery while
+// a 4-node cluster expands to 8 via live shard migration (DESIGN.md §11).
+//
+// A trainer thread drives skewed pull/push batches and a serving thread
+// drives closed-loop MultiGet snapshot reads, both through the whole run.
+// The run has three phases:
+//
+//   before   - steady state on 4 nodes
+//   migrate  - AddNode x4, then hand each new node its round-robin-of-8
+//              residue class (4096/8 slots per leg, seal -> export ->
+//              import -> publish -> purge); trainers bounce off sealed
+//              ranges with kWrongOwner and re-route
+//   after    - steady state on 8 nodes
+//
+// Reported: push throughput per phase (the dip is during/before, the
+// recovery after/before), migration wall time, stale-route rejects, and
+// serving availability across the topology change. The serving reads
+// assert nothing here — correctness is migration_test's job — but their
+// unavailable count is a liveness signal worth tracking.
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "ps/ps_cluster.h"
+#include "ps/slot_table.h"
+#include "storage/entry_layout.h"
+#include "workload/skew.h"
+
+using oe::Nanos;
+using oe::WallNowNanos;
+using oe::ps::ClusterOptions;
+using oe::ps::PsCluster;
+using oe::workload::SkewPreset;
+
+namespace {
+
+struct BenchParams {
+  uint64_t num_keys = 1ULL << 15;
+  uint32_t dim = 16;
+  uint64_t batch_keys = 1024;
+  uint64_t phase_ms = 800;  // steady-state window before and after
+  uint64_t preload_chunk = 8192;
+};
+
+void Die(const char* what) {
+  std::fprintf(stderr, "%s\n", what);
+  std::exit(1);
+}
+
+/// Creates every key and publishes checkpoint 1 so the migration has a
+/// snapshot to export and serving reads have a version to pin.
+void Preload(const BenchParams& params, PsCluster* cluster) {
+  auto& client = cluster->client();
+  std::vector<uint64_t> keys;
+  std::vector<float> weights;
+  for (uint64_t base = 0; base < params.num_keys;
+       base += params.preload_chunk) {
+    const uint64_t end = std::min(params.num_keys, base + params.preload_chunk);
+    keys.clear();
+    for (uint64_t k = base; k < end; ++k) keys.push_back(k);
+    weights.resize(keys.size() * params.dim);
+    if (!client.Pull(keys.data(), keys.size(), /*batch=*/1, weights.data())
+             .ok()) {
+      Die("preload pull failed");
+    }
+  }
+  if (!client.FinishPullPhase(1).ok()) Die("preload finish failed");
+  if (!client.RequestCheckpoint(1).ok() || !client.DrainCheckpoints().ok()) {
+    Die("preload checkpoint failed");
+  }
+}
+
+double KeysPerSec(uint64_t keys, Nanos elapsed_ns) {
+  return elapsed_ns > 0 ? static_cast<double>(keys) * 1e9 /
+                              static_cast<double>(elapsed_ns)
+                        : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  oe::bench::BenchReport report("bench_migration", &argc, argv);
+  BenchParams params;
+  if (oe::bench::FastMode()) {
+    params.num_keys = 1ULL << 13;
+    params.batch_keys = 512;
+    params.phase_ms = 250;
+  }
+  report.AddConfig("num_keys", static_cast<double>(params.num_keys));
+  report.AddConfig("batch_keys", static_cast<double>(params.batch_keys));
+  report.AddConfig("phase_ms", static_cast<double>(params.phase_ms));
+
+  oe::bench::PrintHeader(
+      "Elastic scale-out: 4 -> 8 nodes under training + serving load",
+      "live shard migration (seal/export/import/publish); throughput dip "
+      "and recovery around the topology change");
+
+  ClusterOptions options;
+  options.num_nodes = 4;
+  options.store.dim = params.dim;
+  options.store.cache_bytes = 1ULL << 20;
+  options.store.maintainer_threads = 2;
+  options.serving_cache_bytes = 2ULL << 20;
+  options.pmem_bytes_per_node = 256ULL << 20;
+  auto cluster = PsCluster::Create(options).ValueOrDie();
+  Preload(params, cluster.get());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> keys_pushed{0};
+
+  std::thread trainer([&] {
+    auto client = cluster->NewClient();
+    oe::Random rng(7);
+    oe::workload::SkewedKeySampler sampler(params.num_keys,
+                                           SkewPreset::kOriginal);
+    std::vector<uint64_t> keys(params.batch_keys);
+    std::vector<float> weights(params.batch_keys * params.dim);
+    std::vector<float> grads(params.batch_keys * params.dim, 0.01f);
+    uint64_t batch = 1;  // preload used batch 1
+    while (!stop.load(std::memory_order_relaxed)) {
+      ++batch;
+      for (auto& key : keys) key = sampler.Sample(&rng);
+      if (!client->Pull(keys.data(), keys.size(), batch, weights.data())
+               .ok()) {
+        Die("train pull failed");
+      }
+      if (!client->FinishPullPhase(batch).ok()) Die("train finish failed");
+      if (!client->Push(keys.data(), keys.size(), grads.data(), batch).ok()) {
+        Die("train push failed");
+      }
+      keys_pushed.fetch_add(keys.size(), std::memory_order_relaxed);
+    }
+  });
+
+  std::atomic<uint64_t> serving_ok{0};
+  std::atomic<uint64_t> serving_unavailable{0};
+  std::thread server([&] {
+    auto client = cluster->NewClient();
+    oe::Random rng(13);
+    oe::workload::SkewedKeySampler sampler(params.num_keys,
+                                           SkewPreset::kOriginal);
+    constexpr size_t kKeysPerGet = 16;
+    std::vector<uint64_t> keys(kKeysPerGet);
+    std::vector<float> out(kKeysPerGet * params.dim);
+    std::vector<uint8_t> found(kKeysPerGet);
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (auto& key : keys) key = sampler.Sample(&rng);
+      uint64_t cp = 0;
+      const oe::Status status = client->MultiGet(
+          keys.data(), keys.size(), out.data(), found.data(), &cp);
+      if (status.ok()) {
+        serving_ok.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        serving_unavailable.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  const auto sleep_ms = [](uint64_t ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  };
+
+  // Phase 1: steady state on 4 nodes.
+  const Nanos t0 = WallNowNanos();
+  const uint64_t pushed0 = keys_pushed.load(std::memory_order_relaxed);
+  sleep_ms(params.phase_ms);
+  const Nanos t1 = WallNowNanos();
+  const uint64_t pushed1 = keys_pushed.load(std::memory_order_relaxed);
+
+  // Phase 2: the topology change — 4 AddNode epochs + 4 migration legs.
+  for (uint32_t n = 0; n < 4; ++n) {
+    if (!cluster->AddNode().ok()) Die("add node failed");
+  }
+  for (uint32_t target = 4; target < 8; ++target) {
+    std::vector<uint32_t> slots;
+    for (uint32_t s = target; s < oe::storage::kNumRoutingSlots; s += 8) {
+      slots.push_back(s);
+    }
+    if (!cluster->MigrateSlots(slots, target).ok()) Die("migration failed");
+  }
+  const Nanos t2 = WallNowNanos();
+  const uint64_t pushed2 = keys_pushed.load(std::memory_order_relaxed);
+
+  // Phase 3: steady state on 8 nodes.
+  sleep_ms(params.phase_ms);
+  const Nanos t3 = WallNowNanos();
+  const uint64_t pushed3 = keys_pushed.load(std::memory_order_relaxed);
+
+  stop.store(true, std::memory_order_relaxed);
+  trainer.join();
+  server.join();
+
+  const double qps_before = KeysPerSec(pushed1 - pushed0, t1 - t0);
+  const double qps_during = KeysPerSec(pushed2 - pushed1, t2 - t1);
+  const double qps_after = KeysPerSec(pushed3 - pushed2, t3 - t2);
+  const double migration_ms = static_cast<double>(t2 - t1) / 1e6;
+  const double dip = qps_before > 0 ? qps_during / qps_before : 0.0;
+  const double recovery = qps_before > 0 ? qps_after / qps_before : 0.0;
+
+  uint64_t wrong_owner = 0;
+  for (uint32_t node = 0; node < cluster->num_nodes(); ++node) {
+    if (cluster->service(node) != nullptr) {
+      wrong_owner += cluster->service(node)->WrongOwnerRejects();
+    }
+  }
+
+  std::printf("  %-22s | %12s | %9s\n", "phase", "push keys/s", "vs before");
+  std::printf("  %-22s | %12.0f | %8.0f%%\n", "before (4 nodes)", qps_before,
+              100.0);
+  std::printf("  %-22s | %12.0f | %8.0f%%\n", "during migration", qps_during,
+              100.0 * dip);
+  std::printf("  %-22s | %12.0f | %8.0f%%\n", "after (8 nodes)", qps_after,
+              100.0 * recovery);
+  std::printf("  migration wall: %.1f ms  epoch: %llu  wrong-owner rejects: "
+              "%llu  serving ok/unavailable: %llu/%llu\n",
+              migration_ms,
+              static_cast<unsigned long long>(
+                  cluster->directory()->Current()->epoch),
+              static_cast<unsigned long long>(wrong_owner),
+              static_cast<unsigned long long>(
+                  serving_ok.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(
+                  serving_unavailable.load(std::memory_order_relaxed)));
+
+  report.AddMetric("push_qps.before", qps_before);
+  report.AddMetric("push_qps.during", qps_during);
+  report.AddMetric("push_qps.after", qps_after);
+  report.AddMetric("dip_ratio", dip);
+  report.AddMetric("recovery_ratio", recovery);
+  report.AddMetric("migration_ms", migration_ms);
+  report.AddMetric("wrong_owner_rejects", static_cast<double>(wrong_owner));
+  report.AddMetric("serving_ok",
+                   static_cast<double>(serving_ok.load()));
+  report.AddMetric("serving_unavailable",
+                   static_cast<double>(serving_unavailable.load()));
+  return 0;
+}

@@ -30,6 +30,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kWrongOwner:
+      return "WrongOwner";
   }
   return "Unknown";
 }

@@ -28,6 +28,12 @@ enum class StatusCode : uint8_t {
   /// The target is temporarily unreachable (node down, connection refused);
   /// the operation did not happen and is safe to retry.
   kUnavailable = 12,
+  /// A keyed PS request reached a node that does not own (or has sealed)
+  /// one of its keys under the current routing epoch. The request was
+  /// rejected wholesale — nothing was applied — so the client must refresh
+  /// its slot table and re-route. Deliberately NOT transport-retryable:
+  /// resending the same bytes to the same node cannot succeed.
+  kWrongOwner = 13,
 };
 
 /// Returns a short human-readable name ("Ok", "IoError", ...).
@@ -88,6 +94,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status WrongOwner(std::string msg) {
+    return Status(StatusCode::kWrongOwner, std::move(msg));
+  }
   /// An error status with a caller-chosen code (OK if code is kOk);
   /// used where the code is propagated from another status.
   static Status FromCode(StatusCode code, std::string msg) {
@@ -105,6 +114,7 @@ class Status {
   bool IsCorruption() const { return code() == StatusCode::kCorruption; }
   bool IsOutOfSpace() const { return code() == StatusCode::kOutOfSpace; }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsWrongOwner() const { return code() == StatusCode::kWrongOwner; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -5,7 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
-#include "ps/ps_client.h"
+#include "ps/slot_table.h"
 #include "storage/entry_layout.h"
 
 namespace oe::ps {
@@ -39,6 +39,18 @@ class PlacementTable {
   /// Node hosting replica `r` (0 = the plain hash owner) of a hot key.
   net::NodeId ReplicaNode(storage::EntryId key, uint32_t r) const {
     return (router_.NodeFor(key) + r) % router_.num_nodes();
+  }
+
+  /// True when `node` hosts some replica of hot key `key`. Hot keys are
+  /// *epoch-pinned*: the replica set is computed from the construction-time
+  /// (epoch-1) router and never moves with slot migration, so services
+  /// accept a hot key at any of its replicas regardless of the current
+  /// slot-table epoch, and migrations exclude hot keys from export/purge.
+  bool is_replica(net::NodeId node, storage::EntryId key) const {
+    for (uint32_t r = 0; r < replicas_; ++r) {
+      if (ReplicaNode(key, r) == node) return true;
+    }
+    return false;
   }
 
   uint32_t replicas() const { return replicas_; }

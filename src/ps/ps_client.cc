@@ -1,8 +1,9 @@
 #include "ps/ps_client.h"
 
 #include <algorithm>
-
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "net/message.h"
 #include "ps/placement.h"
@@ -21,11 +22,31 @@ namespace {
 std::atomic<uint64_t> g_next_client_id{1};
 
 /// Writes the RpcHeader that starts every request payload. seq == 0 for
-/// reads (no dedup).
-void PutHeader(Writer* writer, uint64_t client_id, uint64_t seq) {
+/// reads (no dedup); `route_epoch` is the slot-table epoch the request was
+/// routed under (diagnostic: the service validates against the live table).
+void PutHeader(Writer* writer, uint64_t client_id, uint64_t seq,
+               uint64_t route_epoch) {
   writer->PutU64(client_id);
   writer->PutU64(seq);
+  writer->PutU64(route_epoch);
 }
+
+/// First hard (non-wrong-owner) failure in call order, or OK. kWrongOwner
+/// is the one per-call status the client handles itself — everything else
+/// already went through the transport's retry policy and must surface.
+Status FirstHardError(const std::vector<RpcCall>& calls) {
+  for (const RpcCall& call : calls) {
+    if (!call.status.ok() && !call.status.IsWrongOwner()) return call.status;
+  }
+  return Status::OK();
+}
+
+/// Route retry budget for keyed operations. A kWrongOwner burst lasts from
+/// seal to publish; with the default RpcOptions backoff (1ms doubling,
+/// 100ms cap) this budget spans well over a second of wall time — enough
+/// for any in-process migration while still failing closed if routing
+/// never converges.
+constexpr int kMaxRouteAttempts = 16;
 
 }  // namespace
 
@@ -36,146 +57,259 @@ PsClient::PsClient(net::Transport* transport, uint32_t num_nodes,
       dim_(dim),
       client_id_(g_next_client_id.fetch_add(1, std::memory_order_relaxed)) {}
 
+Router PsClient::Route() const {
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  return router_;
+}
+
+void PsClient::RefreshRoute() {
+  if (directory_ == nullptr) return;
+  std::shared_ptr<const SlotTable> current = directory_->Current();
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  if (current->epoch > router_.epoch()) router_ = Router(std::move(current));
+}
+
+std::shared_ptr<const SlotTable> PsClient::BroadcastTable() const {
+  if (directory_ != nullptr) return directory_->Current();
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  return router_.table();
+}
+
+void PsClient::BackoffBeforeRetry(int attempt) const {
+  const net::RpcOptions& opts = transport_->rpc_options();
+  int64_t backoff_ms = std::max<int64_t>(1, opts.backoff_initial_ms);
+  for (int i = 0; i < attempt; ++i) {
+    backoff_ms = std::min<int64_t>(
+        static_cast<int64_t>(backoff_ms * opts.backoff_multiplier),
+        std::max<int64_t>(1, opts.backoff_max_ms));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+}
+
 Status PsClient::Pull(const storage::EntryId* keys, size_t n, uint64_t batch,
                       float* out) {
-  // Partition key positions by owning node; hot keys round-robin across
-  // their replica set (replicas are kept bit-identical, see PlacementTable).
+  if (n == 0) return Status::OK();
   const bool placed = placement_ != nullptr && placement_->replicas() > 1;
-  std::vector<std::vector<size_t>> positions(router_.num_nodes());
-  for (size_t i = 0; i < n; ++i) {
-    if (placed && placement_->is_hot(keys[i])) {
-      const auto r = static_cast<uint32_t>(
-          pull_rr_.fetch_add(1, std::memory_order_relaxed) %
-          placement_->replicas());
-      positions[placement_->ReplicaNode(keys[i], r)].push_back(i);
-    } else {
-      positions[router_.NodeFor(keys[i])].push_back(i);
+  for (int attempt = 0; attempt < kMaxRouteAttempts; ++attempt) {
+    if (attempt > 0) {
+      BackoffBeforeRetry(attempt - 1);
+      RefreshRoute();
     }
-  }
-  std::vector<uint32_t> nodes;
-  for (uint32_t node = 0; node < router_.num_nodes(); ++node) {
-    if (!positions[node].empty()) nodes.push_back(node);
-  }
-  if (nodes.empty()) return Status::OK();
+    const Router router = Route();
+    // Partition key positions by owning node; hot keys round-robin across
+    // their replica set (replicas are kept bit-identical; the set is
+    // epoch-pinned, so migrations never invalidate it).
+    std::vector<std::vector<size_t>> positions(router.num_nodes());
+    for (size_t i = 0; i < n; ++i) {
+      if (placed && placement_->is_hot(keys[i])) {
+        const auto r = static_cast<uint32_t>(
+            pull_rr_.fetch_add(1, std::memory_order_relaxed) %
+            placement_->replicas());
+        positions[placement_->ReplicaNode(keys[i], r)].push_back(i);
+      } else {
+        positions[router.NodeFor(keys[i])].push_back(i);
+      }
+    }
+    std::vector<uint32_t> nodes;
+    for (uint32_t node = 0; node < router.num_nodes(); ++node) {
+      if (!positions[node].empty()) nodes.push_back(node);
+    }
+    if (nodes.empty()) return Status::OK();
 
-  // One request per owning node, issued concurrently (Section IV: the
-  // worker reaches every PS shard in one overlapped round trip).
-  std::vector<Buffer> requests(nodes.size());
-  std::vector<Buffer> responses(nodes.size());
-  std::vector<RpcCall> calls(nodes.size());
-  for (size_t c = 0; c < nodes.size(); ++c) {
-    const auto& pos = positions[nodes[c]];
-    Writer writer(&requests[c]);
-    PutHeader(&writer, client_id_, /*seq=*/0);  // read: no dedup
-    writer.PutU64(batch);
-    writer.PutU32(static_cast<uint32_t>(pos.size()));
-    for (size_t i : pos) writer.PutRaw(&keys[i], sizeof(keys[i]));
-    calls[c] = {nodes[c], static_cast<uint32_t>(PsMethod::kPull),
-                &requests[c], &responses[c], Status::OK()};
-  }
-  OE_RETURN_IF_ERROR(transport_->ParallelCall(&calls));
+    // One request per owning node, issued concurrently (Section IV: the
+    // worker reaches every PS shard in one overlapped round trip).
+    std::vector<Buffer> requests(nodes.size());
+    std::vector<Buffer> responses(nodes.size());
+    std::vector<RpcCall> calls(nodes.size());
+    for (size_t c = 0; c < nodes.size(); ++c) {
+      const auto& pos = positions[nodes[c]];
+      Writer writer(&requests[c]);
+      PutHeader(&writer, client_id_, /*seq=*/0, router.epoch());  // read
+      writer.PutU64(batch);
+      writer.PutU32(static_cast<uint32_t>(pos.size()));
+      for (size_t i : pos) writer.PutRaw(&keys[i], sizeof(keys[i]));
+      calls[c] = {nodes[c], static_cast<uint32_t>(PsMethod::kPull),
+                  &requests[c], &responses[c], Status::OK()};
+    }
+    Status fan_out = transport_->ParallelCall(&calls);
+    if (!fan_out.ok()) {
+      OE_RETURN_IF_ERROR(FirstHardError(calls));
+      continue;  // every failure was kWrongOwner: refresh and re-route
+    }
 
-  // Reassemble in key order.
-  for (size_t c = 0; c < nodes.size(); ++c) {
-    const auto& pos = positions[nodes[c]];
-    Reader reader(responses[c]);
-    std::vector<float> weights;
-    OE_RETURN_IF_ERROR(reader.GetFloatSpan(&weights));
-    if (weights.size() != pos.size() * dim_) {
-      return Status::Corruption("pull response size mismatch");
+    // Reassemble in key order. Pulls are idempotent, so a retried round
+    // simply overwrites any positions already filled.
+    for (size_t c = 0; c < nodes.size(); ++c) {
+      const auto& pos = positions[nodes[c]];
+      Reader reader(responses[c]);
+      std::vector<float> weights;
+      OE_RETURN_IF_ERROR(reader.GetFloatSpan(&weights));
+      if (weights.size() != pos.size() * dim_) {
+        return Status::Corruption("pull response size mismatch");
+      }
+      for (size_t j = 0; j < pos.size(); ++j) {
+        std::memcpy(out + pos[j] * dim_, weights.data() + j * dim_,
+                    dim_ * sizeof(float));
+      }
     }
-    for (size_t j = 0; j < pos.size(); ++j) {
-      std::memcpy(out + pos[j] * dim_, weights.data() + j * dim_,
-                  dim_ * sizeof(float));
-    }
+    return Status::OK();
   }
-  return Status::OK();
+  return Status::Unavailable("pull: routing did not converge (kWrongOwner "
+                             "persisted past the retry budget)");
 }
 
 Status PsClient::Push(const storage::EntryId* keys, size_t n,
                       const float* grads, uint64_t batch) {
-  // A hot key's gradient goes to every replica (same seq: each node's dedup
-  // window applies it exactly once), so replicas evolve in lockstep through
-  // the deterministic server-side optimizer.
+  if (n == 0) return Status::OK();
   const bool placed = placement_ != nullptr && placement_->replicas() > 1;
-  std::vector<std::vector<size_t>> positions(router_.num_nodes());
+
+  // Unacknowledged work, tracked per (position, destination) so a partial
+  // fan-out failure re-sends exactly the rejected nodes' keys. A hot key's
+  // gradient goes to every replica (fixed, epoch-pinned destinations); a
+  // plain key's destination is recomputed from the route snapshot each
+  // round.
+  std::vector<std::pair<size_t, uint32_t>> pending_hot;  // (pos, node)
+  std::vector<size_t> pending;                           // routed each round
   for (size_t i = 0; i < n; ++i) {
     if (placed && placement_->is_hot(keys[i])) {
       for (uint32_t r = 0; r < placement_->replicas(); ++r) {
-        positions[placement_->ReplicaNode(keys[i], r)].push_back(i);
+        pending_hot.emplace_back(i, placement_->ReplicaNode(keys[i], r));
       }
     } else {
-      positions[router_.NodeFor(keys[i])].push_back(i);
+      pending.push_back(i);
     }
   }
-  std::vector<uint32_t> nodes;
-  for (uint32_t node = 0; node < router_.num_nodes(); ++node) {
-    if (!positions[node].empty()) nodes.push_back(node);
-  }
-  if (nodes.empty()) return Status::OK();
 
-  std::vector<Buffer> requests(nodes.size());
-  std::vector<Buffer> responses(nodes.size());
-  std::vector<RpcCall> calls(nodes.size());
-  // One seq for the whole push: each node dedups independently, and a
-  // retried per-node request reuses its buffer (same header), so a
-  // double-delivered gradient applies exactly once.
-  const uint64_t seq = NextSeq();
-  for (size_t c = 0; c < nodes.size(); ++c) {
-    const auto& pos = positions[nodes[c]];
-    Writer writer(&requests[c]);
-    PutHeader(&writer, client_id_, seq);
-    writer.PutU64(batch);
-    writer.PutU32(static_cast<uint32_t>(pos.size()));
-    for (size_t i : pos) writer.PutRaw(&keys[i], sizeof(keys[i]));
-    writer.PutU32(static_cast<uint32_t>(pos.size() * dim_));
-    for (size_t i : pos) {
-      writer.PutRaw(grads + i * dim_, dim_ * sizeof(float));
+  for (int attempt = 0; attempt < kMaxRouteAttempts; ++attempt) {
+    if (attempt > 0) {
+      BackoffBeforeRetry(attempt - 1);
+      RefreshRoute();
     }
-    calls[c] = {nodes[c], static_cast<uint32_t>(PsMethod::kPush),
-                &requests[c], &responses[c], Status::OK()};
+    const Router router = Route();
+    std::vector<std::vector<size_t>> positions(router.num_nodes());
+    for (const auto& [pos, node] : pending_hot) positions[node].push_back(pos);
+    for (size_t pos : pending) {
+      positions[router.NodeFor(keys[pos])].push_back(pos);
+    }
+    std::vector<uint32_t> nodes;
+    for (uint32_t node = 0; node < router.num_nodes(); ++node) {
+      if (!positions[node].empty()) nodes.push_back(node);
+    }
+    if (nodes.empty()) return Status::OK();
+
+    std::vector<Buffer> requests(nodes.size());
+    std::vector<Buffer> responses(nodes.size());
+    std::vector<RpcCall> calls(nodes.size());
+    // One seq for the whole round: each node dedups independently, and a
+    // transport-retried per-node request reuses its buffer (same header),
+    // so a double-delivered gradient applies exactly once. A *re-route*
+    // round uses a fresh seq — safe, because a kWrongOwner rejection is
+    // wholesale (the rejecting node applied nothing under the old seq),
+    // and necessary, because the new owner may have cached a reply for the
+    // old seq covering different keys and would replay it without applying
+    // the re-routed ones.
+    const uint64_t seq = NextSeq();
+    for (size_t c = 0; c < nodes.size(); ++c) {
+      const auto& pos = positions[nodes[c]];
+      Writer writer(&requests[c]);
+      PutHeader(&writer, client_id_, seq, router.epoch());
+      writer.PutU64(batch);
+      writer.PutU32(static_cast<uint32_t>(pos.size()));
+      for (size_t i : pos) writer.PutRaw(&keys[i], sizeof(keys[i]));
+      writer.PutU32(static_cast<uint32_t>(pos.size() * dim_));
+      for (size_t i : pos) {
+        writer.PutRaw(grads + i * dim_, dim_ * sizeof(float));
+      }
+      calls[c] = {nodes[c], static_cast<uint32_t>(PsMethod::kPush),
+                  &requests[c], &responses[c], Status::OK()};
+    }
+    Status fan_out = transport_->ParallelCall(&calls);
+    if (fan_out.ok()) return Status::OK();
+    OE_RETURN_IF_ERROR(FirstHardError(calls));
+
+    // Drop acknowledged destinations from the pending sets; only nodes
+    // that rejected with kWrongOwner (applied nothing) are re-routed.
+    std::vector<uint32_t> rejected;
+    for (const RpcCall& call : calls) {
+      if (call.status.IsWrongOwner()) rejected.push_back(call.node);
+    }
+    auto was_rejected = [&rejected](uint32_t node) {
+      return std::find(rejected.begin(), rejected.end(), node) !=
+             rejected.end();
+    };
+    pending_hot.erase(
+        std::remove_if(pending_hot.begin(), pending_hot.end(),
+                       [&](const std::pair<size_t, uint32_t>& item) {
+                         return !was_rejected(item.second);
+                       }),
+        pending_hot.end());
+    pending.erase(std::remove_if(pending.begin(), pending.end(),
+                                 [&](size_t pos) {
+                                   return !was_rejected(
+                                       router.NodeFor(keys[pos]));
+                                 }),
+                  pending.end());
+    if (pending_hot.empty() && pending.empty()) return Status::OK();
   }
-  return transport_->ParallelCall(&calls);
+  return Status::Unavailable("push: routing did not converge (kWrongOwner "
+                             "persisted past the retry budget)");
 }
 
 Status PsClient::MultiGet(const storage::EntryId* keys, size_t n, float* out,
                           uint8_t* found, uint64_t* snapshot_version) {
   if (snapshot_version != nullptr) *snapshot_version = 0;
   if (n == 0) return Status::OK();
-  // Ownership routing only: replica nodes publish checkpoints on their own
-  // maintenance cadence, so round-robining hot keys across them would make
-  // the per-node version agreement below spuriously fail.
-  std::vector<std::vector<size_t>> positions(router_.num_nodes());
-  for (size_t i = 0; i < n; ++i) {
-    positions[router_.NodeFor(keys[i])].push_back(i);
-  }
-  std::vector<uint32_t> nodes;
-  for (uint32_t node = 0; node < router_.num_nodes(); ++node) {
-    if (!positions[node].empty()) nodes.push_back(node);
-  }
-
-  std::vector<Buffer> requests(nodes.size());
-  for (size_t c = 0; c < nodes.size(); ++c) {
-    const auto& pos = positions[nodes[c]];
-    Writer writer(&requests[c]);
-    PutHeader(&writer, client_id_, /*seq=*/0);  // read: no dedup
-    writer.PutU32(static_cast<uint32_t>(pos.size()));
-    for (size_t i : pos) writer.PutRaw(&keys[i], sizeof(keys[i]));
-  }
+  const bool placed = placement_ != nullptr && placement_->replicas() > 1;
 
   // Each node serves its own last published checkpoint; a response set is a
   // cluster-consistent snapshot only when they all name the same version.
-  // Disagreement means a cluster-wide publish was mid-flight — short-lived,
-  // so a bounded retry of the whole fan-out resolves it.
-  constexpr int kMaxAttempts = 3;
+  // Disagreement means a cluster-wide publish was mid-flight, kWrongOwner
+  // means a migration republished routing — both short-lived, so a bounded
+  // retry of the whole fan-out resolves them. Attempts back off with the
+  // transport's RpcOptions policy so a publish-in-flight window doesn't
+  // burn the entire budget in microseconds.
+  constexpr int kMaxAttempts = 8;
   for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    if (attempt > 0) {
+      BackoffBeforeRetry(attempt - 1);
+      RefreshRoute();
+    }
+    const Router router = Route();
+    // Ownership routing only: replica nodes publish checkpoints on their
+    // own maintenance cadence, so round-robining hot keys across them
+    // would make the per-node version agreement below spuriously fail.
+    // Hot keys pin to their primary replica (their slot may have migrated,
+    // but the keys themselves are epoch-pinned to the replica set).
+    std::vector<std::vector<size_t>> positions(router.num_nodes());
+    for (size_t i = 0; i < n; ++i) {
+      if (placed && placement_->is_hot(keys[i])) {
+        positions[placement_->ReplicaNode(keys[i], 0)].push_back(i);
+      } else {
+        positions[router.NodeFor(keys[i])].push_back(i);
+      }
+    }
+    std::vector<uint32_t> nodes;
+    for (uint32_t node = 0; node < router.num_nodes(); ++node) {
+      if (!positions[node].empty()) nodes.push_back(node);
+    }
+
+    std::vector<Buffer> requests(nodes.size());
     std::vector<Buffer> responses(nodes.size());
     std::vector<RpcCall> calls(nodes.size());
     for (size_t c = 0; c < nodes.size(); ++c) {
+      const auto& pos = positions[nodes[c]];
+      Writer writer(&requests[c]);
+      PutHeader(&writer, client_id_, /*seq=*/0, router.epoch());  // read
+      writer.PutU32(static_cast<uint32_t>(pos.size()));
+      for (size_t i : pos) writer.PutRaw(&keys[i], sizeof(keys[i]));
       calls[c] = {nodes[c], static_cast<uint32_t>(PsMethod::kMultiGet),
                   &requests[c], &responses[c], Status::OK()};
     }
-    OE_RETURN_IF_ERROR(transport_->ParallelCall(&calls));
+    Status fan_out = transport_->ParallelCall(&calls);
+    if (!fan_out.ok()) {
+      OE_RETURN_IF_ERROR(FirstHardError(calls));
+      continue;  // kWrongOwner only: refresh and re-route
+    }
 
     bool agree = true;
     uint64_t cluster_cp = 0;
@@ -218,16 +352,17 @@ Status PsClient::WarmReplicas(uint64_t batch) {
   }
   const auto& hot = placement_->hot_keys();
   if (hot.empty()) return Status::OK();
+  const Router router = Route();
   // One pull round per replica rank: every replica node materializes its
   // copy via the normal first-touch path. Responses are validated for shape
   // and discarded — warming is purely about creating the entries.
   for (uint32_t r = 0; r < placement_->replicas(); ++r) {
-    std::vector<std::vector<storage::EntryId>> by_node(router_.num_nodes());
+    std::vector<std::vector<storage::EntryId>> by_node(router.num_nodes());
     for (const storage::EntryId key : hot) {
       by_node[placement_->ReplicaNode(key, r)].push_back(key);
     }
     std::vector<uint32_t> nodes;
-    for (uint32_t node = 0; node < router_.num_nodes(); ++node) {
+    for (uint32_t node = 0; node < router.num_nodes(); ++node) {
       if (!by_node[node].empty()) nodes.push_back(node);
     }
     if (nodes.empty()) continue;
@@ -237,7 +372,7 @@ Status PsClient::WarmReplicas(uint64_t batch) {
     for (size_t c = 0; c < nodes.size(); ++c) {
       const auto& node_keys = by_node[nodes[c]];
       Writer writer(&requests[c]);
-      PutHeader(&writer, client_id_, /*seq=*/0);  // read: no dedup
+      PutHeader(&writer, client_id_, /*seq=*/0, router.epoch());  // read
       writer.PutU64(batch);
       writer.PutU32(static_cast<uint32_t>(node_keys.size()));
       for (const storage::EntryId key : node_keys) {
@@ -259,10 +394,12 @@ Status PsClient::WarmReplicas(uint64_t batch) {
 }
 
 Status PsClient::Broadcast(uint32_t method, const Buffer& request) {
-  std::vector<Buffer> responses(router_.num_nodes());
-  std::vector<RpcCall> calls(router_.num_nodes());
-  for (uint32_t node = 0; node < router_.num_nodes(); ++node) {
-    calls[node] = {node, method, &request, &responses[node], Status::OK()};
+  const std::shared_ptr<const SlotTable> table = BroadcastTable();
+  const auto& active = table->active;
+  std::vector<Buffer> responses(active.size());
+  std::vector<RpcCall> calls(active.size());
+  for (size_t i = 0; i < active.size(); ++i) {
+    calls[i] = {active[i], method, &request, &responses[i], Status::OK()};
   }
   return transport_->ParallelCall(&calls);
 }
@@ -270,7 +407,7 @@ Status PsClient::Broadcast(uint32_t method, const Buffer& request) {
 Status PsClient::FinishPullPhase(uint64_t batch) {
   Buffer request;
   Writer writer(&request);
-  PutHeader(&writer, client_id_, NextSeq());
+  PutHeader(&writer, client_id_, NextSeq(), Route().epoch());
   writer.PutU64(batch);
   return Broadcast(static_cast<uint32_t>(PsMethod::kFinishPull), request);
 }
@@ -278,7 +415,7 @@ Status PsClient::FinishPullPhase(uint64_t batch) {
 Status PsClient::WaitMaintenance(uint64_t batch) {
   Buffer request;
   Writer writer(&request);
-  PutHeader(&writer, client_id_, /*seq=*/0);  // pure wait: no dedup
+  PutHeader(&writer, client_id_, /*seq=*/0, Route().epoch());  // pure wait
   writer.PutU64(batch);
   return Broadcast(static_cast<uint32_t>(PsMethod::kWaitMaintenance),
                    request);
@@ -287,7 +424,7 @@ Status PsClient::WaitMaintenance(uint64_t batch) {
 Status PsClient::RequestCheckpoint(uint64_t batch) {
   Buffer request;
   Writer writer(&request);
-  PutHeader(&writer, client_id_, NextSeq());
+  PutHeader(&writer, client_id_, NextSeq(), Route().epoch());
   writer.PutU64(batch);
   return Broadcast(static_cast<uint32_t>(PsMethod::kRequestCheckpoint),
                    request);
@@ -296,7 +433,7 @@ Status PsClient::RequestCheckpoint(uint64_t batch) {
 Status PsClient::DrainCheckpoints() {
   Buffer request;
   Writer writer(&request);
-  PutHeader(&writer, client_id_, NextSeq());
+  PutHeader(&writer, client_id_, NextSeq(), Route().epoch());
   return Broadcast(static_cast<uint32_t>(PsMethod::kDrainCheckpoints),
                    request);
 }
@@ -304,19 +441,27 @@ Status PsClient::DrainCheckpoints() {
 Status PsClient::Recover() {
   Buffer request;
   Writer writer(&request);
-  PutHeader(&writer, client_id_, NextSeq());
-  return Broadcast(static_cast<uint32_t>(PsMethod::kRecover), request);
+  PutHeader(&writer, client_id_, NextSeq(), Route().epoch());
+  OE_RETURN_IF_ERROR(
+      Broadcast(static_cast<uint32_t>(PsMethod::kRecover), request));
+  // Recovery rolled every store back to its durable checkpoint; hot-key
+  // replica copies that were never flushed are gone, so re-materialize
+  // them (deterministic first-touch keeps replicas bit-identical). No-op
+  // without a placement table.
+  return WarmReplicas(0);
 }
 
 Result<uint64_t> PsClient::TotalEntries() {
   Buffer request;
   Writer writer(&request);
-  PutHeader(&writer, client_id_, /*seq=*/0);  // read: no dedup
-  std::vector<Buffer> responses(router_.num_nodes());
-  std::vector<RpcCall> calls(router_.num_nodes());
-  for (uint32_t node = 0; node < router_.num_nodes(); ++node) {
-    calls[node] = {node, static_cast<uint32_t>(PsMethod::kEntryCount),
-                   &request, &responses[node], Status::OK()};
+  PutHeader(&writer, client_id_, /*seq=*/0, Route().epoch());  // read
+  const std::shared_ptr<const SlotTable> table = BroadcastTable();
+  const auto& active = table->active;
+  std::vector<Buffer> responses(active.size());
+  std::vector<RpcCall> calls(active.size());
+  for (size_t i = 0; i < active.size(); ++i) {
+    calls[i] = {active[i], static_cast<uint32_t>(PsMethod::kEntryCount),
+                &request, &responses[i], Status::OK()};
   }
   OE_RETURN_IF_ERROR(transport_->ParallelCall(&calls));
   uint64_t total = 0;
@@ -331,13 +476,15 @@ Result<uint64_t> PsClient::TotalEntries() {
 Result<uint64_t> PsClient::ClusterCheckpoint() {
   Buffer request;
   Writer writer(&request);
-  PutHeader(&writer, client_id_, /*seq=*/0);  // read: no dedup
-  std::vector<Buffer> responses(router_.num_nodes());
-  std::vector<RpcCall> calls(router_.num_nodes());
-  for (uint32_t node = 0; node < router_.num_nodes(); ++node) {
-    calls[node] = {node,
-                   static_cast<uint32_t>(PsMethod::kPublishedCheckpoint),
-                   &request, &responses[node], Status::OK()};
+  PutHeader(&writer, client_id_, /*seq=*/0, Route().epoch());  // read
+  const std::shared_ptr<const SlotTable> table = BroadcastTable();
+  const auto& active = table->active;
+  std::vector<Buffer> responses(active.size());
+  std::vector<RpcCall> calls(active.size());
+  for (size_t i = 0; i < active.size(); ++i) {
+    calls[i] = {active[i],
+                static_cast<uint32_t>(PsMethod::kPublishedCheckpoint),
+                &request, &responses[i], Status::OK()};
   }
   OE_RETURN_IF_ERROR(transport_->ParallelCall(&calls));
   uint64_t min_cp = ~0ULL;
@@ -350,17 +497,31 @@ Result<uint64_t> PsClient::ClusterCheckpoint() {
 }
 
 Result<std::vector<float>> PsClient::Peek(storage::EntryId key) {
-  Buffer request;
-  Writer writer(&request);
-  PutHeader(&writer, client_id_, /*seq=*/0);  // read: no dedup
-  writer.PutU64(key);
-  Buffer response;
-  OE_RETURN_IF_ERROR(transport_->Call(router_.NodeFor(key),
-                                      static_cast<uint32_t>(PsMethod::kPeek),
-                                      request, &response));
-  std::vector<float> weights;
-  OE_RETURN_IF_ERROR(Reader(response).GetFloatSpan(&weights));
-  return weights;
+  const bool placed = placement_ != nullptr && placement_->replicas() > 1;
+  for (int attempt = 0; attempt < kMaxRouteAttempts; ++attempt) {
+    if (attempt > 0) {
+      BackoffBeforeRetry(attempt - 1);
+      RefreshRoute();
+    }
+    const Router router = Route();
+    const net::NodeId node = (placed && placement_->is_hot(key))
+                                 ? placement_->ReplicaNode(key, 0)
+                                 : router.NodeFor(key);
+    Buffer request;
+    Writer writer(&request);
+    PutHeader(&writer, client_id_, /*seq=*/0, router.epoch());  // read
+    writer.PutU64(key);
+    Buffer response;
+    Status status = transport_->Call(
+        node, static_cast<uint32_t>(PsMethod::kPeek), request, &response);
+    if (status.IsWrongOwner()) continue;
+    OE_RETURN_IF_ERROR(status);
+    std::vector<float> weights;
+    OE_RETURN_IF_ERROR(Reader(response).GetFloatSpan(&weights));
+    return weights;
+  }
+  return Status::Unavailable("peek: routing did not converge (kWrongOwner "
+                             "persisted past the retry budget)");
 }
 
 }  // namespace oe::ps

@@ -3,34 +3,16 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "net/transport.h"
+#include "ps/slot_table.h"
 #include "storage/entry_layout.h"
 
 namespace oe::ps {
 
 class PlacementTable;
-
-/// Key -> PS node placement: "Openembedding identifies the correct PS node
-/// by hashing the entry's id" (Section IV).
-class Router {
- public:
-  explicit Router(uint32_t num_nodes) : num_nodes_(num_nodes) {}
-
-  net::NodeId NodeFor(storage::EntryId key) const {
-    uint64_t x = key;
-    x ^= x >> 33;
-    x *= 0xff51afd7ed558ccdULL;
-    x ^= x >> 33;
-    return static_cast<net::NodeId>(x % num_nodes_);
-  }
-
-  uint32_t num_nodes() const { return num_nodes_; }
-
- private:
-  uint32_t num_nodes_;
-};
 
 /// Worker-side client: batches Pull/Push per PS node over a Transport and
 /// reassembles responses in key order. Per-node requests are issued
@@ -39,11 +21,23 @@ class Router {
 /// reach all PS shards in parallel). Errors surface with the code of the
 /// first failing node in node order, deterministically.
 ///
-/// Every request carries an RpcHeader: a process-unique client id plus,
-/// for mutating operations, a fresh sequence number, so transport-level
-/// retries and network-duplicated requests are deduplicated server-side
-/// (exactly-once application; see PsService). The only mutable state is
-/// that atomic sequence counter, so distinct threads may share one
+/// Every request carries an RpcHeader: a process-unique client id, a fresh
+/// sequence number for mutating operations (so transport-level retries and
+/// network-duplicated requests are deduplicated server-side; see
+/// PsService), and the routing epoch the request was routed under.
+///
+/// Routing: the client routes keyed operations with a *cached* SlotTable
+/// snapshot. When a migration moves slot ownership and publishes a new
+/// epoch, requests routed with the stale snapshot are rejected wholesale
+/// with kWrongOwner; the client then refreshes its snapshot from the
+/// RoutingDirectory (when one is installed via set_directory) and re-routes
+/// only the unacknowledged per-node requests under a fresh sequence number
+/// — the rejecting node applied nothing, and nodes that acknowledged are
+/// not re-sent, so pushes stay exactly-once across the redirect (including
+/// the hot-key replica fan-out). Between retries the client backs off with
+/// the transport's RpcOptions policy, giving an in-flight publish time to
+/// land. The only mutable state is the atomic sequence counter and the
+/// mutex-guarded route snapshot, so distinct threads may share one
 /// instance; SyncTrainer still gives each worker its own client to mirror
 /// the deployment.
 class PsClient {
@@ -57,11 +51,23 @@ class PsClient {
   /// pushes of it fan to all replicas under one sequence number (each node
   /// dedups independently — exactly-once per replica). The table must
   /// outlive the client; all clients of a cluster share one table so they
-  /// agree on the replica sets.
+  /// agree on the replica sets. Hot keys are epoch-pinned: they never
+  /// migrate, so their replica set stays valid across routing epochs.
   void set_placement(const PlacementTable* placement) {
     placement_ = placement;
   }
   const PlacementTable* placement() const { return placement_; }
+
+  /// Installs the routing directory to refresh the cached slot table from
+  /// after a kWrongOwner rejection (may be null: the client then keeps its
+  /// construction-time round-robin table forever — the static-topology
+  /// behavior). Must outlive the client. Broadcasts and cluster-wide
+  /// aggregations always consult the directory's *current* table for the
+  /// active node list (membership changes come from the coordinator, which
+  /// would notify trainers out-of-band in a real deployment).
+  void set_directory(const RoutingDirectory* directory) {
+    directory_ = directory;
+  }
 
   /// Pulls every hot key once from *each* of its replica nodes so all of
   /// them materialize the entry (first-touch initialization is
@@ -83,52 +89,79 @@ class PsClient {
   /// knows), sets found[i] per key, and reports the checkpoint version the
   /// values came from in *snapshot_version. Every per-node response must
   /// come from the same published checkpoint; when nodes disagree (a
-  /// cluster-wide publish is mid-flight) the fan-out retries, and after
-  /// bounded attempts returns Unavailable rather than torn data. Routes by
-  /// key ownership only — replicas may lag on checkpoint publication, so
-  /// serving reads skip the hot-key round-robin that Pull uses.
+  /// cluster-wide publish is mid-flight) or a node rejects with kWrongOwner
+  /// (a migration republished routing) the fan-out refreshes its route and
+  /// retries with RpcOptions backoff between attempts, and after bounded
+  /// attempts returns Unavailable rather than torn data. Routes by key
+  /// ownership only — replicas may lag on checkpoint publication, so
+  /// serving reads pin hot keys to their primary replica instead of the
+  /// round-robin that Pull uses.
   Status MultiGet(const storage::EntryId* keys, size_t n, float* out,
                   uint8_t* found, uint64_t* snapshot_version);
 
-  /// Broadcasts to all nodes.
+  /// Broadcasts to all active nodes.
   Status FinishPullPhase(uint64_t batch);
   Status WaitMaintenance(uint64_t batch);
   Status RequestCheckpoint(uint64_t batch);
   Status DrainCheckpoints();
+  /// Broadcasts recovery to all active nodes, then re-warms hot-key
+  /// replicas (no-op without a placement table): recovery rolls every
+  /// store back to its durable checkpoint, which evicts never-flushed
+  /// replica copies; re-warming re-materializes them through the same
+  /// deterministic first-touch path so replicas stay bit-identical.
   Status Recover();
 
-  /// Sum of entry counts across nodes.
+  /// Sum of entry counts across active nodes.
   Result<uint64_t> TotalEntries();
 
   /// The cluster-consistent checkpoint: the minimum published batch across
-  /// nodes (a checkpoint exists only once every shard has published it).
+  /// active nodes (a checkpoint exists only once every shard has published
+  /// it).
   Result<uint64_t> ClusterCheckpoint();
 
-  /// Reads one key's weights from its owning node.
+  /// Reads one key's weights from its owning node (wrong-owner aware).
   Result<std::vector<float>> Peek(storage::EntryId key);
 
+  /// The cached routing snapshot (refreshed only on kWrongOwner).
   const Router& router() const { return router_; }
   uint32_t dim() const { return dim_; }
   uint64_t client_id() const { return client_id_; }
 
  private:
   /// Next sequence number for a mutating operation (one per logical
-  /// operation; a fan-out's per-node requests share it, since each node
-  /// dedups independently).
+  /// operation *round*; a fan-out's per-node requests share it, since each
+  /// node dedups independently. A re-route after kWrongOwner uses a fresh
+  /// seq: the rejecting node applied nothing under the old one, while the
+  /// new owner may have cached a reply for the old seq covering different
+  /// keys — replaying it would silently drop the re-routed keys).
   uint64_t NextSeq() {
     return next_seq_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Copy of the cached route snapshot (cheap: shares the table).
+  Router Route() const;
+  /// Re-reads the directory's current table into the cache if its epoch is
+  /// newer. No-op without a directory.
+  void RefreshRoute();
+  /// The table to use for broadcasts / cluster aggregation: the
+  /// directory's current table when available, else the cached snapshot.
+  std::shared_ptr<const SlotTable> BroadcastTable() const;
+  /// Sleeps per the transport's RpcOptions backoff policy before retry
+  /// round `attempt` (0-based; exponential from backoff_initial_ms).
+  void BackoffBeforeRetry(int attempt) const;
+
   /// Broadcasts `payload` (header already included by the caller) to all
-  /// nodes.
+  /// active nodes.
   Status Broadcast(uint32_t method, const net::Buffer& request);
 
   net::Transport* transport_;
+  mutable std::mutex route_mutex_;
   Router router_;
   uint32_t dim_;
   uint64_t client_id_;
   std::atomic<uint64_t> next_seq_{1};
   const PlacementTable* placement_ = nullptr;
+  const RoutingDirectory* directory_ = nullptr;
   /// Round-robin cursor for spreading hot-key pulls over replicas.
   std::atomic<uint64_t> pull_rr_{0};
 };

@@ -1,7 +1,10 @@
 #ifndef OE_PS_PS_CLUSTER_H_
 #define OE_PS_PS_CLUSTER_H_
 
+#include <functional>
 #include <memory>
+#include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "ckpt/checkpoint_log.h"
@@ -77,8 +80,16 @@ class PsCluster {
   /// Extra clients share the transport (one per training worker).
   std::unique_ptr<PsClient> NewClient();
 
-  uint32_t num_nodes() const { return options_.num_nodes; }
+  /// Nodes ever provisioned (Init + AddNode), including drained and down
+  /// ones; node ids are [0, num_nodes()). The *active* membership lives in
+  /// the routing directory's current table.
+  uint32_t num_nodes() const { return num_nodes_; }
   const ClusterOptions& options() const { return options_; }
+
+  /// The authoritative versioned slot table (epoch, slot → owner, active
+  /// node list). Services validate every keyed request against it; clients
+  /// cache snapshots and refresh after kWrongOwner. Never null after Init.
+  RoutingDirectory* directory() { return directory_.get(); }
 
   storage::EmbeddingStore* store(uint32_t node) {
     return stores_[node].get();
@@ -153,9 +164,50 @@ class PsCluster {
   bool node_down(uint32_t node) const { return node_down_[node]; }
   std::vector<uint32_t> DownNodes() const;
 
+  // --- Elastic membership (live shard migration; DESIGN.md §11) ---
+
+  /// Provisions a fresh, empty PS node (devices, store, service, routing
+  /// checks) and publishes a new routing epoch whose active list includes
+  /// it — but which assigns it no slots yet; follow with MigrateSlots to
+  /// hand it load. Returns the new node id. Pipelined-store clusters only.
+  Result<uint32_t> AddNode();
+
+  /// Moves ownership of `slots` to `target` by snapshot-and-forward
+  /// migration, grouped by current owner. Per source node: seal the range
+  /// (drains in-flight handlers, rejects new pulls/pushes with
+  /// kWrongOwner), export the frozen image (<= checkpoint snapshot records
+  /// plus live heads), import it on the target, durably commit the
+  /// target's expanded slot ownership, publish epoch N+1, then shrink the
+  /// source's ownership, purge the handed-off range and unseal. Epoch-
+  /// pinned hot-key replicas never move. A node death observed at a
+  /// migration phase hook aborts the migration and rolls the target back
+  /// to the pre-migration epoch's state (kAborted).
+  Status MigrateSlots(const std::vector<uint32_t>& slots, uint32_t target);
+
+  /// Scale-in: migrates every slot `node` owns round-robin to the other
+  /// active nodes, then publishes a final epoch with `node` removed from
+  /// the active list. The node stays registered (its id is not reused) but
+  /// owns nothing and receives no broadcasts. Refuses to drain a node
+  /// hosting epoch-pinned hot-key replicas.
+  Status DrainNode(uint32_t node);
+
+  /// Test hook invoked at named migration phases, in order: "sealed",
+  /// "exported", "imported" (target ownership committed), "published".
+  /// The hook may KillNode the source or target; the coordinator re-checks
+  /// liveness after each phase and aborts with rollback when a party died.
+  using MigrationHook = std::function<void(const std::string& phase)>;
+  void set_migration_hook(MigrationHook hook) {
+    migration_hook_ = std::move(hook);
+  }
+
  private:
   explicit PsCluster(const ClusterOptions& options) : options_(options) {}
   Status Init();
+
+  /// Creates node `node`'s devices (crash seeds 1000+node / 2000+node),
+  /// fresh store and service, and registers it on the transport. Appends
+  /// to the per-node vectors; `node` must equal their current size.
+  Status ProvisionNode(uint32_t node);
 
   /// Builds node `node`'s engine over its (already created) devices.
   /// `fresh` formats a new store; otherwise reopens the surviving image
@@ -163,7 +215,36 @@ class PsCluster {
   Result<std::unique_ptr<storage::EmbeddingStore>> BuildStore(uint32_t node,
                                                               bool fresh);
 
+  /// Migrates `slots` (all owned by `source` under the current table) to
+  /// `target`; the per-source leg of MigrateSlots.
+  Status MigrateFromSource(uint32_t source, std::vector<uint32_t> slots,
+                           uint32_t target);
+
+  /// Lazily writes `node`'s durable routing root from the current table
+  /// (no-op if one exists). Roots are only materialized on migration
+  /// participants, so never-migrated stores keep their legacy persist
+  /// behavior (no root → recovery keeps every record).
+  Status EnsureRoutingRoot(uint32_t node);
+  /// Durably records `node`'s slot ownership (+ its hot-key extras).
+  Status WriteRoutingRoot(uint32_t node, uint64_t epoch,
+                          const std::vector<bool>& owned);
+  /// Re-aligns a restarted node's durable ownership with the published
+  /// table: a crash mid-migration can leave its root claiming a range the
+  /// current epoch assigns elsewhere — rewrite the root and purge the
+  /// foreign records. No-op for stores without a routing root.
+  Status ReconcileOwnership(uint32_t node);
+
+  /// Hot keys whose replica set includes `node` (epoch-pinned; kept across
+  /// migrations and recovery regardless of slot ownership).
+  std::vector<storage::EntryId> HotExtras(uint32_t node) const;
+
+  void NotifyMigrationPhase(const char* phase) {
+    if (migration_hook_) migration_hook_(phase);
+  }
+
   ClusterOptions options_;
+  uint32_t num_nodes_ = 0;
+  std::string cluster_id_;
   std::vector<std::unique_ptr<pmem::PmemDevice>> pmem_devices_;
   std::vector<std::unique_ptr<pmem::PmemDevice>> log_devices_;
   std::vector<std::unique_ptr<ckpt::CheckpointLog>> logs_;
@@ -173,7 +254,9 @@ class PsCluster {
   std::unique_ptr<net::InProcTransport> transport_;
   std::unique_ptr<net::FaultyTransport> faulty_;
   std::unique_ptr<PlacementTable> placement_;
+  std::unique_ptr<RoutingDirectory> directory_;
   std::unique_ptr<PsClient> client_;
+  MigrationHook migration_hook_;
 
   // Per-shard load gauges (see RefreshLoadGauges), registered in Init with
   // a {"cluster"} instance label.

@@ -1,0 +1,55 @@
+#include "ps/slot_table.h"
+
+#include <algorithm>
+
+namespace oe::ps {
+
+std::vector<uint32_t> SlotTable::SlotsOwnedBy(net::NodeId node) const {
+  std::vector<uint32_t> slots;
+  for (uint32_t s = 0; s < owners.size(); ++s) {
+    if (owners[s] == node) slots.push_back(s);
+  }
+  return slots;
+}
+
+std::shared_ptr<const SlotTable> SlotTable::MakeRoundRobin(uint32_t n) {
+  auto table = std::make_shared<SlotTable>();
+  table->epoch = 1;
+  table->num_nodes = n;
+  table->owners.resize(storage::kNumRoutingSlots);
+  for (uint32_t s = 0; s < storage::kNumRoutingSlots; ++s) {
+    table->owners[s] = static_cast<net::NodeId>(n == 0 ? 0 : s % n);
+  }
+  table->active.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) table->active.push_back(i);
+  return table;
+}
+
+std::shared_ptr<const SlotTable> SlotTable::Make(
+    uint64_t epoch, std::vector<net::NodeId> owners,
+    std::vector<net::NodeId> active) {
+  auto table = std::make_shared<SlotTable>();
+  table->epoch = epoch;
+  table->owners = std::move(owners);
+  std::sort(active.begin(), active.end());
+  table->active = std::move(active);
+  table->num_nodes = 0;
+  for (net::NodeId n : table->active) {
+    table->num_nodes = std::max(table->num_nodes, static_cast<uint32_t>(n) + 1);
+  }
+  return table;
+}
+
+Status RoutingDirectory::Publish(std::shared_ptr<const SlotTable> next) {
+  if (!next || next->owners.size() != storage::kNumRoutingSlots) {
+    return Status::InvalidArgument("slot table has wrong slot count");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (next->epoch <= current_->epoch) {
+    return Status::FailedPrecondition("routing epoch must increase");
+  }
+  current_ = std::move(next);
+  return Status::OK();
+}
+
+}  // namespace oe::ps

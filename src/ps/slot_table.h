@@ -1,0 +1,116 @@
+#ifndef OE_PS_SLOT_TABLE_H_
+#define OE_PS_SLOT_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "net/transport.h"
+#include "storage/entry_layout.h"
+
+namespace oe::ps {
+
+/// Versioned key → node routing table. Keys hash into one of
+/// storage::kNumRoutingSlots slots (see storage::SlotOfKey); the table maps
+/// each slot to its owning node and carries a monotonically increasing
+/// `epoch`. Ownership moves between nodes only by publishing a *new* table
+/// with a higher epoch — a published table is immutable, so clients and
+/// services share `shared_ptr<const SlotTable>` snapshots without locking.
+///
+/// A client that routes with a stale snapshot reaches the old owner, which
+/// rejects the request wholesale with kWrongOwner; the client refreshes its
+/// snapshot from the RoutingDirectory and re-routes (see PsClient).
+struct SlotTable {
+  /// Routing epoch; starts at 1, strictly increases on every publish.
+  uint64_t epoch = 1;
+  /// Slot → owning node id; size storage::kNumRoutingSlots.
+  std::vector<net::NodeId> owners;
+  /// Node ids currently in the cluster (sorted ascending). Broadcasts and
+  /// cluster-wide aggregations iterate this, not [0, num_nodes): a drained
+  /// node keeps its id reserved but drops out of the active list.
+  std::vector<net::NodeId> active;
+  /// Size of the node-id space: 1 + the largest id ever provisioned.
+  /// Fan-out bookkeeping indexed by node id sizes its arrays with this.
+  uint32_t num_nodes = 0;
+
+  net::NodeId NodeFor(storage::EntryId key) const {
+    return owners[storage::SlotOfKey(key)];
+  }
+
+  bool IsActive(net::NodeId node) const {
+    for (net::NodeId n : active) {
+      if (n == node) return true;
+    }
+    return false;
+  }
+
+  /// Slots owned by `node`, ascending.
+  std::vector<uint32_t> SlotsOwnedBy(net::NodeId node) const;
+
+  /// The initial table: epoch 1, slot i → node i % n, nodes [0, n) active.
+  /// Because kNumRoutingSlots is a multiple of every power-of-two node
+  /// count, this routes identically to the legacy `hash % n` Router for
+  /// n ∈ {1, 2, 4, 8, ...}.
+  static std::shared_ptr<const SlotTable> MakeRoundRobin(uint32_t n);
+
+  /// A new immutable table with explicit contents (epoch must be set by the
+  /// caller; num_nodes is derived as 1 + max id in `active`).
+  static std::shared_ptr<const SlotTable> Make(uint64_t epoch,
+                                               std::vector<net::NodeId> owners,
+                                               std::vector<net::NodeId> active);
+};
+
+/// Key -> PS node placement view: "Openembedding identifies the correct PS
+/// node by hashing the entry's id" (Section IV). A thin immutable-snapshot
+/// wrapper over a SlotTable; the legacy `Router(n)` constructor builds the
+/// round-robin table and routes exactly as the original modulo router did
+/// for power-of-two n. Copyable (copies share the underlying table).
+class Router {
+ public:
+  explicit Router(uint32_t num_nodes)
+      : table_(SlotTable::MakeRoundRobin(num_nodes)) {}
+  explicit Router(std::shared_ptr<const SlotTable> table)
+      : table_(std::move(table)) {}
+
+  net::NodeId NodeFor(storage::EntryId key) const {
+    return table_->NodeFor(key);
+  }
+
+  uint32_t num_nodes() const { return table_->num_nodes; }
+  uint64_t epoch() const { return table_->epoch; }
+  const std::shared_ptr<const SlotTable>& table() const { return table_; }
+
+ private:
+  std::shared_ptr<const SlotTable> table_;
+};
+
+/// The authoritative routing table publisher (the coordinator's view).
+/// Services validate ownership against Current() — the in-process stand-in
+/// for a metadata service every node can always reach — while clients cache
+/// a snapshot and only refresh it after a kWrongOwner rejection, modelling
+/// the distributed table distribution the paper's deployment would need.
+class RoutingDirectory {
+ public:
+  explicit RoutingDirectory(std::shared_ptr<const SlotTable> initial)
+      : current_(std::move(initial)) {}
+
+  std::shared_ptr<const SlotTable> Current() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return current_;
+  }
+
+  /// Installs `next` as the routing truth. The epoch must strictly
+  /// increase — publishing is the commit point of a migration, and a
+  /// same-or-older epoch would let a rolled-back migration resurrect.
+  Status Publish(std::shared_ptr<const SlotTable> next);
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const SlotTable> current_;
+};
+
+}  // namespace oe::ps
+
+#endif  // OE_PS_SLOT_TABLE_H_

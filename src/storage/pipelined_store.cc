@@ -1063,6 +1063,34 @@ Status PipelinedStore::RecoverFromCrash() {
     pmem::PersistSiteGuard site("recover-gc");
     for (uint64_t offset : stale_extents) OE_CHECK_OK(pool_->Free(offset));
   }
+  // Routing-root hygiene: the root references at most one committed
+  // ownership blob; any other kRouteTag extent is an orphan left by a
+  // crash inside SetOwnedSlots (between the blob write and the root store,
+  // or between the new root store and the old blob's free).
+  {
+    const uint64_t route_root = pool_->RootGet(kRootRouting);
+    std::vector<uint64_t> orphans;
+    pool_->ForEachAllocated(kRouteTag, [&](uint64_t offset, uint64_t size) {
+      (void)size;
+      if (offset != route_root) orphans.push_back(offset);
+    });
+    pmem::PersistSiteGuard site("recover-gc");
+    for (uint64_t offset : orphans) OE_CHECK_OK(pool_->Free(offset));
+  }
+  // Committed slot ownership (see SetOwnedSlots): when a routing root
+  // exists, the scan below discards every record whose key falls outside
+  // it — a half-imported migration range vanishes (the import only commits
+  // with the ownership root), and a handed-off range is collected even if
+  // the post-migration purge never ran.
+  OwnedSlots route;
+  {
+    auto owned = ReadOwnedSlots();
+    if (!owned.ok()) {
+      release_all();
+      return owned.status();
+    }
+    route = std::move(owned).ValueOrDie();
+  }
   if (config_.slab_alloc) {
     pmem::SlabAllocatorOptions slab_options;
     slab_options.lanes = static_cast<uint32_t>(shards_.size());
@@ -1137,6 +1165,11 @@ Status PipelinedStore::RecoverFromCrash() {
       device_->ChargeRead(EntryLayout::kHeaderBytes);
       const EntryId key = EntryLayout::RecordKey(record);
       const uint64_t version = EntryLayout::RecordVersion(record);
+      if (route.present && !route.owned[SlotOfKey(key)] &&
+          route.extras.count(key) == 0) {
+        discard.push_back(offset);
+        continue;
+      }
       if (version > cp) {
         discard.push_back(offset);
         continue;
@@ -1349,6 +1382,443 @@ Status PipelinedStore::ImportCheckpoint(const ckpt::CheckpointLog& log) {
   return status;
 }
 
+Status PipelinedStore::SetOwnedSlots(uint64_t epoch,
+                                     const std::vector<bool>& owned,
+                                     const std::vector<EntryId>& extra_keys) {
+  if (owned.size() != kNumRoutingSlots) {
+    return Status::InvalidArgument(
+        "owned bitmap must cover every routing slot");
+  }
+  // Blob: [epoch u64][num_slots u64][bitmap][extra_count u64][extras...].
+  constexpr size_t kBitmapBytes = kNumRoutingSlots / 8;
+  std::vector<uint8_t> blob(8 + 8 + kBitmapBytes + 8 + extra_keys.size() * 8);
+  uint8_t* p = blob.data();
+  auto put64 = [&p](uint64_t v) {
+    std::memcpy(p, &v, sizeof(v));
+    p += sizeof(v);
+  };
+  put64(epoch);
+  put64(kNumRoutingSlots);
+  std::memset(p, 0, kBitmapBytes);
+  for (uint32_t s = 0; s < kNumRoutingSlots; ++s) {
+    if (owned[s]) p[s / 8] |= static_cast<uint8_t>(1u << (s % 8));
+  }
+  p += kBitmapBytes;
+  put64(extra_keys.size());
+  for (const EntryId key : extra_keys) put64(key);
+
+  const uint64_t old_blob = pool_->RootGet(kRootRouting);
+  uint64_t offset = 0;
+  {
+    pmem::PersistSiteGuard site("route-blob");
+    OE_ASSIGN_OR_RETURN(
+        offset, pool_->AllocWrite(blob.data(), blob.size(), kRouteTag));
+  }
+  {
+    // Commit point: one failure-atomic root store switches recovery to the
+    // new ownership. A crash before it leaves the previous ownership in
+    // force (the new blob becomes an orphan extent recovery sweeps).
+    pmem::PersistSiteGuard site("route-root");
+    pool_->RootSet(kRootRouting, offset);
+  }
+  // A crash before this free leaves the old blob as an orphan kRouteTag
+  // extent; RecoverFromCrash frees extents the root does not reference.
+  if (old_blob != 0) OE_CHECK_OK(pool_->Free(old_blob));
+  return Status::OK();
+}
+
+Result<PipelinedStore::OwnedSlots> PipelinedStore::ReadOwnedSlots() const {
+  OwnedSlots result;
+  const uint64_t offset = pool_->RootGet(kRootRouting);
+  if (offset == 0) return result;
+  const uint8_t* p = pool_->Translate(offset);
+  auto get64 = [&p] {
+    uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    p += sizeof(v);
+    return v;
+  };
+  result.epoch = get64();
+  if (get64() != kNumRoutingSlots) {
+    return Status::Corruption("routing root slot-count mismatch");
+  }
+  constexpr size_t kBitmapBytes = kNumRoutingSlots / 8;
+  result.owned.assign(kNumRoutingSlots, false);
+  for (uint32_t s = 0; s < kNumRoutingSlots; ++s) {
+    if ((p[s / 8] >> (s % 8)) & 1u) result.owned[s] = true;
+  }
+  p += kBitmapBytes;
+  const uint64_t extras = get64();
+  for (uint64_t i = 0; i < extras; ++i) result.extras.insert(get64());
+  device_->ChargeRead(8 + 8 + kBitmapBytes + 8 + extras * 8);
+  result.present = true;
+  return result;
+}
+
+Status PipelinedStore::ExportRange(const std::vector<bool>& slots,
+                                   const std::unordered_set<EntryId>& exclude,
+                                   ckpt::CheckpointLog* log) {
+  if (log == nullptr) return Status::InvalidArgument("null migration log");
+  if (slots.size() != kNumRoutingSlots) {
+    return Status::InvalidArgument(
+        "slot bitmap must cover every routing slot");
+  }
+  for (auto& shard : shards_) shard.lock.AcquireWrite();
+  auto release_all = [&] {
+    for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
+      it->lock.ReleaseWrite();
+    }
+  };
+  const uint64_t cp = published_ckpt_.load(std::memory_order_acquire);
+
+  // Collect the migrating keys with their flushed-record coordinates. The
+  // caller sealed the range, so nothing mutates these between the export
+  // and the routing publish that retires this node as owner.
+  struct Item {
+    EntryId key;
+    const CacheEntry* entry;  // non-null when DRAM-cached
+    uint64_t flushed_offset;
+    uint64_t flushed_version;
+  };
+  std::vector<Item> items;
+  for (auto& shard : shards_) {
+    shard.index->ForEach([&](EntryId key, TaggedPtr ptr) {
+      if (!slots[SlotOfKey(key)] || exclude.count(key) != 0) return;
+      Item item{key, nullptr, kNullOffset, 0};
+      if (ptr.is_dram()) {
+        item.entry = ptr.dram<CacheEntry>();
+        item.flushed_offset = item.entry->pmem_offset;
+        item.flushed_version = item.entry->pmem_version;
+      } else {
+        item.flushed_offset = ptr.pmem_offset();
+        item.flushed_version =
+            EntryLayout::RecordVersion(pool_->Translate(item.flushed_offset));
+        device_->ChargeRead(EntryLayout::kHeaderBytes);
+      }
+      items.push_back(item);
+    });
+  }
+  if (items.empty()) {
+    release_all();
+    return Status::OK();
+  }
+  if (cp == 0) {
+    release_all();
+    return Status::FailedPrecondition(
+        "no published checkpoint to migrate from");
+  }
+
+  // Snapshot record per key: the newest record at or below cp — what the
+  // target must serve to MultiGet. Usually the flushed record itself; when
+  // that is newer than cp the superseded one is in snapshot_index_.
+  std::vector<uint64_t> snap_offsets(items.size(), kNullOffset);
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mutex_);
+    for (size_t i = 0; i < items.size(); ++i) {
+      const Item& item = items[i];
+      if (item.flushed_offset != kNullOffset && item.flushed_version <= cp) {
+        snap_offsets[i] = item.flushed_offset;
+        continue;
+      }
+      auto it = snapshot_index_.find(item.key);
+      if (it == snapshot_index_.end()) continue;
+      uint64_t best_version = 0;
+      for (const SnapshotRecord& record : it->second) {
+        if (record.version <= cp &&
+            (snap_offsets[i] == kNullOffset ||
+             record.version > best_version)) {
+          snap_offsets[i] = record.offset;
+          best_version = record.version;
+        }
+      }
+    }
+  }
+
+  constexpr size_t kChunkRecords = 4096;
+  std::vector<uint8_t> buffer(kChunkRecords * layout_.record_bytes());
+  size_t in_chunk = 0;
+  Status status = Status::OK();
+  auto flush_chunk = [&] {
+    if (in_chunk == 0 || !status.ok()) return;
+    status = log->AppendChunk(cp, buffer.data(), in_chunk);
+    in_chunk = 0;
+  };
+  auto emit = [&](const uint8_t* record) {
+    if (!status.ok()) return;
+    std::memcpy(buffer.data() + in_chunk * layout_.record_bytes(), record,
+                layout_.record_bytes());
+    if (++in_chunk == kChunkRecords) flush_chunk();
+  };
+  std::vector<uint8_t> scratch(layout_.record_bytes());
+  for (size_t i = 0; i < items.size(); ++i) {
+    const Item& item = items[i];
+    if (snap_offsets[i] != kNullOffset) {
+      device_->Read(snap_offsets[i], scratch.data(), scratch.size());
+      emit(scratch.data());
+    }
+    // Live head, when newer than the snapshot record, so the target resumes
+    // training from exactly this node's state: dirty DRAM serialized as a
+    // record (a dirty entry always carries a version > cp — publication of
+    // cp required every <= cp state durable), else a newer flushed record.
+    if (item.entry != nullptr && item.entry->dirty) {
+      EntryLayout::SetRecordHeader(scratch.data(), item.key,
+                                   item.entry->version);
+      std::memcpy(EntryLayout::RecordData(scratch.data()),
+                  item.entry->data.get(), layout_.data_bytes());
+      dram_stats_.AddRead(layout_.data_bytes());
+      emit(scratch.data());
+    } else if (item.flushed_offset != kNullOffset &&
+               item.flushed_offset != snap_offsets[i]) {
+      device_->Read(item.flushed_offset, scratch.data(), scratch.size());
+      emit(scratch.data());
+    }
+    if (!status.ok()) break;
+  }
+  flush_chunk();
+  release_all();
+  return status;
+}
+
+Status PipelinedStore::ImportRange(const ckpt::CheckpointLog& log,
+                                   std::vector<EntryId>* imported) {
+  if (imported == nullptr) {
+    return Status::InvalidArgument("null imported-key list");
+  }
+  for (auto& shard : shards_) shard.lock.AcquireWrite();
+  auto release_all = [&] {
+    for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
+      it->lock.ReleaseWrite();
+    }
+  };
+  const uint64_t image_cp = log.LatestBatch();
+
+  // Land every image record in PMem first (site "migrate-entry" per
+  // record), grouped per key — a key arrives as its <= cp snapshot record
+  // plus, when the source had trained past the checkpoint, a newer head.
+  struct Incoming {
+    uint64_t offset;
+    uint64_t version;
+  };
+  std::unordered_map<EntryId, std::vector<Incoming>> incoming;
+  std::vector<uint8_t> record(layout_.record_bytes());
+  Status status = Status::OK();
+  Status replay = log.Replay(
+      image_cp, [&](EntryId key, uint64_t version, const float* data) {
+        if (!status.ok()) return;
+        const size_t s = ShardOf(key);
+        if (incoming.find(key) == incoming.end() &&
+            shards_[s].index->Find(key) != nullptr) {
+          // The key already lives here (a hot-replica copy, or an image
+          // re-delivered after a partial import): the local copy wins.
+          return;
+        }
+        EntryLayout::SetRecordHeader(record.data(), key, version);
+        std::memcpy(EntryLayout::RecordData(record.data()), data,
+                    layout_.data_bytes());
+        pmem::PersistSiteGuard site("migrate-entry");
+        auto r = AllocRecord(record.data(), record.size(), s);
+        if (!r.ok()) {
+          status = r.status();
+          return;
+        }
+        incoming[key].push_back(
+            Incoming{std::move(r).ValueOrDie(), version});
+      });
+  if (status.ok()) status = replay;
+
+  std::unordered_set<EntryId> installed;
+  if (status.ok()) {
+    for (auto& [key, records] : incoming) {
+      // The newest record becomes the live head; an older one (the <= cp
+      // snapshot when the head is newer) is registered for snapshot readers
+      // and queued for GC once a checkpoint at the head's version publishes.
+      size_t newest = 0;
+      for (size_t i = 1; i < records.size(); ++i) {
+        if (records[i].version > records[newest].version) newest = i;
+      }
+      KvEngine& index = *shards_[ShardOf(key)].index;
+      if (index.Upsert(key, TaggedPtr::FromPmem(records[newest].offset)) ==
+          nullptr) {
+        status = Status::OutOfSpace("kv engine index full during import");
+        break;
+      }
+      {
+        std::lock_guard<std::mutex> lock(ckpt_mutex_);
+        for (size_t i = 0; i < records.size(); ++i) {
+          if (i == newest) continue;
+          DeferRecordLocked(
+              DeferredRecord{key, records[i].offset, records[i].version},
+              records[newest].version);
+        }
+      }
+      installed.insert(key);
+      imported->push_back(key);
+    }
+  }
+  if (!status.ok()) {
+    // Free records that never reached the index. Keys already installed are
+    // the caller's to roll back (RemoveKeys detaches their deferred records
+    // as well).
+    std::vector<uint64_t> leaked;
+    for (const auto& [key, records] : incoming) {
+      if (installed.count(key) != 0) continue;
+      for (const Incoming& r : records) leaked.push_back(r.offset);
+    }
+    pmem::PersistSiteGuard site("migrate-gc");
+    for (uint64_t offset : leaked) {
+      Status freed = FreeRecord(offset);
+      // A record allocated after a simulated crash fault fired never got a
+      // committed header (device writes are suppressed); recovery rebuilds
+      // the allocator state, so the failed free is moot.
+      if (!freed.ok() && !device_->crashed()) OE_CHECK_OK(freed);
+    }
+  }
+  if (status.ok() &&
+      image_cp > published_ckpt_.load(std::memory_order_acquire)) {
+    // A fresh scale-out target must agree with the cluster's serving
+    // version immediately, or cross-node MultiGet version agreement breaks
+    // until the next cluster-wide checkpoint. One failure-atomic root
+    // store; note the imported records only *survive* recovery once the
+    // routing root also commits (see SetOwnedSlots).
+    pmem::PersistSiteGuard site("migrate-publish");
+    pool_->RootSet(kRootCheckpointId, image_cp);
+    published_ckpt_.store(image_cp, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(ckpt_mutex_);
+    for (uint64_t& acked : shard_acked_) acked = std::max(acked, image_cp);
+  }
+  release_all();
+  return status;
+}
+
+void PipelinedStore::DropKeysLocked(
+    const std::unordered_set<EntryId>& victims,
+    std::vector<uint64_t>* to_free) {
+  std::lock_guard<std::mutex> lock(ckpt_mutex_);
+  const bool pinned = snapshot_pins_ > 0;
+  const uint64_t published = published_ckpt_.load(std::memory_order_acquire);
+  for (const EntryId key : victims) {
+    Shard& sh = shards_[ShardOf(key)];
+    cache::AtomicTaggedPtr* slot = sh.index->Find(key);
+    if (slot == nullptr) continue;
+    const TaggedPtr ptr = slot->load();
+    uint64_t record_offset = kNullOffset;
+    uint64_t record_version = 0;
+    if (ptr.is_dram()) {
+      CacheEntry* entry = ptr.dram<CacheEntry>();
+      record_offset = entry->pmem_offset;
+      record_version = entry->pmem_version;
+      if (sh.lru.Contains(entry)) {
+        sh.lru.Remove(entry);
+      } else {
+        // First-touch entry no maintenance chunk ever linked.
+        OE_CHECK(sh.fresh_entries > 0);
+        --sh.fresh_entries;
+      }
+      if (entry->pinned) {
+        --sh.pinned_entries;
+        pinned_gauge_->Add(-1);
+      }
+      // Dirty DRAM state is dropped outright: the key's live head was
+      // either exported to the new owner (purge) or never client-visible
+      // here (abort).
+      sh.cache_entries.erase(key);
+    } else {
+      record_offset = ptr.pmem_offset();
+      record_version =
+          EntryLayout::RecordVersion(pool_->Translate(record_offset));
+      device_->ChargeRead(EntryLayout::kHeaderBytes);
+    }
+    OE_CHECK(sh.index->Erase(key));
+    if (record_offset == kNullOffset) continue;
+    if (record_version <= published && pinned) {
+      // Still the newest <=checkpoint record and a snapshot reader is in
+      // flight: it may yet resolve this key through snapshot_index_, so
+      // park the record for limbo GC (drained by the last ReleaseSnapshot).
+      DeferRecordLocked(DeferredRecord{key, record_offset, record_version},
+                        record_version);
+    } else {
+      // Either newer than every published checkpoint (no snapshot reader
+      // can need it) or no reader is pinned. Recycling immediately instead
+      // of deferring matters in the unpinned case: limbo_ only drains when
+      // a pin releases, which may never happen again on a drained node.
+      to_free->push_back(record_offset);
+    }
+  }
+  // Detach the victims' superseded records from the GC queue: parked for
+  // the current pinned readers, or freed (and pruned from the snapshot
+  // side-index) right away. Without this, the publication that would have
+  // freed them later would double-free what we free here.
+  for (auto it = deferred_free_.begin(); it != deferred_free_.end();) {
+    auto& records = it->second;
+    for (size_t i = 0; i < records.size();) {
+      if (victims.count(records[i].key) != 0) {
+        if (pinned) {
+          limbo_.push_back(records[i]);
+        } else {
+          PruneSnapshotIndexLocked(records[i]);
+          to_free->push_back(records[i].offset);
+        }
+        records[i] = records.back();
+        records.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    if (records.empty()) {
+      it = deferred_free_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status PipelinedStore::RemoveKeys(const std::vector<EntryId>& keys) {
+  for (auto& shard : shards_) shard.lock.AcquireWrite();
+  auto release_all = [&] {
+    for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
+      it->lock.ReleaseWrite();
+    }
+  };
+  const std::unordered_set<EntryId> victims(keys.begin(), keys.end());
+  std::vector<uint64_t> to_free;
+  DropKeysLocked(victims, &to_free);
+  {
+    pmem::PersistSiteGuard site("migrate-gc");
+    for (uint64_t offset : to_free) OE_CHECK_OK(FreeRecord(offset));
+  }
+  release_all();
+  return Status::OK();
+}
+
+Status PipelinedStore::PurgeSlots(const std::vector<bool>& slots,
+                                  const std::unordered_set<EntryId>& keep) {
+  if (slots.size() != kNumRoutingSlots) {
+    return Status::InvalidArgument(
+        "slot bitmap must cover every routing slot");
+  }
+  for (auto& shard : shards_) shard.lock.AcquireWrite();
+  auto release_all = [&] {
+    for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
+      it->lock.ReleaseWrite();
+    }
+  };
+  std::unordered_set<EntryId> victims;
+  for (auto& shard : shards_) {
+    shard.index->ForEach([&](EntryId key, TaggedPtr ptr) {
+      (void)ptr;
+      if (slots[SlotOfKey(key)] && keep.count(key) == 0) victims.insert(key);
+    });
+  }
+  std::vector<uint64_t> to_free;
+  DropKeysLocked(victims, &to_free);
+  {
+    pmem::PersistSiteGuard site("migrate-gc");
+    for (uint64_t offset : to_free) OE_CHECK_OK(FreeRecord(offset));
+  }
+  release_all();
+  return Status::OK();
+}
+
 size_t PipelinedStore::EntryCount() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
@@ -1421,8 +1891,12 @@ Status PipelinedStore::MultiGet(const EntryId* keys, size_t n, float* out,
       const size_t i = order[j];
       cache::AtomicTaggedPtr* slot = shard_slots[j - begin[s]];
       if (slot == nullptr) {
-        std::fill(out + i * config_.dim, out + (i + 1) * config_.dim, 0.0f);
-        found[i] = 0;
+        // No live slot. The key may still be readable at this snapshot: a
+        // purge after slot migration erases the index entry but parks the
+        // <= cp record for pinned readers, findable only through
+        // snapshot_index_. The fallback zero-fills when the key truly
+        // never existed at cp.
+        fallback.push_back(i);
         continue;
       }
       const TaggedPtr ptr = slot->load();

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cache/access_queue.h"
@@ -96,6 +97,12 @@ class PipelinedStore final : public EmbeddingStore {
   /// trusted across a crash: recovery frees every extent under this tag and
   /// rebuilds fresh engines from the record scan.
   static constexpr uint64_t kKvBucketTag = 0xE6;
+  /// Pool root slot + type tag of the durable routing-ownership record
+  /// (see SetOwnedSlots). Written lazily: a store that never participated
+  /// in a migration has no routing root and recovers every record it finds
+  /// — the legacy single-owner behavior.
+  static constexpr int kRootRouting = 1;
+  static constexpr uint64_t kRouteTag = 0xE8;
 
   /// Formats `device` with a fresh pool and starts the maintainer threads.
   static Result<std::unique_ptr<PipelinedStore>> Create(
@@ -130,6 +137,70 @@ class PipelinedStore final : public EmbeddingStore {
   /// The store must be freshly created (empty pool); the backup's batch id
   /// becomes the published checkpoint.
   Status ImportCheckpoint(const ckpt::CheckpointLog& log);
+
+  // --- Live shard migration (versioned slot routing; see DESIGN.md §11) ---
+
+  /// The durable routing-ownership record read back from the pool.
+  struct OwnedSlots {
+    bool present = false;  // false: no routing root was ever written
+    uint64_t epoch = 0;
+    std::vector<bool> owned;            // size kNumRoutingSlots when present
+    std::unordered_set<EntryId> extras;  // epoch-pinned hot keys kept here
+  };
+
+  /// Durably records which routing slots this store owns as of routing
+  /// `epoch`, plus `extra_keys` it must keep regardless of slot (the
+  /// epoch-pinned hot-key replicas). Two persist events: the record blob
+  /// ("route-blob", via the pool's kRouteTag protocol) and the
+  /// failure-atomic root-slot store ("route-root") — the root store is the
+  /// commit point, so a crash between them leaves the previous ownership
+  /// in force. Recovery then discards any record whose key falls outside
+  /// the committed ownership: on a migration target this is what makes the
+  /// import atomic (imported records in not-yet-committed slots vanish),
+  /// and on a source it garbage-collects the handed-off range even if the
+  /// post-migration purge never ran.
+  Status SetOwnedSlots(uint64_t epoch, const std::vector<bool>& owned,
+                       const std::vector<EntryId>& extra_keys);
+
+  /// Reads the routing root back from the pool (recovery, tests, crash
+  /// harnesses). present == false when no root was ever committed.
+  Result<OwnedSlots> ReadOwnedSlots() const;
+
+  /// Copies the migration image of `slots` into `log`: for every key in a
+  /// marked slot (minus `exclude`, the epoch-pinned hot keys), the newest
+  /// record at or below the published checkpoint — the snapshot the target
+  /// serves to MultiGet — plus the live head when it is newer (dirty DRAM
+  /// state is serialized as a record), so the target resumes training from
+  /// exactly the source's state. The caller must have sealed the range:
+  /// ExportRange takes every shard write lock but nothing stops a push
+  /// between export and routing publish except the seal. Requires a
+  /// published checkpoint on this store or an empty range.
+  Status ExportRange(const std::vector<bool>& slots,
+                     const std::unordered_set<EntryId>& exclude,
+                     ckpt::CheckpointLog* log);
+
+  /// Merges a migration image into this (live) store. Keys already present
+  /// are skipped (hot-replica copies win over a stray export); for new
+  /// keys the newest record lands in the index and an older snapshot
+  /// record is registered for snapshot readers. Persist site per record:
+  /// "migrate-entry". On success appends every imported key to `imported`
+  /// (for the coordinator's abort path) and raises the published
+  /// checkpoint to the image's batch id if it is ahead — a fresh scale-out
+  /// node must agree with the cluster's serving version immediately.
+  Status ImportRange(const ckpt::CheckpointLog& log,
+                     std::vector<EntryId>* imported);
+
+  /// Abort path: removes `keys` outright — index slots, DRAM cache entries
+  /// and their PMem records (parked in limbo while snapshot readers are
+  /// pinned). Used to roll a half-imported range back off a target.
+  Status RemoveKeys(const std::vector<EntryId>& keys);
+
+  /// Post-handoff cleanup on the source: drops every key of the marked
+  /// slots except `keep` (hot keys). Records a snapshot reader could still
+  /// be pinned to are deferred, newer ones freed; index entries are erased
+  /// so the space is reclaimed while the store keeps running.
+  Status PurgeSlots(const std::vector<bool>& slots,
+                    const std::unordered_set<EntryId>& keep);
   size_t EntryCount() const override;
   Result<std::vector<float>> Peek(EntryId key) const override;
 
@@ -361,6 +432,16 @@ class PipelinedStore final : public EmbeddingStore {
   /// only currently-pinned readers can still need it (gc_after already
   /// published). Requires ckpt_mutex_.
   void DeferRecordLocked(const DeferredRecord& record, uint64_t gc_after);
+
+  /// Shared core of RemoveKeys / PurgeSlots. Requires *all* shard write
+  /// locks; takes ckpt_mutex_ internally. Unlinks every victim from its
+  /// index slot and DRAM cache (LRU / fresh / pin bookkeeping included,
+  /// dirty state dropped), detaches the victims' superseded records from
+  /// the deferred-GC queue, and appends record offsets that are safe to
+  /// recycle immediately to `to_free` — records an in-flight snapshot
+  /// reader could still resolve are parked for limbo GC instead.
+  void DropKeysLocked(const std::unordered_set<EntryId>& victims,
+                      std::vector<uint64_t>* to_free);
 
   StoreConfig config_;
   EntryLayout layout_;

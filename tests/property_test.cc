@@ -184,6 +184,7 @@ TEST(PsServiceFuzzTest, TruncatedValidRequestsRejectedCleanly) {
   net::Writer writer(&good);
   writer.PutU64(7);  // header: client_id
   writer.PutU64(0);  // header: seq (read: no dedup)
+  writer.PutU64(0);  // header: route_epoch (diagnostic)
   writer.PutU64(1);
   std::vector<uint64_t> keys = {1, 2, 3};
   writer.PutU64Span(keys.data(), keys.size());

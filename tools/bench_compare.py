@@ -73,7 +73,13 @@ def cmd_compare(args):
     failures = []
     for name in sorted(set(baseline) | set(current)):
         if name not in baseline:
-            print(f"  {name:<28} NEW (no baseline; not gated)")
+            # Show the measured wall time so a new bench's first CI run
+            # leaves a usable number in the log — that is what gets pasted
+            # into BENCH_baseline.json when the baseline is refreshed.
+            cur_ms = float(current[name]["wall_ms"])
+            print(f"  {name:<28} baseline=      none "
+                  f"current={cur_ms:10.1f}ms           NEW (not gated; "
+                  f"refresh bench/BENCH_baseline.json to start gating)")
             continue
         if name not in current:
             print(f"  {name:<28} MISSING from current run (not gated)")
