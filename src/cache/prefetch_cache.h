@@ -1,0 +1,213 @@
+#ifndef OE_CACHE_PREFETCH_CACHE_H_
+#define OE_CACHE_PREFETCH_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "storage/entry_layout.h"
+
+namespace oe::cache {
+
+/// Worker-side DRAM cache for lookahead-prefetched embeddings, with the
+/// coherence bookkeeping the prefetch pipeline needs:
+///
+///   - Fills are two-phase and *versioned by ticket*. BeginFill registers
+///     the keys as kFilling under a fresh ticket and returns only the keys
+///     not already resident or in flight (the cross-batch dedup: a key
+///     fetched for batch i+2 is not re-fetched for i+3). CompleteFill
+///     installs values only into entries still kFilling under the same
+///     ticket — an entry invalidated while its RPC was in flight has its
+///     ticket poisoned, so the late value is discarded, never served.
+///   - Invalidate is how pushes keep the cache coherent: the trainer
+///     invalidates every key it pushed, erasing resident entries and
+///     poisoning in-flight fills. A pull can then never observe a pre-push
+///     value after the gradient was applied — it misses and falls through
+///     to the synchronous pull path.
+///   - Lookup never blocks: a kFilling entry is a miss (the synchronous
+///     pull races the fill; whichever loses is discarded or ignored).
+///
+/// Capacity is a resident-entry cap, not an LRU: residency is naturally
+/// bounded by the lookahead window (entries are consumed-and-invalidated
+/// within `depth` batches), so when the cap is hit the fill is simply
+/// dropped (counted, and the trainer pulls synchronously).
+///
+/// Thread-safe; every operation is a short critical section on one mutex.
+class PrefetchCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t fills = 0;          // values installed by CompleteFill
+    uint64_t stale_fills = 0;    // fills discarded by a racing Invalidate
+    uint64_t dropped_fills = 0;  // fills dropped at the capacity cap
+    uint64_t aborted_fills = 0;  // fills withdrawn by AbortFill (RPC error)
+    uint64_t invalidations = 0;  // resident entries erased by Invalidate
+  };
+
+  /// `capacity_entries` caps resident + in-flight entries (0 = unbounded).
+  PrefetchCache(uint32_t dim, size_t capacity_entries)
+      : dim_(dim), capacity_entries_(capacity_entries) {
+    OE_CHECK(dim > 0);
+  }
+
+  PrefetchCache(const PrefetchCache&) = delete;
+  PrefetchCache& operator=(const PrefetchCache&) = delete;
+
+  /// Registers an in-flight fill for `keys`, appending the keys that
+  /// actually need fetching (not resident, not already filling, and within
+  /// capacity) to `to_fetch`. Returns the fill ticket to pass to
+  /// CompleteFill/AbortFill. A return with empty `to_fetch` means the whole
+  /// set was deduplicated (or capped) away and no RPC is needed.
+  uint64_t BeginFill(const std::vector<storage::EntryId>& keys,
+                     std::vector<storage::EntryId>* to_fetch) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const uint64_t ticket = next_ticket_++;
+    for (const storage::EntryId key : keys) {
+      if (entries_.find(key) != entries_.end()) continue;  // dedup
+      if (capacity_entries_ != 0 && entries_.size() >= capacity_entries_) {
+        ++stats_.dropped_fills;
+        continue;
+      }
+      Entry entry;
+      entry.state = State::kFilling;
+      entry.ticket = ticket;
+      entries_.emplace(key, std::move(entry));
+      to_fetch->push_back(key);
+    }
+    return ticket;
+  }
+
+  /// Installs `values` (keys.size() * dim floats, key order) for the
+  /// entries of `keys` still filling under `ticket`. Entries poisoned by a
+  /// racing Invalidate are erased instead (stale_fills).
+  void CompleteFill(uint64_t ticket,
+                    const std::vector<storage::EntryId>& keys,
+                    const float* values) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      auto it = entries_.find(keys[i]);
+      if (it == entries_.end()) continue;
+      Entry& entry = it->second;
+      if (entry.state != State::kFilling) continue;  // raced a newer fill
+      if (entry.ticket != ticket) {
+        // Poisoned: the key was pushed (and invalidated) while this fill's
+        // RPC was in flight. The fetched value predates that push — drop
+        // it so no pull can ever observe it.
+        ++stats_.stale_fills;
+        entries_.erase(it);
+        continue;
+      }
+      entry.state = State::kResident;
+      entry.data = std::make_unique<float[]>(dim_);
+      std::memcpy(entry.data.get(), values + i * dim_,
+                  dim_ * sizeof(float));
+      ++stats_.fills;
+    }
+  }
+
+  /// Withdraws the kFilling entries of `keys` registered under `ticket`
+  /// (the fill RPC failed; the trainer degrades to the synchronous pull).
+  void AbortFill(uint64_t ticket, const std::vector<storage::EntryId>& keys) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const storage::EntryId key : keys) {
+      auto it = entries_.find(key);
+      if (it == entries_.end()) continue;
+      if (it->second.state != State::kFilling) continue;
+      if (it->second.ticket != ticket) continue;
+      entries_.erase(it);
+      ++stats_.aborted_fills;
+    }
+  }
+
+  /// Copies `dim` floats into `out` and returns true iff `key` is
+  /// resident. A filling entry is a miss (never blocks).
+  bool Lookup(storage::EntryId key, float* out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end() || it->second.state != State::kResident) {
+      ++stats_.misses;
+      return false;
+    }
+    std::memcpy(out, it->second.data.get(), dim_ * sizeof(float));
+    ++stats_.hits;
+    return true;
+  }
+
+  /// Erases resident entries and poisons in-flight fills for `keys`. Called
+  /// by the trainer after pushing gradients for these keys; after it
+  /// returns, no Lookup can serve a pre-push value.
+  void Invalidate(const storage::EntryId* keys, size_t n) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t i = 0; i < n; ++i) {
+      auto it = entries_.find(keys[i]);
+      if (it == entries_.end()) continue;
+      if (it->second.state == State::kFilling) {
+        // Keep the placeholder (so the fill's CompleteFill finds and
+        // discards it) but break the ticket match.
+        it->second.ticket = 0;
+        continue;
+      }
+      entries_.erase(it);
+      ++stats_.invalidations;
+    }
+  }
+
+  /// Drops everything, including in-flight placeholders (their
+  /// CompleteFill becomes a no-op). For crash rollback: the cached values
+  /// reflect a future the rollback just erased.
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+  }
+
+  size_t resident() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t n = 0;
+    for (const auto& [key, entry] : entries_) {
+      n += entry.state == State::kResident ? 1 : 0;
+    }
+    return n;
+  }
+  size_t inflight() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t n = 0;
+    for (const auto& [key, entry] : entries_) {
+      n += entry.state == State::kFilling ? 1 : 0;
+    }
+    return n;
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+  uint32_t dim() const { return dim_; }
+
+ private:
+  enum class State : uint8_t { kFilling, kResident };
+
+  struct Entry {
+    State state = State::kFilling;
+    uint64_t ticket = 0;
+    std::unique_ptr<float[]> data;  // dim floats once resident
+  };
+
+  const uint32_t dim_;
+  const size_t capacity_entries_;
+
+  mutable std::mutex mutex_;
+  uint64_t next_ticket_ = 1;  // 0 is the poison ticket
+  std::unordered_map<storage::EntryId, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace oe::cache
+
+#endif  // OE_CACHE_PREFETCH_CACHE_H_

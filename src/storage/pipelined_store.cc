@@ -251,10 +251,23 @@ Status PipelinedStore::Pull(const EntryId* keys, size_t n, uint64_t batch,
         missing.push_back(i);
         continue;
       }
+      // Copy under the key's push stripe: lookahead-prefetch fills pull
+      // concurrently with pushes of *other* batches, and Push applies
+      // gradients to the entry data in place (or COW-remaps the PMem
+      // record) under this stripe. The stripe makes the copy atomic with
+      // respect to one Apply — a reader sees pre- or post-push values,
+      // never a torn mix; *which* of the two is resolved by the worker-
+      // side invalidation protocol. Lock order (shard read lock -> push
+      // stripe) matches Push exactly. The slot is loaded under the stripe
+      // for the same reason Push loads it there: a concurrent COW may
+      // have remapped the record.
+      SpinLock& stripe = push_locks_[keys[i] % kPushShards];
+      stripe.lock();
       const TaggedPtr ptr = slot->load();
       if (ptr.is_dram()) {
         const CacheEntry* entry = ptr.dram<CacheEntry>();
         std::memcpy(out + i * config_.dim, entry->data.get(), weight_bytes);
+        stripe.unlock();
         dram_stats_.AddRead(weight_bytes);
         stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
       } else {
@@ -262,6 +275,7 @@ Status PipelinedStore::Pull(const EntryId* keys, size_t n, uint64_t batch,
         // "copied from either DRAM or PMem to the network buffer").
         device_->Read(ptr.pmem_offset() + EntryLayout::kHeaderBytes,
                       out + i * config_.dim, weight_bytes);
+        stripe.unlock();
         stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
       }
       present.push_back(keys[i]);
@@ -305,16 +319,21 @@ Status PipelinedStore::Pull(const EntryId* keys, size_t n, uint64_t batch,
         continue;
       }
       // Raced with another puller (or a duplicate earlier in this batch)
-      // that created it; serve and count it like the read-locked pass.
+      // that created it; serve and count it like the read-locked pass
+      // (including its stripe discipline against concurrent pushes).
+      SpinLock& stripe = push_locks_[key % kPushShards];
+      stripe.lock();
       const TaggedPtr ptr = slot->load();
       if (ptr.is_dram()) {
         std::memcpy(out + i * config_.dim, ptr.dram<CacheEntry>()->data.get(),
                     weight_bytes);
+        stripe.unlock();
         dram_stats_.AddRead(weight_bytes);
         stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
       } else {
         device_->Read(ptr.pmem_offset() + EntryLayout::kHeaderBytes,
                       out + i * config_.dim, weight_bytes);
+        stripe.unlock();
         stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
       }
     }

@@ -455,10 +455,12 @@ class PipelinedStore final : public EmbeddingStore {
   // Locking protocol (see DESIGN.md §8): shards_[s].lock (shared for
   // Pull/Push, exclusive for maintenance/insertions; multi-shard operations
   // acquire shard locks in ascending index order) -> push_locks_ stripe
-  // (serializes writers of one key) -> ckpt_mutex_ / stage_mutex / maint
-  // leaf locks, never held while acquiring the others. Index slots are
-  // atomic so Pull may read them under the shared lock while a pusher swaps
-  // a slot.
+  // (serializes writers of one key, and makes Pull's per-key data copy
+  // atomic against a concurrent in-place Apply/COW — required since
+  // lookahead-prefetch fills pull concurrently with other batches' pushes)
+  // -> ckpt_mutex_ / stage_mutex / maint leaf locks, never held while
+  // acquiring the others. Index slots are atomic so Pull may read them
+  // under the shared lock while a pusher swaps a slot.
   std::vector<Shard> shards_;
 
   cache::ShardedAccessQueue<EntryId> access_queue_;

@@ -1,0 +1,196 @@
+#include "train/prefetcher.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/trace.h"
+
+namespace oe::train {
+
+Prefetcher::Prefetcher(ps::PsClient* client, workload::LookaheadOracle* oracle,
+                       cache::PrefetchCache* cache, int depth)
+    : client_(client),
+      oracle_(oracle),
+      cache_(cache),
+      depth_(depth),
+      fills_issued_(
+          obs::MetricsRegistry::Default().GetCounter("prefetch.fill_keys")),
+      fill_error_counter_(
+          obs::MetricsRegistry::Default().GetCounter("prefetch.fill_errors")),
+      inflight_gauge_(obs::MetricsRegistry::Default().GetGauge(
+          "prefetch.inflight_keys")) {
+  OE_CHECK(depth >= 1);
+  threads_.emplace_back([this] { PlannerLoop(); });
+  const int pool = std::min(depth, 8);
+  for (int i = 0; i < pool; ++i) {
+    threads_.emplace_back([this, i] { FillLoop(i); });
+  }
+}
+
+Prefetcher::~Prefetcher() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    work_cv_.notify_all();
+  }
+  for (auto& t : threads_) t.join();
+}
+
+void Prefetcher::Start(uint64_t first_batch, uint64_t end_batch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = true;
+  frontier_ = first_batch;
+  end_batch_ = end_batch;
+  plan_pending_ = true;
+  work_cv_.notify_all();
+}
+
+void Prefetcher::AdvanceTo(uint64_t frontier) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Monotone: every worker reports the same frontier, first arrival wins.
+  if (frontier <= frontier_) return;
+  frontier_ = frontier;
+  plan_pending_ = true;
+  work_cv_.notify_all();
+}
+
+void Prefetcher::Pause() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  running_ = false;
+  // Withdraw queued fills: their cache placeholders would otherwise block
+  // re-fetching those keys forever (BeginFill dedups against them).
+  while (!queue_.empty()) {
+    FillTask task = std::move(queue_.front());
+    queue_.pop_front();
+    inflight_keys_.fetch_sub(static_cast<int64_t>(task.keys.size()),
+                             std::memory_order_relaxed);
+    cache_->AbortFill(task.ticket, task.keys);
+  }
+  work_cv_.notify_all();
+  idle_cv_.wait(lock, [&] { return active_fills_ == 0 && !planner_busy_; });
+  inflight_gauge_->Set(inflight_keys_.load(std::memory_order_relaxed));
+}
+
+void Prefetcher::Reset() {
+  Pause();
+  cache_->Clear();
+  inflight_keys_.store(0, std::memory_order_relaxed);
+  inflight_gauge_->Set(0);
+}
+
+void Prefetcher::PlannerLoop() {
+  if (obs::TraceRecorder::Default().enabled()) {
+    obs::TraceRecorder::Default().SetThreadName("prefetch-plan");
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || (running_ && plan_pending_); });
+    if (stop_) return;
+    plan_pending_ = false;
+    planner_busy_ = true;
+    const uint64_t frontier = frontier_;
+    const uint64_t end = end_batch_;
+    lock.unlock();
+
+    std::vector<FillTask> tasks;
+    {
+      obs::ScopedSpan span("prefetch", "plan");
+      oracle_->EvictBelow(frontier);
+      for (uint64_t target = frontier + 1;
+           target <= frontier + static_cast<uint64_t>(depth_) && target < end;
+           ++target) {
+        std::vector<storage::EntryId> to_fetch;
+        const uint64_t ticket =
+            cache_->BeginFill(oracle_->PrefetchSet(frontier, target),
+                              &to_fetch);
+        // Chunk the fetch: a bulk fill (a target just entering the window)
+        // can be a near-full key set, and an all-or-nothing RPC for it
+        // either lands entirely or wastes entirely. In chunks, the keys
+        // fetched within the available slack are hits even when the tail
+        // chunk loses the race with the frontier — coverage degrades
+        // proportionally instead of collapsing.
+        for (size_t begin = 0; begin < to_fetch.size();
+             begin += kFillChunkKeys) {
+          FillTask task;
+          task.target = target;
+          task.ticket = ticket;
+          const size_t chunk_end =
+              std::min(begin + kFillChunkKeys, to_fetch.size());
+          task.keys.assign(to_fetch.begin() + static_cast<long>(begin),
+                           to_fetch.begin() + static_cast<long>(chunk_end));
+          tasks.push_back(std::move(task));
+        }
+      }
+    }
+
+    lock.lock();
+    if (running_ && !stop_) {
+      for (auto& task : tasks) {
+        inflight_keys_.fetch_add(static_cast<int64_t>(task.keys.size()),
+                                 std::memory_order_relaxed);
+        queue_.push_back(std::move(task));
+      }
+      inflight_gauge_->Set(inflight_keys_.load(std::memory_order_relaxed));
+      work_cv_.notify_all();
+    } else {
+      // Paused mid-plan: withdraw the registrations just made.
+      for (auto& task : tasks) cache_->AbortFill(task.ticket, task.keys);
+    }
+    planner_busy_ = false;
+    idle_cv_.notify_all();
+  }
+}
+
+void Prefetcher::FillLoop(int slot) {
+  if (obs::TraceRecorder::Default().enabled()) {
+    obs::TraceRecorder::Default().SetThreadName("prefetch-fill" +
+                                                std::to_string(slot));
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock,
+                  [&] { return stop_ || (running_ && !queue_.empty()); });
+    if (stop_) return;
+    FillTask task = std::move(queue_.front());
+    queue_.pop_front();
+    if (task.target <= frontier_) {
+      // The trainer already reached (or passed) this target and pulled it
+      // synchronously; a late fill would only leave an orphan resident
+      // entry behind. Withdraw instead.
+      inflight_keys_.fetch_sub(static_cast<int64_t>(task.keys.size()),
+                               std::memory_order_relaxed);
+      cache_->AbortFill(task.ticket, task.keys);
+      continue;
+    }
+    ++active_fills_;
+    lock.unlock();
+    RunFill(std::move(task));
+    lock.lock();
+    --active_fills_;
+    inflight_gauge_->Set(inflight_keys_.load(std::memory_order_relaxed));
+    idle_cv_.notify_all();
+  }
+}
+
+void Prefetcher::RunFill(FillTask task) {
+  obs::ScopedSpan span("prefetch", "fill");
+  std::vector<float> values(task.keys.size() *
+                            static_cast<size_t>(cache_->dim()));
+  const Status status = client_->Pull(task.keys.data(), task.keys.size(),
+                                      task.target, values.data());
+  if (status.ok()) {
+    cache_->CompleteFill(task.ticket, task.keys, values.data());
+    fills_issued_->Add(task.keys.size());
+  } else {
+    // Degrade, never corrupt: the keys fall back to the synchronous pull.
+    cache_->AbortFill(task.ticket, task.keys);
+    fill_errors_.fetch_add(1, std::memory_order_relaxed);
+    fill_error_counter_->Increment();
+  }
+  inflight_keys_.fetch_sub(static_cast<int64_t>(task.keys.size()),
+                           std::memory_order_relaxed);
+}
+
+}  // namespace oe::train

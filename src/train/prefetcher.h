@@ -1,0 +1,127 @@
+#ifndef OE_TRAIN_PREFETCHER_H_
+#define OE_TRAIN_PREFETCHER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cache/prefetch_cache.h"
+#include "obs/metrics.h"
+#include "ps/ps_client.h"
+#include "workload/lookahead.h"
+
+namespace oe::train {
+
+/// Background lookahead prefetch pipeline (BagPipe): a planner thread
+/// follows the trainer's frontier and, for every target batch in
+/// (frontier, frontier + depth], asks the LookaheadOracle for the keys
+/// that are safe to fetch now (no intermediate writer), registers them in
+/// the PrefetchCache (which dedups against keys already resident or in
+/// flight for an earlier target), and hands the remainder to a pool of
+/// min(depth, 8) fill threads that pull them through a dedicated PsClient.
+/// Each target is re-planned on every frontier advance, so keys excluded
+/// earlier because an intermediate batch writes them become fetchable as
+/// soon as that writer has pushed (and invalidated).
+///
+/// Lifecycle: Start(first, end) opens a training window (targets are
+/// capped below `end` so a prefetching run touches exactly the keys a
+/// depth-0 run would); AdvanceTo publishes the frontier (idempotent,
+/// monotone — every worker may call it); Pause quiesces (drains in-flight
+/// fills, drops queued ones) and is required before the cluster is
+/// restarted or crash-simulated; Reset additionally clears the cache,
+/// which after a rollback holds values from the erased future.
+///
+/// Failure is always soft: a fill whose RPC fails (drops/duplicates
+/// beyond the retry budget, node down) is aborted and its keys fall
+/// through to the trainer's synchronous pull path — degraded latency,
+/// never a wrong value.
+class Prefetcher {
+ public:
+  /// All pointers must outlive the prefetcher. `client` need not be
+  /// exclusive (PsClient is thread-safe), but SyncTrainer gives the
+  /// prefetcher a dedicated one to mirror the per-worker client layout.
+  /// `depth` >= 1.
+  Prefetcher(ps::PsClient* client, workload::LookaheadOracle* oracle,
+             cache::PrefetchCache* cache, int depth);
+  ~Prefetcher();
+
+  Prefetcher(const Prefetcher&) = delete;
+  Prefetcher& operator=(const Prefetcher&) = delete;
+
+  /// Opens the window [first_batch, end_batch): resets the frontier and
+  /// resumes planning. Targets never reach end_batch.
+  void Start(uint64_t first_batch, uint64_t end_batch);
+
+  /// Publishes the trainer's frontier: all pushes of batches < `frontier`
+  /// have completed and been invalidated. Monotone (lower values are
+  /// ignored); any worker thread may call it.
+  void AdvanceTo(uint64_t frontier);
+
+  /// Stops planning, drops queued fills, and waits for in-flight fill
+  /// RPCs to finish. Idempotent; Start resumes.
+  void Pause();
+
+  /// Pause + clear the cache (crash rollback: cached values are from the
+  /// future the rollback erased).
+  void Reset();
+
+  uint64_t fill_errors() const {
+    return fill_errors_.load(std::memory_order_relaxed);
+  }
+  /// Keys currently registered as in flight (the prefetch.inflight_keys
+  /// gauge mirrors this).
+  int64_t inflight_keys() const {
+    return inflight_keys_.load(std::memory_order_relaxed);
+  }
+  int depth() const { return depth_; }
+
+ private:
+  /// Keys per fill RPC. Bounds a fill's latency so partially-late bulk
+  /// fills still contribute their on-time chunks.
+  static constexpr size_t kFillChunkKeys = 128;
+
+  struct FillTask {
+    uint64_t ticket = 0;
+    uint64_t target = 0;
+    std::vector<storage::EntryId> keys;
+  };
+
+  void PlannerLoop();
+  void FillLoop(int slot);
+  /// Executes one fill RPC outside the queue lock.
+  void RunFill(FillTask task);
+
+  ps::PsClient* client_;
+  workload::LookaheadOracle* oracle_;
+  cache::PrefetchCache* cache_;
+  const int depth_;
+
+  obs::Counter* fills_issued_;
+  obs::Counter* fill_error_counter_;
+  obs::Gauge* inflight_gauge_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // planner + fill threads wait here
+  std::condition_variable idle_cv_;   // Pause waits here
+  bool stop_ = false;                 // destructor only
+  bool running_ = false;              // between Start and Pause
+  uint64_t frontier_ = 0;
+  bool plan_pending_ = false;         // frontier moved since last plan
+  uint64_t end_batch_ = 0;
+  std::deque<FillTask> queue_;
+  int active_fills_ = 0;
+  bool planner_busy_ = false;
+
+  std::atomic<uint64_t> fill_errors_{0};
+  std::atomic<int64_t> inflight_keys_{0};
+
+  std::vector<std::thread> threads_;  // planner + fill pool
+};
+
+}  // namespace oe::train
+
+#endif  // OE_TRAIN_PREFETCHER_H_

@@ -34,6 +34,19 @@ struct CriteoSynthConfig {
   double ground_truth_scale = 0.8;
 };
 
+/// Seed-derivation helpers shared by SyncTrainer and LookaheadOracle. The
+/// trainer keys each worker's stream to WorkerSeed and repositions it per
+/// global batch with BatchSeed; the oracle mirrors the streams through the
+/// same two functions, so the key sets it predicts are — by construction,
+/// not by convention — exactly the ones the trainer will pull. Changing
+/// either constant is a format break for both (and for replay determinism).
+inline constexpr uint64_t WorkerSeed(uint64_t base_seed, int worker) {
+  return base_seed + static_cast<uint64_t>(worker) * 7919;
+}
+inline constexpr uint64_t BatchSeed(uint64_t worker_seed, uint64_t batch) {
+  return worker_seed + batch * 1000003ULL;
+}
+
 class CriteoSynth {
  public:
   explicit CriteoSynth(const CriteoSynthConfig& config);

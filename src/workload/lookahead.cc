@@ -1,0 +1,69 @@
+#include "workload/lookahead.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace oe::workload {
+
+LookaheadOracle::LookaheadOracle(const CriteoSynthConfig& data_config,
+                                 int workers, size_t batch_size)
+    : workers_(workers), batch_size_(batch_size) {
+  OE_CHECK(workers > 0);
+  for (int w = 0; w < workers; ++w) {
+    CriteoSynthConfig worker_data = data_config;
+    worker_data.seed = WorkerSeed(data_config.seed, w);
+    worker_seeds_.push_back(worker_data.seed);
+    streams_.push_back(std::make_unique<CriteoSynth>(worker_data));
+  }
+}
+
+LookaheadOracle::~LookaheadOracle() = default;
+
+const std::vector<storage::EntryId>& LookaheadOracle::KeysOf(uint64_t batch) {
+  auto it = keys_memo_.find(batch);
+  if (it != keys_memo_.end()) return it->second;
+  std::vector<storage::EntryId> keys;
+  for (int w = 0; w < workers_; ++w) {
+    streams_[static_cast<size_t>(w)]->Reseed(
+        BatchSeed(worker_seeds_[static_cast<size_t>(w)], batch));
+    for (size_t i = 0; i < batch_size_; ++i) {
+      const CtrExample example = streams_[static_cast<size_t>(w)]->Next();
+      keys.insert(keys.end(), example.cat_keys.begin(),
+                  example.cat_keys.end());
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys_memo_.emplace(batch, std::move(keys)).first->second;
+}
+
+std::vector<storage::EntryId> LookaheadOracle::PrefetchSet(uint64_t frontier,
+                                                           uint64_t target) {
+  OE_CHECK(frontier <= target);
+  // Memoized key sets have stable addresses (node-based map), so the
+  // writer sets can be held by pointer across further KeysOf calls.
+  std::vector<const std::vector<storage::EntryId>*> writers;
+  writers.reserve(static_cast<size_t>(target - frontier));
+  for (uint64_t b = frontier; b < target; ++b) writers.push_back(&KeysOf(b));
+  const std::vector<storage::EntryId>& wanted = KeysOf(target);
+  std::vector<storage::EntryId> safe;
+  safe.reserve(wanted.size());
+  for (const storage::EntryId key : wanted) {
+    bool written_before_target = false;
+    for (const auto* writer_set : writers) {
+      if (std::binary_search(writer_set->begin(), writer_set->end(), key)) {
+        written_before_target = true;
+        break;
+      }
+    }
+    if (!written_before_target) safe.push_back(key);
+  }
+  return safe;
+}
+
+void LookaheadOracle::EvictBelow(uint64_t batch) {
+  keys_memo_.erase(keys_memo_.begin(), keys_memo_.lower_bound(batch));
+}
+
+}  // namespace oe::workload

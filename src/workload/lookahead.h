@@ -1,0 +1,70 @@
+#ifndef OE_WORKLOAD_LOOKAHEAD_H_
+#define OE_WORKLOAD_LOOKAHEAD_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "storage/entry_layout.h"
+#include "workload/criteo.h"
+
+namespace oe::workload {
+
+/// BagPipe-style lookahead oracle (PAPERS.md, arXiv 2202.12429): because
+/// batch content is a pure function of (worker, batch id) under
+/// deterministic data, the embedding keys any future batch will touch can
+/// be enumerated *now*, before the trainer gets there. The oracle mirrors
+/// every worker's CriteoSynth stream through the same WorkerSeed/BatchSeed
+/// derivation the trainer uses and replays it per queried batch.
+///
+/// The coherence-critical call is PrefetchSet(frontier, target): the keys
+/// of `target` that are safe to fetch while the trainer is still at
+/// `frontier`. In the synchronous trainer every pulled key receives a
+/// gradient push the same batch (writeset == keyset), so a key of `target`
+/// that also appears in any batch of [frontier, target) will be *written*
+/// before `target` consumes it — fetching it early would capture the
+/// pre-push value. Those keys are excluded here and become fetchable once
+/// the frontier passes their last intermediate writer; the prefetcher
+/// re-plans each target on every frontier advance so they are picked up
+/// then (or fall through to the synchronous pull path).
+///
+/// Not thread-safe: one planner thread owns an instance (the mirrored
+/// generator streams are mutable state).
+class LookaheadOracle {
+ public:
+  /// Mirrors `workers` streams derived from `data_config.seed` exactly as
+  /// SyncTrainer derives them; `batch_size` is examples per worker batch.
+  LookaheadOracle(const CriteoSynthConfig& data_config, int workers,
+                  size_t batch_size);
+  ~LookaheadOracle();
+
+  /// Sorted-unique union of every worker's embedding keys for global batch
+  /// `batch`. Memoized; the memo is trimmed by EvictBelow.
+  const std::vector<storage::EntryId>& KeysOf(uint64_t batch);
+
+  /// Keys of `target` with no writer in [frontier, target): safe to fetch
+  /// at `frontier` and still be the value `target` observes. Requires
+  /// frontier <= target; PrefetchSet(t, t) is the full key set of t.
+  std::vector<storage::EntryId> PrefetchSet(uint64_t frontier,
+                                            uint64_t target);
+
+  /// Drops memoized key sets for batches below `batch` (the trainer's
+  /// frontier only moves forward, so they can never be queried again).
+  void EvictBelow(uint64_t batch);
+
+  int workers() const { return workers_; }
+  size_t batch_size() const { return batch_size_; }
+
+ private:
+  const int workers_;
+  const size_t batch_size_;
+  std::vector<uint64_t> worker_seeds_;
+  std::vector<std::unique_ptr<CriteoSynth>> streams_;
+  // batch id -> sorted-unique union key set across workers.
+  std::map<uint64_t, std::vector<storage::EntryId>> keys_memo_;
+};
+
+}  // namespace oe::workload
+
+#endif  // OE_WORKLOAD_LOOKAHEAD_H_

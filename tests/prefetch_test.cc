@@ -1,0 +1,552 @@
+// Lookahead prefetch pipeline (BagPipe-style): oracle key prediction,
+// PrefetchCache coherence semantics, and end-to-end trainer equivalence.
+//
+// The load-bearing claims under test:
+//   - the oracle predicts exactly the keys the trainer will pull (same
+//     WorkerSeed/BatchSeed derivation), and PrefetchSet excludes keys an
+//     intermediate batch writes;
+//   - the cache never serves a pre-push value after the push invalidated
+//     it, including fills whose RPC was in flight across the invalidation
+//     (ticket poisoning) — stressed below with concurrent pushers racing
+//     fillers, which is also the TSan workload for the PipelinedStore
+//     pull-copy stripe;
+//   - with one worker, training at lookahead_depth > 0 is bit-identical
+//     to depth 0, with and without an injected-fault network (drops /
+//     duplicates degrade fills to the synchronous pull, never corrupt).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "cache/prefetch_cache.h"
+#include "net/faulty_transport.h"
+#include "ps/ps_client.h"
+#include "ps/ps_cluster.h"
+#include "train/sync_trainer.h"
+#include "workload/criteo.h"
+#include "workload/lookahead.h"
+
+namespace oe {
+namespace {
+
+using cache::PrefetchCache;
+using storage::EntryId;
+using train::SyncTrainer;
+using train::TrainerConfig;
+using workload::CriteoSynthConfig;
+using workload::LookaheadOracle;
+
+// ---------- LookaheadOracle ----------
+
+CriteoSynthConfig SmallData() {
+  CriteoSynthConfig config;
+  config.base_cardinality = 300;
+  config.categorical_fields = 8;
+  config.dense_fields = 4;
+  return config;
+}
+
+TEST(LookaheadOracleTest, PredictsExactlyTheTrainerKeySets) {
+  const CriteoSynthConfig data = SmallData();
+  constexpr int kWorkers = 3;
+  constexpr size_t kBatchSize = 16;
+  LookaheadOracle oracle(data, kWorkers, kBatchSize);
+
+  // Replay the trainer's derivation by hand: per worker, a stream seeded
+  // with WorkerSeed, repositioned per batch with BatchSeed.
+  for (uint64_t batch = 1; batch <= 5; ++batch) {
+    std::set<EntryId> expected;
+    for (int w = 0; w < kWorkers; ++w) {
+      // Exactly the trainer's derivation: per-worker construction seed,
+      // then repositioned to the global batch.
+      CriteoSynthConfig worker_data = data;
+      worker_data.seed = workload::WorkerSeed(data.seed, w);
+      workload::CriteoSynth stream(worker_data);
+      stream.Reseed(workload::BatchSeed(worker_data.seed, batch));
+      for (const auto& example : stream.NextBatch(kBatchSize)) {
+        expected.insert(example.cat_keys.begin(), example.cat_keys.end());
+      }
+    }
+    const std::vector<EntryId> want(expected.begin(), expected.end());
+    EXPECT_EQ(oracle.KeysOf(batch), want) << "batch " << batch;
+  }
+}
+
+TEST(LookaheadOracleTest, KeysOfIsStableAcrossQueries) {
+  LookaheadOracle oracle(SmallData(), 2, 16);
+  // Out-of-order and repeated queries must not perturb each other (each
+  // query reseeds the mirrored stream).
+  const std::vector<EntryId> b3 = oracle.KeysOf(3);
+  const std::vector<EntryId> b1 = oracle.KeysOf(1);
+  EXPECT_EQ(oracle.KeysOf(3), b3);
+  EXPECT_EQ(oracle.KeysOf(1), b1);
+  oracle.EvictBelow(3);  // drops the memo, not the determinism
+  EXPECT_EQ(oracle.KeysOf(3), b3);
+}
+
+TEST(LookaheadOracleTest, PrefetchSetExcludesIntermediateWriters) {
+  LookaheadOracle oracle(SmallData(), 2, 16);
+  const uint64_t frontier = 2, target = 5;
+  const std::vector<EntryId> target_keys = oracle.KeysOf(target);
+  std::set<EntryId> writers;
+  for (uint64_t b = frontier; b < target; ++b) {
+    const auto& keys = oracle.KeysOf(b);
+    writers.insert(keys.begin(), keys.end());
+  }
+
+  const std::vector<EntryId> safe = oracle.PrefetchSet(frontier, target);
+  // safe == target keys minus writer-set, exactly.
+  std::set<EntryId> target_set(target_keys.begin(), target_keys.end());
+  for (const EntryId key : safe) {
+    EXPECT_TRUE(target_set.count(key)) << key << " not a target key";
+    EXPECT_FALSE(writers.count(key)) << key << " has an intermediate writer";
+  }
+  for (const EntryId key : target_keys) {
+    if (!writers.count(key)) {
+      EXPECT_TRUE(std::binary_search(safe.begin(), safe.end(), key))
+          << "safe key " << key << " missing";
+    }
+  }
+  // With skewed popularity some target keys always recur in the window.
+  EXPECT_LT(safe.size(), target_keys.size());
+  EXPECT_FALSE(safe.empty());
+
+  // Degenerate window: PrefetchSet(t, t) is the full key set.
+  EXPECT_EQ(oracle.PrefetchSet(target, target), target_keys);
+}
+
+// ---------- PrefetchCache ----------
+
+std::vector<float> Ramp(size_t n, float base) {
+  std::vector<float> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = base + static_cast<float>(i);
+  return v;
+}
+
+TEST(PrefetchCacheTest, FillLookupInvalidateRoundTrip) {
+  PrefetchCache cache(4, 0);
+  std::vector<EntryId> to_fetch;
+  const uint64_t ticket = cache.BeginFill({10, 11}, &to_fetch);
+  EXPECT_EQ(to_fetch, (std::vector<EntryId>{10, 11}));
+  EXPECT_EQ(cache.inflight(), 2u);
+
+  float out[4];
+  EXPECT_FALSE(cache.Lookup(10, out));  // filling = miss, never blocks
+
+  const std::vector<float> values = Ramp(8, 100);
+  cache.CompleteFill(ticket, to_fetch, values.data());
+  EXPECT_EQ(cache.resident(), 2u);
+  ASSERT_TRUE(cache.Lookup(11, out));
+  EXPECT_EQ(out[0], 104.0f);
+  EXPECT_EQ(out[3], 107.0f);
+
+  const EntryId pushed[] = {11};
+  cache.Invalidate(pushed, 1);
+  EXPECT_FALSE(cache.Lookup(11, out));
+  EXPECT_TRUE(cache.Lookup(10, out));  // untouched key stays resident
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.fills, 2u);
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+}
+
+TEST(PrefetchCacheTest, InvalidatePoisonsInFlightFill) {
+  PrefetchCache cache(2, 0);
+  std::vector<EntryId> to_fetch;
+  const uint64_t ticket = cache.BeginFill({7}, &to_fetch);
+
+  // The push lands while the fill RPC is in flight: the fetched value
+  // predates the push and must never become visible.
+  const EntryId pushed[] = {7};
+  cache.Invalidate(pushed, 1);
+
+  const std::vector<float> values = {1, 2};
+  cache.CompleteFill(ticket, to_fetch, values.data());
+  float out[2];
+  EXPECT_FALSE(cache.Lookup(7, out));
+  EXPECT_EQ(cache.resident(), 0u);
+  EXPECT_EQ(cache.stats().stale_fills, 1u);
+  EXPECT_EQ(cache.stats().fills, 0u);
+
+  // A later fill of the same key works normally (poison is per-ticket).
+  to_fetch.clear();
+  const uint64_t ticket2 = cache.BeginFill({7}, &to_fetch);
+  ASSERT_EQ(to_fetch.size(), 1u);
+  cache.CompleteFill(ticket2, to_fetch, values.data());
+  EXPECT_TRUE(cache.Lookup(7, out));
+}
+
+TEST(PrefetchCacheTest, DedupsResidentAndInFlightKeys) {
+  PrefetchCache cache(2, 0);
+  std::vector<EntryId> first;
+  const uint64_t t1 = cache.BeginFill({1, 2}, &first);
+
+  // Key 1 is in flight for an earlier target: a later target's fill must
+  // not re-fetch it (cross-batch dedup).
+  std::vector<EntryId> second;
+  cache.BeginFill({1, 3}, &second);
+  EXPECT_EQ(second, (std::vector<EntryId>{3}));
+
+  const std::vector<float> values = Ramp(4, 0);
+  cache.CompleteFill(t1, first, values.data());
+  std::vector<EntryId> third;
+  cache.BeginFill({2, 4}, &third);  // 2 resident -> dedup
+  EXPECT_EQ(third, (std::vector<EntryId>{4}));
+}
+
+TEST(PrefetchCacheTest, CapacityCapDropsNotEvicts) {
+  PrefetchCache cache(2, 3);
+  std::vector<EntryId> to_fetch;
+  cache.BeginFill({1, 2, 3, 4, 5}, &to_fetch);
+  EXPECT_EQ(to_fetch.size(), 3u);
+  EXPECT_EQ(cache.stats().dropped_fills, 2u);
+}
+
+TEST(PrefetchCacheTest, AbortFillWithdrawsOnlyItsTicket) {
+  PrefetchCache cache(2, 0);
+  std::vector<EntryId> a, b;
+  const uint64_t ta = cache.BeginFill({1}, &a);
+  const uint64_t tb = cache.BeginFill({2}, &b);
+  cache.AbortFill(ta, a);  // RPC failed: withdraw so a retry can re-fetch
+  EXPECT_EQ(cache.inflight(), 1u);
+  EXPECT_EQ(cache.stats().aborted_fills, 1u);
+
+  // The other ticket's fill is unaffected.
+  const std::vector<float> values = {5, 6};
+  cache.CompleteFill(tb, b, values.data());
+  float out[2];
+  EXPECT_TRUE(cache.Lookup(2, out));
+
+  // Re-registering the aborted key fetches it again.
+  std::vector<EntryId> retry;
+  cache.BeginFill({1}, &retry);
+  EXPECT_EQ(retry, (std::vector<EntryId>{1}));
+}
+
+TEST(PrefetchCacheTest, ClearDropsInFlightPlaceholders) {
+  PrefetchCache cache(2, 0);
+  std::vector<EntryId> to_fetch;
+  const uint64_t ticket = cache.BeginFill({9}, &to_fetch);
+  cache.Clear();
+  EXPECT_EQ(cache.inflight(), 0u);
+  // The orphaned CompleteFill is a no-op, not a resurrection.
+  const std::vector<float> values = {1, 2};
+  cache.CompleteFill(ticket, to_fetch, values.data());
+  float out[2];
+  EXPECT_FALSE(cache.Lookup(9, out));
+}
+
+// ---------- Coherence stress: pushes racing fills ----------
+
+// A pusher thread drives the training push protocol on a real pipelined
+// cluster while filler threads prefetch the same keys into a PrefetchCache
+// and checker threads consume it. Values are version-encoded: SGD with
+// lr=1 and gradient 1 decrements every weight by exactly 1 per push, so a
+// resident cache value proves which pushes its fill observed. Invariant: a
+// lookup that starts after push c was invalidated must see a value at or
+// below init - c — a violation means a stale fill was served.
+//
+// This races Pull's per-key data copy against concurrent in-place gradient
+// Applies, which is precisely what the PipelinedStore push-stripe guards —
+// run it under TSan (labeled) to check the locking, and as a plain test to
+// check the ticket-poisoning logic statistically.
+TEST(PrefetchCoherenceStressTest, ConcurrentPushesNeverYieldStaleValues) {
+  constexpr uint32_t kDim = 4;
+  constexpr int kKeys = 48;
+  constexpr int kBatches = 250;
+  constexpr int kFillers = 3;
+  constexpr int kCheckers = 2;
+
+  ps::ClusterOptions options;
+  options.num_nodes = 2;
+  options.kind = storage::StoreKind::kPipelined;
+  options.store.dim = kDim;
+  options.store.optimizer.kind = storage::OptimizerKind::kSgd;
+  options.store.optimizer.learning_rate = 1.0f;
+  options.store.cache_bytes = 64 * 1024;
+  options.pmem_bytes_per_node = 64ULL << 20;
+  auto cluster = ps::PsCluster::Create(options).ValueOrDie();
+
+  std::vector<EntryId> keys(kKeys);
+  for (int i = 0; i < kKeys; ++i) keys[i] = static_cast<EntryId>(i);
+  std::vector<float> init(kKeys * kDim);
+  for (int i = 0; i < kKeys; ++i) {
+    options.store.initializer.Fill(keys[i], init.data() + i * kDim, kDim);
+  }
+
+  PrefetchCache cache(kDim, 0);
+  std::atomic<int> pushed_and_invalidated{0};
+  std::atomic<bool> done{false};
+  std::atomic<int> violations{0};
+  std::atomic<uint64_t> checked{0};
+
+  {
+    // Materialize every key at batch 1 before any thread races, so fills
+    // (which pull at future batch ids) never first-touch a key.
+    std::vector<float> warmup(kKeys * kDim);
+    ASSERT_TRUE(cluster->client()
+                    .Pull(keys.data(), keys.size(), 1, warmup.data())
+                    .ok());
+  }
+
+  std::thread pusher([&] {
+    auto client = cluster->NewClient();
+    std::vector<float> grads(kKeys * kDim, 1.0f);
+    std::vector<float> weights(kKeys * kDim);
+    for (int b = 1; b <= kBatches; ++b) {
+      const uint64_t batch = static_cast<uint64_t>(b);
+      ASSERT_TRUE(
+          client->Pull(keys.data(), keys.size(), batch, weights.data()).ok());
+      ASSERT_TRUE(client->FinishPullPhase(batch).ok());
+      ASSERT_TRUE(
+          client->Push(keys.data(), keys.size(), grads.data(), batch).ok());
+      // The coherence point: invalidate after the push returns, then
+      // publish the count — mirroring the trainer's push phase.
+      cache.Invalidate(keys.data(), keys.size());
+      pushed_and_invalidated.store(b, std::memory_order_release);
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> fillers;
+  for (int f = 0; f < kFillers; ++f) {
+    fillers.emplace_back([&] {
+      auto client = cluster->NewClient();
+      std::vector<EntryId> to_fetch;
+      std::vector<float> values;
+      while (!done.load(std::memory_order_acquire)) {
+        to_fetch.clear();
+        const uint64_t ticket = cache.BeginFill(keys, &to_fetch);
+        if (to_fetch.empty()) continue;
+        values.resize(to_fetch.size() * kDim);
+        const uint64_t batch = static_cast<uint64_t>(
+            pushed_and_invalidated.load(std::memory_order_acquire) + 2);
+        if (client
+                ->Pull(to_fetch.data(), to_fetch.size(), batch, values.data())
+                .ok()) {
+          cache.CompleteFill(ticket, to_fetch, values.data());
+        } else {
+          cache.AbortFill(ticket, to_fetch);
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> checkers;
+  for (int c = 0; c < kCheckers; ++c) {
+    checkers.emplace_back([&] {
+      float out[kDim];
+      while (!done.load(std::memory_order_acquire)) {
+        const int floor =
+            pushed_and_invalidated.load(std::memory_order_acquire);
+        for (int i = 0; i < kKeys; ++i) {
+          if (!cache.Lookup(keys[i], out)) continue;
+          checked.fetch_add(1, std::memory_order_relaxed);
+          // 0.5f of slack absorbs float rounding at large magnitudes;
+          // a stale fill is off by >= 1 full push step.
+          if (out[0] > init[i * kDim] - static_cast<float>(floor) + 0.5f) {
+            violations.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  pusher.join();
+  for (auto& t : fillers) t.join();
+  for (auto& t : checkers) t.join();
+
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_GT(checked.load(), 0u);  // the checkers actually saw hits
+  const auto stats = cache.stats();
+  EXPECT_GT(stats.fills, 0u);
+  // The race is real: some fills must have been poisoned mid-flight.
+  EXPECT_GT(stats.stale_fills + stats.invalidations, 0u);
+}
+
+// ---------- End-to-end: trainer equivalence ----------
+
+struct TrainSetup {
+  std::unique_ptr<ps::PsCluster> cluster;
+  std::unique_ptr<SyncTrainer> trainer;
+};
+
+// One worker + SGD + deterministic data: the bit-identity preconditions
+// (multiple workers interleave pushes nondeterministically in float).
+TrainSetup MakeSetup(int workers, int lookahead_depth, bool inject_faults) {
+  TrainSetup setup;
+  ps::ClusterOptions options;
+  options.num_nodes = 2;
+  options.kind = storage::StoreKind::kPipelined;
+  options.store.dim = 8;
+  options.store.optimizer.kind = storage::OptimizerKind::kSgd;
+  options.store.optimizer.learning_rate = 0.05f;
+  options.store.cache_bytes = 256 * 1024;
+  options.pmem_bytes_per_node = 64ULL << 20;
+  options.crash_fidelity = pmem::CrashFidelity::kStrict;
+  if (inject_faults) {
+    options.inject_net_faults = true;
+    options.net_fault_seed = 23;
+    options.rpc_options.max_retries = 50;
+    options.rpc_options.backoff_initial_ms = 0;
+  }
+  setup.cluster = ps::PsCluster::Create(options).ValueOrDie();
+
+  workload::CriteoSynthConfig data_config = SmallData();
+  TrainerConfig trainer_config;
+  trainer_config.workers = workers;
+  trainer_config.batch_size = 32;
+  trainer_config.deterministic_data = true;
+  trainer_config.lookahead_depth = lookahead_depth;
+  trainer_config.model.num_fields = 8;
+  trainer_config.model.dense_dim = 4;
+  trainer_config.model.embed_dim = 8;
+  trainer_config.model.hidden = {16};
+  trainer_config.model.dense_learning_rate = 0.02f;
+  setup.trainer = std::make_unique<SyncTrainer>(setup.cluster.get(),
+                                                data_config, trainer_config);
+  return setup;
+}
+
+void ExpectSameFinalModel(TrainSetup& golden, TrainSetup& subject) {
+  ps::PsClient& gc = golden.cluster->client();
+  ps::PsClient& sc = subject.cluster->client();
+  ASSERT_EQ(gc.TotalEntries().ValueOrDie(), sc.TotalEntries().ValueOrDie());
+
+  uint64_t compared = 0;
+  for (EntryId key = 0; key < 3000; ++key) {
+    auto g = gc.Peek(key);
+    auto s = sc.Peek(key);
+    ASSERT_EQ(g.ok(), s.ok()) << "key " << key;
+    if (!g.ok()) continue;
+    EXPECT_EQ(std::move(g).ValueOrDie(), std::move(s).ValueOrDie())
+        << "key " << key;
+    ++compared;
+  }
+  EXPECT_GT(compared, 100u);
+
+  EXPECT_EQ(golden.trainer->model().SaveDense(),
+            subject.trainer->model().SaveDense());
+}
+
+TEST(SyncTrainerPrefetchTest, BitIdenticalToDepthZeroSingleWorker) {
+  constexpr uint64_t kBatches = 25;
+  auto golden = MakeSetup(1, 0, /*inject_faults=*/false);
+  ASSERT_TRUE(golden.trainer->TrainBatches(kBatches).ok());
+
+  for (const int depth : {2, 4}) {
+    auto subject = MakeSetup(1, depth, /*inject_faults=*/false);
+    ASSERT_TRUE(subject.trainer->TrainBatches(kBatches).ok());
+    ExpectSameFinalModel(golden, subject);
+    EXPECT_DOUBLE_EQ(golden.trainer->progress().mean_logloss,
+                     subject.trainer->progress().mean_logloss);
+    // The pipeline actually ran: lookups hit.
+    EXPECT_GT(subject.trainer->phase_totals().prefetch_hits, 0u)
+        << "depth " << depth;
+    EXPECT_EQ(subject.trainer->prefetcher()->fill_errors(), 0u);
+  }
+}
+
+TEST(SyncTrainerPrefetchTest, FaultyNetworkDegradesNeverCorrupts) {
+  // Drops, duplicates, and lost responses on every node: fill RPCs that
+  // exhaust retries are aborted (keys fall through to the synchronous
+  // pull), duplicated fills are deduplicated server-side, and the result
+  // is still bit-identical to a fault-free depth-0 run.
+  constexpr uint64_t kBatches = 20;
+  auto golden = MakeSetup(1, 0, /*inject_faults=*/false);
+  ASSERT_TRUE(golden.trainer->TrainBatches(kBatches).ok());
+
+  auto subject = MakeSetup(1, 3, /*inject_faults=*/true);
+  for (uint32_t node = 0; node < 2; ++node) {
+    net::NetFaultSpec spec;
+    spec.drop_rate = 0.05;
+    spec.duplicate_rate = 0.1;
+    spec.fail_response_rate = 0.05;
+    subject.cluster->faulty_transport()->SetFaultSpec(node, spec);
+  }
+  ASSERT_TRUE(subject.trainer->TrainBatches(kBatches).ok());
+  ExpectSameFinalModel(golden, subject);
+  EXPECT_DOUBLE_EQ(golden.trainer->progress().mean_logloss,
+                   subject.trainer->progress().mean_logloss);
+  // The schedule really injected faults.
+  EXPECT_GT(subject.cluster->faulty_transport()->FaultStats(0).dropped +
+                subject.cluster->faulty_transport()->FaultStats(1).dropped,
+            0u);
+}
+
+TEST(SyncTrainerPrefetchTest, MultiWorkerPrefetchTrainsEquivalently) {
+  // Multiple workers break float bit-identity (push interleaving), but the
+  // math must stay the same: matching loss within the usual tolerance,
+  // and the same entry universe.
+  constexpr uint64_t kBatches = 30;
+  auto base = MakeSetup(3, 0, /*inject_faults=*/false);
+  auto prefetch = MakeSetup(3, 3, /*inject_faults=*/false);
+  ASSERT_TRUE(base.trainer->TrainBatches(kBatches).ok());
+  ASSERT_TRUE(prefetch.trainer->TrainBatches(kBatches).ok());
+  EXPECT_EQ(base.cluster->client().TotalEntries().ValueOrDie(),
+            prefetch.cluster->client().TotalEntries().ValueOrDie());
+  EXPECT_NEAR(base.trainer->progress().mean_logloss,
+              prefetch.trainer->progress().mean_logloss, 0.05);
+  const auto totals = prefetch.trainer->phase_totals();
+  EXPECT_GT(totals.prefetch_hits, 0u);
+}
+
+TEST(SyncTrainerPrefetchTest, CrashRecoveryResetsThePipeline) {
+  // A crash rollback erases the future the cache was prefetched from;
+  // RecoverAfterCrash must clear it and training must resume bit-identical
+  // to an uninterrupted prefetching run.
+  auto MakeCheckpointed = [](int depth) {
+    TrainSetup setup;
+    ps::ClusterOptions options;
+    options.num_nodes = 2;
+    options.kind = storage::StoreKind::kPipelined;
+    options.store.dim = 8;
+    options.store.optimizer.kind = storage::OptimizerKind::kSgd;
+    options.store.optimizer.learning_rate = 0.05f;
+    options.store.cache_bytes = 256 * 1024;
+    options.pmem_bytes_per_node = 64ULL << 20;
+    options.log_bytes_per_node = 64ULL << 20;
+    options.crash_fidelity = pmem::CrashFidelity::kStrict;
+    setup.cluster = ps::PsCluster::Create(options).ValueOrDie();
+    workload::CriteoSynthConfig data_config = SmallData();
+    TrainerConfig trainer_config;
+    trainer_config.workers = 1;
+    trainer_config.batch_size = 32;
+    trainer_config.checkpoint_interval = 5;
+    trainer_config.durable_checkpoints = true;
+    trainer_config.deterministic_data = true;
+    trainer_config.lookahead_depth = depth;
+    trainer_config.model.num_fields = 8;
+    trainer_config.model.dense_dim = 4;
+    trainer_config.model.embed_dim = 8;
+    trainer_config.model.hidden = {16};
+    trainer_config.model.dense_learning_rate = 0.02f;
+    setup.trainer = std::make_unique<SyncTrainer>(
+        setup.cluster.get(), data_config, trainer_config);
+    return setup;
+  };
+
+  auto uninterrupted = MakeCheckpointed(2);
+  ASSERT_TRUE(uninterrupted.trainer->TrainBatches(20).ok());
+
+  auto crashed = MakeCheckpointed(2);
+  ASSERT_TRUE(crashed.trainer->TrainBatches(12).ok());
+  crashed.cluster->SimulateCrashAll();
+  ASSERT_TRUE(crashed.trainer->RecoverAfterCrash().ok());
+  EXPECT_EQ(crashed.trainer->next_batch(), 11u);
+  // The rolled-back future must be gone from the cache.
+  EXPECT_EQ(crashed.trainer->prefetch_cache()->resident(), 0u);
+  ASSERT_TRUE(
+      crashed.trainer->TrainBatches(20 - (crashed.trainer->next_batch() - 1))
+          .ok());
+
+  ExpectSameFinalModel(uninterrupted, crashed);
+}
+
+}  // namespace
+}  // namespace oe

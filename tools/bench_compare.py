@@ -56,6 +56,28 @@ def load_merged(path):
     return by_name
 
 
+def numeric_metrics(record):
+    """The record's metrics entries with float-convertible values.
+
+    Records may carry no metrics dict at all, an explicit null, or
+    non-numeric values (a label string, a null from a skipped measurement).
+    The informational metric rows must skip those keys instead of crashing
+    on them or printing `None -> None` rows.
+    """
+    metrics = record.get("metrics")
+    if not isinstance(metrics, dict):
+        return {}
+    numeric = {}
+    for key, value in metrics.items():
+        if isinstance(value, bool):  # bool is an int subclass; not a metric
+            continue
+        try:
+            numeric[key] = float(value)
+        except (TypeError, ValueError):
+            continue
+    return numeric
+
+
 def cmd_merge(args):
     benches = []
     for path in args.inputs:
@@ -98,24 +120,18 @@ def cmd_compare(args):
         # gated — tail latencies on shared CI runners are too noisy for a
         # hard threshold, while a large sustained jump should still be
         # visible in the job log without re-running with --metrics.
-        base_metrics = baseline[name].get("metrics", {})
-        cur_metrics = current[name].get("metrics", {})
+        base_metrics = numeric_metrics(baseline[name])
+        cur_metrics = numeric_metrics(current[name])
         for key in sorted(set(base_metrics) & set(cur_metrics)):
             if not key.startswith(("p99_", "p999_")):
                 continue
-            try:
-                b, c = float(base_metrics[key]), float(cur_metrics[key])
-            except (TypeError, ValueError):
-                continue
+            b, c = base_metrics[key], cur_metrics[key]
             delta = (c / b - 1.0) if b else float("inf")
             print(f"      tail {key:<35} {b:11.1f} -> {c:11.1f} "
                   f"({delta:+.1%}, informational)")
         if args.metrics:
             for key in sorted(set(base_metrics) & set(cur_metrics)):
-                try:
-                    b, c = float(base_metrics[key]), float(cur_metrics[key])
-                except (TypeError, ValueError):
-                    continue
+                b, c = base_metrics[key], cur_metrics[key]
                 delta = (c / b - 1.0) if b else float("inf")
                 print(f"      {key:<40} {b:14.3f} -> {c:14.3f} ({delta:+.1%})")
     if failures:

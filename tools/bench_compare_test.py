@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_compare.py (run directly; CI runs it in the
+bench-smoke job). Covers the merge/compare plumbing and the robustness of
+the informational metric rows against records with absent, null, or
+non-numeric metrics — those must be skipped, never crash the gate or print
+`None` rows."""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+import unittest.mock
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_compare  # noqa: E402
+
+
+def write_merged(path, records):
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump({"benches": records}, f)
+
+
+def record(name, wall_ms, metrics="absent"):
+    r = {"bench": name, "wall_ms": wall_ms}
+    if metrics != "absent":
+        r["metrics"] = metrics
+    return r
+
+
+class NumericMetricsTest(unittest.TestCase):
+    def test_absent_null_and_nondict_metrics_yield_empty(self):
+        self.assertEqual(bench_compare.numeric_metrics({}), {})
+        self.assertEqual(bench_compare.numeric_metrics({"metrics": None}), {})
+        self.assertEqual(
+            bench_compare.numeric_metrics({"metrics": [1, 2]}), {})
+
+    def test_non_numeric_values_are_skipped(self):
+        got = bench_compare.numeric_metrics({"metrics": {
+            "p99_us": 12.5,
+            "count": 7,
+            "as_string": "41.5",
+            "p999_us": None,
+            "label": "fast-mode",
+            "flag": True,
+        }})
+        self.assertEqual(got,
+                         {"p99_us": 12.5, "count": 7.0, "as_string": 41.5})
+
+
+class CompareTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def path(self, name):
+        return os.path.join(self.dir.name, name)
+
+    def run_compare(self, base_records, cur_records, threshold=0.25,
+                    metrics=False):
+        write_merged(self.path("base.json"), base_records)
+        write_merged(self.path("cur.json"), cur_records)
+        argv = ["bench_compare", "compare", self.path("base.json"),
+                self.path("cur.json"), "--threshold", str(threshold)]
+        if metrics:
+            argv.append("--metrics")
+        out = io.StringIO()
+        with unittest.mock.patch.object(sys, "argv", argv), \
+                contextlib.redirect_stdout(out), \
+                contextlib.redirect_stderr(out), \
+                self.assertRaises(SystemExit) as ctx:
+            bench_compare.main()
+        return ctx.exception.code, out.getvalue()
+
+    def test_regression_past_threshold_fails(self):
+        code, out = self.run_compare([record("a", 100.0)],
+                                     [record("a", 130.0)])
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+
+    def test_within_threshold_and_new_bench_pass(self):
+        code, out = self.run_compare(
+            [record("a", 100.0)],
+            [record("a", 110.0), record("brand_new", 5.0)])
+        self.assertEqual(code, 0)
+        self.assertIn("NEW (not gated", out)
+
+    def test_null_metrics_do_not_crash_or_print_none(self):
+        # Both sides gate-clean, one side has metrics: null, the other a
+        # dict with a null tail value — neither may crash the comparison
+        # or surface a None row.
+        code, out = self.run_compare(
+            [record("a", 100.0, metrics=None)],
+            [record("a", 100.0, metrics={"p99_pull_us": None})],
+            metrics=True)
+        self.assertEqual(code, 0)
+        self.assertNotIn("None", out)
+
+    def test_tail_rows_skip_keys_absent_on_either_side(self):
+        code, out = self.run_compare(
+            [record("a", 100.0,
+                    metrics={"p99_pull_us": 10.0, "p999_pull_us": 20.0})],
+            [record("a", 100.0, metrics={"p99_pull_us": 12.0})])
+        self.assertEqual(code, 0)
+        self.assertIn("tail p99_pull_us", out)
+        self.assertNotIn("p999_pull_us", out)  # absent on one side: skipped
+
+    def test_merge_then_compare_round_trip(self):
+        write_merged(self.path("one.json"), [record("a", 10.0)])
+        write_merged(self.path("two.json"), [record("b", 20.0)])
+        argv = ["bench_compare", "merge", self.path("merged.json"),
+                self.path("one.json"), self.path("two.json")]
+        with unittest.mock.patch.object(sys, "argv", argv), \
+                contextlib.redirect_stdout(io.StringIO()), \
+                self.assertRaises(SystemExit) as ctx:
+            bench_compare.main()
+        self.assertEqual(ctx.exception.code, 0)
+        merged = bench_compare.load_merged(self.path("merged.json"))
+        self.assertEqual(sorted(merged), ["a", "b"])
+
+
+if __name__ == "__main__":
+    unittest.main()
